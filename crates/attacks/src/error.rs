@@ -1,0 +1,66 @@
+//! Error type for attack construction and execution.
+
+use oasis_nn::NnError;
+use oasis_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced while building or running attacks.
+#[derive(Debug)]
+pub enum AttackError {
+    /// Model execution failed.
+    Nn(NnError),
+    /// Tensor algebra failed (shape bug).
+    Tensor(TensorError),
+    /// The attack was configured inconsistently.
+    BadConfig(String),
+    /// Calibration could not fit the requested statistic.
+    Calibration(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "model error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::BadConfig(msg) => write!(f, "bad attack configuration: {msg}"),
+            AttackError::Calibration(msg) => write!(f, "calibration failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            AttackError::BadConfig("x".into()),
+            AttackError::Calibration("y".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The attack-evaluation harness: run an attack against a (possibly
+//! defended) client batch, reconstruct, match, and summarize — the
+//! code path behind every PSNR number in the paper's figures.
+
+use oasis_data::Batch;
+use oasis_image::Image;
+use oasis_metrics::{best_psnr_per_original, match_greedy_coarse, ReconstructionMatch, Summary};
+use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode, Sequential};
+use oasis_tensor::Tensor;
+use oasis_fl::BatchPreprocessor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{AttackError, Result};
+
+/// An active reconstruction attack by a dishonest server.
+///
+/// Implementations build the malicious global model (their
+/// [`oasis_fl::ModelTamper`]-style capability) and invert the
+/// gradients the victim uploads.
+pub trait ActiveAttack: Send + Sync {
+    /// Display name ("RTF", "CAH", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of attacked neurons `n`.
+    fn attacked_neurons(&self) -> usize;
+
+    /// Builds the malicious model for inputs of the given image
+    /// geometry and `classes` output classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration cannot produce a model.
+    fn build_model(
+        &self,
+        geometry: (usize, usize, usize),
+        classes: usize,
+        seed: u64,
+    ) -> Result<Sequential>;
+
+    /// Inverts the gradients of the malicious layer into candidate
+    /// image reconstructions.
+    fn reconstruct(
+        &self,
+        grad_weight: &Tensor,
+        grad_bias: &Tensor,
+        geometry: (usize, usize, usize),
+    ) -> Vec<Image>;
+}
+
+/// Everything the figures need from one attack execution.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// One-to-one reconstruction↔original matches, best first.
+    pub matches: Vec<ReconstructionMatch>,
+    /// PSNR of each match (the values behind the paper's boxplots).
+    pub matched_psnrs: Vec<f64>,
+    /// Summary statistics of `matched_psnrs` (the reported averages).
+    pub summary: Summary,
+    /// For every original sample, the best PSNR any reconstruction
+    /// achieved against it (per-sample leakage).
+    pub per_original_best: Vec<f64>,
+    /// The deduplicated reconstruction pool (for the visual figures).
+    pub reconstructions: Vec<Image>,
+    /// The batch the client actually trained on (`D` or `D′`).
+    pub processed_images: Vec<Image>,
+    /// The client's loss during the attacked round (diagnostic).
+    pub client_loss: f32,
+}
+
+impl AttackOutcome {
+    /// Mean matched PSNR — the single number in the paper's grid
+    /// figures (Figures 3 and 4).
+    pub fn mean_psnr(&self) -> f64 {
+        self.summary.mean
+    }
+
+    /// Fraction of originals whose best reconstruction exceeds
+    /// `threshold_db` — a leak-rate view used by the Proposition 1
+    /// ablation.
+    pub fn leak_rate(&self, threshold_db: f64) -> f64 {
+        if self.per_original_best.is_empty() {
+            return 0.0;
+        }
+        let leaked = self.per_original_best.iter().filter(|&&p| p > threshold_db).count();
+        leaked as f64 / self.per_original_best.len() as f64
+    }
+}
+
+/// Side of coarse downsampling used for match *selection* (matched
+/// pairs are re-scored at full resolution).
+const COARSE_MATCH_SIDE: usize = 8;
+
+/// Runs one attacked FL round: the server dispatches the malicious
+/// model, the client preprocesses its batch with `defense` and uploads
+/// exact gradients, the attacker inverts them.
+///
+/// PSNRs are always computed against the **original** batch `D` — the
+/// private data the defense is protecting — regardless of what the
+/// client trained on.
+///
+/// # Errors
+///
+/// Propagates model-construction and execution failures.
+pub fn run_attack(
+    attack: &dyn ActiveAttack,
+    batch: &Batch,
+    defense: &dyn BatchPreprocessor,
+    classes: usize,
+    seed: u64,
+) -> Result<AttackOutcome> {
+    let geometry = batch
+        .images
+        .first()
+        .ok_or_else(|| AttackError::BadConfig("empty batch".into()))?
+        .dims();
+    let mut model = attack.build_model(geometry, classes, seed)?;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEF3_17);
+    let processed = defense.process(batch, &mut rng);
+    let x = processed.to_matrix();
+    model.zero_grad();
+    let logits = model.forward(&x, Mode::Train)?;
+    let out = softmax_cross_entropy(&logits, &processed.labels)?;
+    model.backward(&out.grad)?;
+
+    let lin = model
+        .layer_as::<Linear>(0)
+        .ok_or_else(|| AttackError::BadConfig("malicious layer missing".into()))?;
+    let recons = attack.reconstruct(lin.grad_weight(), lin.grad_bias(), geometry);
+    Ok(score(recons, batch, &processed, out.loss))
+}
+
+/// Like [`run_attack`], but the client applies DP-SGD to its update:
+/// per-sample gradients are clipped to `clip_norm` and Gaussian noise
+/// with standard deviation `noise_std · clip_norm / B` is added to the
+/// averaged gradient — the baseline defense the paper's related work
+/// shows to trade accuracy for privacy.
+///
+/// # Errors
+///
+/// Propagates model-construction and execution failures.
+pub fn run_attack_with_dp(
+    attack: &dyn ActiveAttack,
+    batch: &Batch,
+    defense: &dyn BatchPreprocessor,
+    classes: usize,
+    seed: u64,
+    clip_norm: f32,
+    noise_std: f32,
+) -> Result<AttackOutcome> {
+    let geometry = batch
+        .images
+        .first()
+        .ok_or_else(|| AttackError::BadConfig("empty batch".into()))?
+        .dims();
+    let mut model = attack.build_model(geometry, classes, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEF3_17);
+    let processed = defense.process(batch, &mut rng);
+    let b = processed.len();
+
+    // Per-sample gradients, clipped then averaged (DP-SGD).
+    let d = geometry.0 * geometry.1 * geometry.2;
+    let n = attack.attacked_neurons();
+    let mut sum_gw = Tensor::zeros(&[n, d]);
+    let mut sum_gb = Tensor::zeros(&[n]);
+    let mut total_loss = 0.0f32;
+    for i in 0..b {
+        let xi = processed.images[i].to_tensor().reshape(&[1, d])?;
+        model.zero_grad();
+        let logits = model.forward(&xi, Mode::Train)?;
+        let out = softmax_cross_entropy(&logits, &processed.labels[i..i + 1])?;
+        model.backward(&out.grad)?;
+        total_loss += out.loss;
+        let lin = model
+            .layer_as::<Linear>(0)
+            .ok_or_else(|| AttackError::BadConfig("malicious layer missing".into()))?;
+        // Clip the whole per-sample gradient (all layers would be
+        // clipped in real DP-SGD; the malicious layer dominates the
+        // norm here and is all the attacker reads).
+        let norm = (lin.grad_weight().norm_sq() + lin.grad_bias().norm_sq()).sqrt();
+        let scale = if norm > clip_norm { clip_norm / norm } else { 1.0 };
+        sum_gw.axpy(scale, lin.grad_weight())?;
+        sum_gb.axpy(scale, lin.grad_bias())?;
+    }
+    let inv_b = 1.0 / b as f32;
+    sum_gw.scale_in_place(inv_b);
+    sum_gb.scale_in_place(inv_b);
+    let sigma = noise_std * clip_norm * inv_b;
+    let noise_w = Tensor::randn_scaled(&[n, d], 0.0, sigma, &mut rng);
+    let noise_b = Tensor::randn_scaled(&[n], 0.0, sigma, &mut rng);
+    sum_gw.add_assign(&noise_w)?;
+    sum_gb.add_assign(&noise_b)?;
+
+    let recons = attack.reconstruct(&sum_gw, &sum_gb, geometry);
+    Ok(score(recons, batch, &processed, total_loss * inv_b))
+}
+
+fn score(recons: Vec<Image>, batch: &Batch, processed: &Batch, client_loss: f32) -> AttackOutcome {
+    // Clamp reconstructions into the displayable range before scoring,
+    // mirroring how reconstructed images are rendered and compared.
+    let recons: Vec<Image> = recons.into_iter().map(|r| r.clamp01()).collect();
+    let matches = match_greedy_coarse(&recons, &batch.images, COARSE_MATCH_SIDE);
+    let matched_psnrs: Vec<f64> = matches.iter().map(|m| m.psnr).collect();
+    let summary = Summary::from_values(&matched_psnrs);
+    let per_original_best = best_psnr_per_original(&recons, &batch.images);
+    AttackOutcome {
+        matches,
+        matched_psnrs,
+        summary,
+        per_original_best,
+        reconstructions: recons,
+        processed_images: processed.images.clone(),
+        client_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RtfAttack;
+    use oasis_data::cifar_like_with;
+    use oasis_fl::IdentityPreprocessor;
+
+    fn batch_of(n: usize, side: usize, seed: u64) -> Batch {
+        let ds = cifar_like_with(n, 1, side, seed);
+        Batch::from_items(ds.items().to_vec())
+    }
+
+    #[test]
+    fn undefended_rtf_outcome_is_near_perfect() {
+        let calib = batch_of(64, 12, 1);
+        let attack = RtfAttack::calibrated(128, &calib.images).unwrap();
+        let batch = batch_of(6, 12, 2);
+        let outcome = run_attack(&attack, &batch, &IdentityPreprocessor, 6, 3).unwrap();
+        assert_eq!(outcome.matches.len(), 6);
+        assert!(
+            outcome.mean_psnr() > 80.0,
+            "undefended mean PSNR {:.1} dB too low",
+            outcome.mean_psnr()
+        );
+        assert!(outcome.leak_rate(60.0) > 0.5);
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let calib = batch_of(8, 8, 1);
+        let attack = RtfAttack::calibrated(16, &calib.images).unwrap();
+        let empty = Batch::new(vec![], vec![]);
+        assert!(run_attack(&attack, &empty, &IdentityPreprocessor, 4, 0).is_err());
+    }
+
+    #[test]
+    fn dp_noise_degrades_reconstruction() {
+        let calib = batch_of(64, 10, 1);
+        let attack = RtfAttack::calibrated(64, &calib.images).unwrap();
+        let batch = batch_of(4, 10, 2);
+        let clean = run_attack(&attack, &batch, &IdentityPreprocessor, 4, 3).unwrap();
+        let noisy =
+            run_attack_with_dp(&attack, &batch, &IdentityPreprocessor, 4, 3, 1.0, 10.0).unwrap();
+        assert!(
+            noisy.mean_psnr() < clean.mean_psnr(),
+            "DP noise did not reduce PSNR: {:.1} vs {:.1}",
+            noisy.mean_psnr(),
+            clean.mean_psnr()
+        );
+    }
+
+    #[test]
+    fn leak_rate_bounds() {
+        let calib = batch_of(16, 8, 1);
+        let attack = RtfAttack::calibrated(32, &calib.images).unwrap();
+        let batch = batch_of(3, 8, 2);
+        let outcome = run_attack(&attack, &batch, &IdentityPreprocessor, 3, 0).unwrap();
+        let rate = outcome.leak_rate(100.0);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}

@@ -1,0 +1,131 @@
+//! Standard-normal quantile function (probit).
+//!
+//! The RTF attack places its bias cutoffs at the quantiles of the
+//! measurement distribution, which it models as Gaussian from coarse
+//! data statistics. This is Acklam's rational approximation of Φ⁻¹,
+//! accurate to ~1.15e-9 over (0, 1).
+
+/// Inverse of the standard normal CDF.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ (0, 1)`.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit requires p in (0,1), got {p}");
+
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard normal CDF (via `erf`-free Abramowitz–Stegun 7.1.26
+/// complement), used in tests and in the CAH activation calibration.
+pub fn normal_cdf(x: f64) -> f64 {
+    // Φ(x) = 1 − φ(x)(b1 t + b2 t² + … + b5 t⁵), t = 1/(1+px), x ≥ 0.
+    const P: f64 = 0.231_641_9;
+    const B: [f64; 5] = [0.319_381_530, -0.356_563_782, 1.781_477_937, -1.821_255_978, 1.330_274_429];
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + P * ax);
+    let phi = (-(ax * ax) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let poly = t * (B[0] + t * (B[1] + t * (B[2] + t * (B[3] + t * B[4]))));
+    let upper = phi * poly;
+    if x >= 0.0 {
+        1.0 - upper
+    } else {
+        upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_quantiles() {
+        assert!((probit(0.5)).abs() < 1e-9);
+        assert!((probit(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((probit(0.025) + 1.959_964).abs() < 1e-5);
+        assert!((probit(0.841_344_75) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn symmetric_about_half() {
+        for &p in &[0.01, 0.1, 0.3, 0.45] {
+            assert!((probit(p) + probit(1.0 - p)).abs() < 1e-8, "p={p}");
+        }
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let v = probit(i as f64 / 100.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probit requires")]
+    fn rejects_zero() {
+        probit(0.0);
+    }
+
+    #[test]
+    fn cdf_inverts_probit() {
+        for &p in &[0.05, 0.2, 0.5, 0.8, 0.95] {
+            let x = probit(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-4, "p={p}");
+        }
+    }
+
+    #[test]
+    fn cdf_tails() {
+        assert!(normal_cdf(-8.0) < 1e-8);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-8);
+    }
+}

@@ -1,0 +1,169 @@
+//! The gradient-inversion primitive (paper Eq. 6) and reconstruction
+//! pool hygiene.
+
+use oasis_image::Image;
+use oasis_metrics::psnr_data;
+
+/// Minimum `|∂L/∂b_i|` for a neuron to be considered informative.
+pub const BIAS_GRAD_EPS: f32 = 1e-9;
+
+/// Paper Eq. 6: `(∂L/∂b_i)⁻¹ · ∂L/∂W_i = x̂`.
+///
+/// If neuron `i` was activated by exactly one sample `x_t`, the result
+/// is exactly `x_t`; if several samples activated it, the result is
+/// the loss-weighted linear combination the paper's defense aims to
+/// force. Returns `None` when the bias gradient is (numerically) zero
+/// — the neuron saw no samples.
+pub fn invert_neuron(grad_w_row: &[f32], grad_b: f32) -> Option<Vec<f32>> {
+    if grad_b.abs() < BIAS_GRAD_EPS {
+        return None;
+    }
+    Some(grad_w_row.iter().map(|&g| g / grad_b).collect())
+}
+
+/// The RTF bin extraction: inverts the *difference* of two adjacent
+/// neurons' gradients, isolating samples whose measurement fell
+/// strictly between the two bias cutoffs.
+pub fn invert_neuron_difference(
+    grad_w_hi: &[f32],
+    grad_b_hi: f32,
+    grad_w_lo: &[f32],
+    grad_b_lo: f32,
+) -> Option<Vec<f32>> {
+    let db = grad_b_hi - grad_b_lo;
+    if db.abs() < BIAS_GRAD_EPS {
+        return None;
+    }
+    Some(
+        grad_w_hi
+            .iter()
+            .zip(grad_w_lo)
+            .map(|(&a, &b)| (a - b) / db)
+            .collect(),
+    )
+}
+
+/// PSNR above which two reconstructions are considered the same image.
+const DUPLICATE_PSNR: f64 = 45.0;
+
+/// Removes near-duplicate reconstructions (many trap neurons catch the
+/// same singleton) and obviously degenerate outputs (≈ all-zero).
+///
+/// Bucketing by quantized mean keeps this near-linear: duplicates have
+/// (almost) identical means, so only same-bucket candidates are
+/// compared with PSNR.
+pub fn dedupe_images(pool: Vec<Image>) -> Vec<Image> {
+    use std::collections::HashMap;
+    let mut kept: Vec<Image> = Vec::new();
+    let mut buckets: HashMap<i64, Vec<usize>> = HashMap::new();
+    'outer: for img in pool {
+        let norm_sq: f32 = img.data().iter().map(|v| v * v).sum();
+        if !norm_sq.is_finite() || norm_sq < 1e-8 {
+            continue; // degenerate
+        }
+        let key = (img.mean() as f64 * 1e4).round() as i64;
+        // Duplicates can straddle a bucket boundary; check neighbors.
+        for k in [key - 1, key, key + 1] {
+            if let Some(indices) = buckets.get(&k) {
+                for &i in indices {
+                    if kept[i].dims() == img.dims()
+                        && psnr_data(kept[i].data(), img.data()) > DUPLICATE_PSNR
+                    {
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        buckets.entry(key).or_default().push(kept.len());
+        kept.push(img);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_inversion_is_exact() {
+        // Simulate: one sample x with backprop signal g.
+        let x = [0.2f32, 0.7, 0.4];
+        let g = -1.7f32;
+        let grad_w: Vec<f32> = x.iter().map(|&v| g * v).collect();
+        let rec = invert_neuron(&grad_w, g).unwrap();
+        for (a, b) in rec.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_bias_gradient_yields_none() {
+        assert!(invert_neuron(&[1.0, 2.0], 0.0).is_none());
+    }
+
+    #[test]
+    fn two_sample_inversion_is_convex_combination() {
+        // Two samples activating the same neuron produce the weighted
+        // average — the paper's "linear combination".
+        let x1 = [1.0f32, 0.0];
+        let x2 = [0.0f32, 1.0];
+        let (g1, g2) = (0.3f32, 0.7f32);
+        let grad_w = [g1 * x1[0] + g2 * x2[0], g1 * x1[1] + g2 * x2[1]];
+        let rec = invert_neuron(&grad_w, g1 + g2).unwrap();
+        assert!((rec[0] - 0.3).abs() < 1e-6);
+        assert!((rec[1] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn difference_extraction_isolates_bin() {
+        // Neuron hi is activated by {x1, x2}; neuron lo by {x2} only.
+        // The difference isolates x1 (the RTF mechanism).
+        let x1 = [0.9f32, 0.1];
+        let x2 = [0.2f32, 0.8];
+        let (g1, g2) = (0.5f32, -1.2f32);
+        let gw_hi = [g1 * x1[0] + g2 * x2[0], g1 * x1[1] + g2 * x2[1]];
+        let gb_hi = g1 + g2;
+        let gw_lo = [g2 * x2[0], g2 * x2[1]];
+        let gb_lo = g2;
+        let rec = invert_neuron_difference(&gw_hi, gb_hi, &gw_lo, gb_lo).unwrap();
+        for (a, b) in rec.iter().zip(&x1) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn identical_gradients_yield_none() {
+        let gw = [0.5f32, 0.5];
+        assert!(invert_neuron_difference(&gw, 1.0, &gw, 1.0).is_none());
+    }
+
+    fn img(vals: &[f32]) -> Image {
+        Image::from_vec(1, 1, vals.len(), vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn dedupe_removes_exact_duplicates() {
+        let pool = vec![img(&[0.5, 0.6]), img(&[0.5, 0.6]), img(&[0.9, 0.1])];
+        let kept = dedupe_images(pool);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn dedupe_drops_degenerate_zero_images() {
+        let pool = vec![img(&[0.0, 0.0]), img(&[0.4, 0.4])];
+        let kept = dedupe_images(pool);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn dedupe_keeps_distinct_images() {
+        let pool = vec![img(&[0.1, 0.9]), img(&[0.9, 0.1]), img(&[0.5, 0.5])];
+        assert_eq!(dedupe_images(pool).len(), 3);
+    }
+
+    #[test]
+    fn dedupe_drops_nonfinite() {
+        let pool = vec![img(&[f32::NAN, 0.3]), img(&[0.4, 0.4])];
+        assert_eq!(dedupe_images(pool).len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # oasis-attacks
+//!
+//! The adversary side of the OASIS evaluation: the two state-of-the-art
+//! **active reconstruction attacks** the paper defends against, the
+//! linear-model gradient inversion, the gradient-inversion primitive
+//! they share (paper Eq. 6), baseline defenses (ATSPrivacy-style
+//! transform replacement, DP-SGD noise), and the evaluation harness
+//! that scores reconstructions with PSNR matching.
+//!
+//! ## Attacks
+//!
+//! * [`RtfAttack`] — *Robbing the Fed* (Fowl et al., ICLR '22): an
+//!   imprint module whose rows measure mean pixel intensity and whose
+//!   biases sit at CDF quantiles; adjacent-bin gradient differences
+//!   isolate single samples.
+//! * [`CahAttack`] — *Curious Abandon Honesty* (Boenisch et al.,
+//!   EuroS&P '23): trap weights with a calibrated activation
+//!   probability; neurons activated by exactly one sample invert
+//!   perfectly.
+//! * [`LinearModelAttack`] — gradient inversion on a single-layer
+//!   softmax model with unique labels (paper §IV-D).
+//!
+//! All three reduce to the same primitive: if a neuron's
+//! `(∂L/∂W_i, ∂L/∂b_i)` is dominated by one sample, then
+//! `∂L/∂W_i ÷ ∂L/∂b_i` *is* that sample (Eq. 6) — see [`invert_neuron`].
+
+#![warn(missing_docs)]
+
+mod ats;
+mod cah;
+mod dpsgd;
+mod error;
+mod evaluate;
+mod gaussian;
+mod inversion;
+mod linear;
+mod malicious;
+mod rtf;
+
+pub use ats::AtsDefense;
+pub use cah::{CahAttack, DEFAULT_ACTIVATION_TARGET};
+pub use dpsgd::{train_linear_with_dp, DpConfig};
+pub use error::AttackError;
+pub use evaluate::{run_attack, run_attack_with_dp, ActiveAttack, AttackOutcome};
+pub use gaussian::{normal_cdf, probit};
+pub use inversion::{dedupe_images, invert_neuron, invert_neuron_difference};
+pub use linear::LinearModelAttack;
+pub use malicious::attacked_model;
+pub use rtf::RtfAttack;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, AttackError>;

@@ -1,0 +1,28 @@
+//! # oasis-augment
+//!
+//! Image augmentation transforms and the named augmentation policies
+//! of the OASIS defense (paper §II-B and §IV-A).
+//!
+//! A [`Transform`] maps one image to one image (rotation, flip,
+//! shear, or a composition). An [`AugmentationPolicy`] is the suite of
+//! transforms that turns a training sample `x_t` into its augmented
+//! set `X′_t` (paper Eq. 7); [`PolicyKind`] enumerates the seven
+//! configurations the paper evaluates.
+//!
+//! ```
+//! use oasis_augment::{AugmentationPolicy, PolicyKind};
+//! use oasis_image::Image;
+//!
+//! let policy = PolicyKind::MajorRotationShearing.policy();
+//! let x = Image::new(3, 32, 32);
+//! let augmented = policy.expand(&x);
+//! assert_eq!(augmented.len(), 6); // 3 rotations + 3 shears
+//! ```
+
+#![warn(missing_docs)]
+
+mod policy;
+mod transform;
+
+pub use policy::{AugmentationPolicy, PolicyKind};
+pub use transform::Transform;

@@ -1,0 +1,298 @@
+//! Augmentation policies — the named transform suites evaluated in the
+//! paper (§IV-A "OASIS Implementation").
+
+use oasis_image::Image;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::Transform;
+
+/// The named augmentation policies from the paper's evaluation.
+///
+/// Abbreviations follow the figure legends: WO = without OASIS,
+/// MR = major rotation, mR = minor rotation, SH = shearing,
+/// HFlip/VFlip = horizontal/vertical flip, MrSh = MR + SH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No augmentation (the undefended baseline).
+    Without,
+    /// Rotations by 90°, 180°, 270° (paper: the strongest vs RTF).
+    MajorRotation,
+    /// Rotations by 30°, 45°, 60°.
+    MinorRotation,
+    /// Shears with factors 0.55, 1.0, 0.9.
+    Shearing,
+    /// Horizontal flip.
+    HorizontalFlip,
+    /// Vertical flip.
+    VerticalFlip,
+    /// Major rotation + shearing combined (paper: needed vs CAH).
+    MajorRotationShearing,
+}
+
+impl PolicyKind {
+    /// All seven policy kinds, in the order the paper's figures use.
+    pub fn all() -> [PolicyKind; 7] {
+        [
+            PolicyKind::Without,
+            PolicyKind::MajorRotation,
+            PolicyKind::MinorRotation,
+            PolicyKind::Shearing,
+            PolicyKind::HorizontalFlip,
+            PolicyKind::VerticalFlip,
+            PolicyKind::MajorRotationShearing,
+        ]
+    }
+
+    /// The figure-legend abbreviation ("WO", "MR", "mR", "SH",
+    /// "HFlip", "VFlip", "MR+SH").
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            PolicyKind::Without => "WO",
+            PolicyKind::MajorRotation => "MR",
+            PolicyKind::MinorRotation => "mR",
+            PolicyKind::Shearing => "SH",
+            PolicyKind::HorizontalFlip => "HFlip",
+            PolicyKind::VerticalFlip => "VFlip",
+            PolicyKind::MajorRotationShearing => "MR+SH",
+        }
+    }
+
+    /// Builds the policy with the paper's exact transform parameters.
+    pub fn policy(&self) -> AugmentationPolicy {
+        match self {
+            PolicyKind::Without => AugmentationPolicy::none(),
+            PolicyKind::MajorRotation => AugmentationPolicy::major_rotation(),
+            PolicyKind::MinorRotation => AugmentationPolicy::minor_rotation(),
+            PolicyKind::Shearing => AugmentationPolicy::shearing(),
+            PolicyKind::HorizontalFlip => AugmentationPolicy::horizontal_flip(),
+            PolicyKind::VerticalFlip => AugmentationPolicy::vertical_flip(),
+            PolicyKind::MajorRotationShearing => AugmentationPolicy::major_rotation_shearing(),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// A set of transforms that, applied to a training sample `x_t`,
+/// produces the augmentation set `X′_t` of paper Eq. 7.
+///
+/// ```
+/// use oasis_augment::AugmentationPolicy;
+/// use oasis_image::Image;
+///
+/// let policy = AugmentationPolicy::major_rotation();
+/// let img = Image::new(3, 16, 16);
+/// let augmented = policy.expand(&img);
+/// assert_eq!(augmented.len(), 3); // 90°, 180°, 270°
+/// assert_eq!(policy.expansion_factor(), 4); // original + 3
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AugmentationPolicy {
+    name: String,
+    transforms: Vec<Transform>,
+}
+
+impl AugmentationPolicy {
+    /// A policy from an explicit transform list.
+    pub fn new(name: impl Into<String>, transforms: Vec<Transform>) -> Self {
+        AugmentationPolicy { name: name.into(), transforms }
+    }
+
+    /// The empty policy (no augmentation; `X′_t = ∅`).
+    pub fn none() -> Self {
+        Self::new("WO", Vec::new())
+    }
+
+    /// Major rotation: 90°, 180°, 270° (paper §IV-A).
+    pub fn major_rotation() -> Self {
+        Self::new(
+            "MR",
+            vec![
+                Transform::MajorRotation { quarter_turns: 1 },
+                Transform::MajorRotation { quarter_turns: 2 },
+                Transform::MajorRotation { quarter_turns: 3 },
+            ],
+        )
+    }
+
+    /// Minor rotation: 30°, 45°, 60° (paper §IV-A), reflection-padded
+    /// and mean-preserving.
+    ///
+    /// The interpolated rotations use reflection padding (so the
+    /// augmented copies keep the source's pixel statistics and behave
+    /// like calibration data under trap-weight neurons) and are
+    /// wrapped in [`Transform::MeanPreserving`] so the RTF measurement
+    /// collides (see that variant's docs).
+    pub fn minor_rotation() -> Self {
+        Self::new(
+            "mR",
+            vec![
+                Transform::rotation_reflect(30.0).mean_preserving(),
+                Transform::rotation_reflect(45.0).mean_preserving(),
+                Transform::rotation_reflect(60.0).mean_preserving(),
+            ],
+        )
+    }
+
+    /// Shearing with factors 0.55, 1.0, 0.9 (paper §IV-A),
+    /// reflection-padded and mean-preserving (see
+    /// [`AugmentationPolicy::minor_rotation`]).
+    pub fn shearing() -> Self {
+        Self::new(
+            "SH",
+            vec![
+                Transform::shear_reflect(0.55).mean_preserving(),
+                Transform::shear_reflect(1.0).mean_preserving(),
+                Transform::shear_reflect(0.9).mean_preserving(),
+            ],
+        )
+    }
+
+    /// Horizontal flip only.
+    pub fn horizontal_flip() -> Self {
+        Self::new("HFlip", vec![Transform::FlipHorizontal])
+    }
+
+    /// Vertical flip only.
+    pub fn vertical_flip() -> Self {
+        Self::new("VFlip", vec![Transform::FlipVertical])
+    }
+
+    /// Integration of major rotation and shearing — the combination
+    /// the paper found necessary to defeat the CAH attack (§IV-B).
+    pub fn major_rotation_shearing() -> Self {
+        let mut transforms = AugmentationPolicy::major_rotation().transforms;
+        transforms.extend(AugmentationPolicy::shearing().transforms);
+        Self::new("MR+SH", transforms)
+    }
+
+    /// The policy's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The transforms making up `X′_t`.
+    pub fn transforms(&self) -> &[Transform] {
+        &self.transforms
+    }
+
+    /// Applies every transform to `image`, producing `X′_t`.
+    pub fn expand(&self, image: &Image) -> Vec<Image> {
+        self.transforms.iter().map(|t| t.apply(image)).collect()
+    }
+
+    /// `|{x_t} ∪ X′_t|` — how many images a single sample becomes.
+    pub fn expansion_factor(&self) -> usize {
+        self.transforms.len() + 1
+    }
+
+    /// Whether every transform preserves the pixel-mean measurement
+    /// exactly (see [`Transform::is_mean_preserving`]).
+    pub fn is_mean_preserving(&self) -> bool {
+        self.transforms.iter().all(Transform::is_mean_preserving)
+    }
+}
+
+impl fmt::Display for AugmentationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_policies_have_expected_sizes() {
+        assert_eq!(AugmentationPolicy::none().expansion_factor(), 1);
+        assert_eq!(AugmentationPolicy::major_rotation().expansion_factor(), 4);
+        assert_eq!(AugmentationPolicy::minor_rotation().expansion_factor(), 4);
+        assert_eq!(AugmentationPolicy::shearing().expansion_factor(), 4);
+        assert_eq!(AugmentationPolicy::horizontal_flip().expansion_factor(), 2);
+        assert_eq!(AugmentationPolicy::vertical_flip().expansion_factor(), 2);
+        assert_eq!(AugmentationPolicy::major_rotation_shearing().expansion_factor(), 7);
+    }
+
+    #[test]
+    fn all_policies_preserve_the_measurement() {
+        // MR and the flips are exact pixel permutations; mR and SH are
+        // wrapped in MeanPreserving — every OASIS policy keeps the
+        // RTF measurement stable (paper §IV-B).
+        for kind in PolicyKind::all() {
+            assert!(
+                kind.policy().is_mean_preserving(),
+                "policy {} must preserve the measurement",
+                kind.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn expand_produces_distinct_images() {
+        let mut img = Image::new(1, 8, 8);
+        img.set(0, 0, 0, 1.0).unwrap();
+        let out = AugmentationPolicy::major_rotation().expand(&img);
+        assert_eq!(out.len(), 3);
+        assert_ne!(out[0], out[1]);
+        assert_ne!(out[1], out[2]);
+        for o in &out {
+            assert_ne!(*o, img);
+        }
+    }
+
+    #[test]
+    fn policy_kind_round_trip() {
+        for kind in PolicyKind::all() {
+            let p = kind.policy();
+            assert_eq!(p.name(), kind.abbrev());
+        }
+    }
+
+    #[test]
+    fn kind_abbrevs_are_unique() {
+        let mut names: Vec<_> = PolicyKind::all().iter().map(|k| k.abbrev()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn shearing_uses_paper_factors() {
+        let p = AugmentationPolicy::shearing();
+        let factors: Vec<f32> = p
+            .transforms()
+            .iter()
+            .map(|t| match t {
+                Transform::MeanPreserving(inner) => match inner.as_ref() {
+                    Transform::Shear { factor, .. } => *factor,
+                    other => panic!("expected shear, got {other}"),
+                },
+                other => panic!("expected mean-preserving shear, got {other}"),
+            })
+            .collect();
+        assert_eq!(factors, vec![0.55, 1.0, 0.9]);
+    }
+
+    #[test]
+    fn minor_rotation_uses_paper_angles() {
+        let p = AugmentationPolicy::minor_rotation();
+        let degs: Vec<f32> = p
+            .transforms()
+            .iter()
+            .map(|t| match t {
+                Transform::MeanPreserving(inner) => match inner.as_ref() {
+                    Transform::Rotation { degrees, .. } => *degrees,
+                    other => panic!("expected rotation, got {other}"),
+                },
+                other => panic!("expected mean-preserving rotation, got {other}"),
+            })
+            .collect();
+        assert_eq!(degs, vec![30.0, 45.0, 60.0]);
+    }
+}

@@ -1,0 +1,249 @@
+//! The image transformations used by OASIS (paper §II-B, Eq. 2–5).
+
+use oasis_image::{AffineMap, FillMode, Image};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single label-preserving image transformation.
+///
+/// Major rotations and flips are exact pixel permutations (they
+/// preserve the pixel-mean measurement *exactly*, which is what makes
+/// them effective against the RTF attack — paper §IV-B); arbitrary
+/// rotations and shears go through bilinear warping with zero fill.
+///
+/// ```
+/// use oasis_augment::Transform;
+/// use oasis_image::Image;
+///
+/// let img = Image::new(3, 8, 8);
+/// let rotated = Transform::MajorRotation { quarter_turns: 1 }.apply(&img);
+/// assert_eq!(rotated.dims(), (3, 8, 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Transform {
+    /// Exact rotation by `quarter_turns · 90°` counter-clockwise.
+    MajorRotation {
+        /// Number of 90° turns, 1–3.
+        quarter_turns: u8,
+    },
+    /// Interpolated rotation by an arbitrary angle in degrees
+    /// (paper Eq. 2). Angles < 90° are the paper's "minor rotations".
+    Rotation {
+        /// Rotation angle in degrees, counter-clockwise.
+        degrees: f32,
+        /// Out-of-frame fill behaviour (defaults to zero fill).
+        #[serde(default)]
+        fill: FillMode,
+    },
+    /// Reflection across the vertical axis (paper Eq. 3).
+    FlipHorizontal,
+    /// Reflection across the horizontal axis (paper Eq. 4).
+    FlipVertical,
+    /// Horizontal shear `I'(i, j) = I(i + µj, j)` (paper Eq. 5).
+    Shear {
+        /// Shear factor µ controlling the shearing intensity.
+        factor: f32,
+        /// Out-of-frame fill behaviour (defaults to zero fill).
+        #[serde(default)]
+        fill: FillMode,
+    },
+    /// Sequential composition: apply each transform in order.
+    Compose(Vec<Transform>),
+    /// Applies the inner transform, then shifts all pixels by a
+    /// constant so the output's mean equals the input's mean.
+    ///
+    /// Interpolated warps with zero fill change the pixel-mean
+    /// "measurement" that the RTF attack bins on; the paper's §IV-B
+    /// identifies measurement preservation as the property that makes
+    /// a transform effective against RTF ("it does not change the
+    /// average of pixel values"). Wrapping a rotation or shear in
+    /// `MeanPreserving` restores that property for the defense's
+    /// interpolated transforms. The shift may push a few values
+    /// slightly outside `[0, 1]`; training consumes raw floats, and
+    /// display paths clamp.
+    MeanPreserving(Box<Transform>),
+}
+
+impl Transform {
+    /// Applies the transformation, producing a new image of the same
+    /// dimensions (square images assumed for major rotation; for
+    /// non-square inputs `MajorRotation` of odd quarter turns swaps
+    /// height and width).
+    pub fn apply(&self, img: &Image) -> Image {
+        match self {
+            Transform::MajorRotation { quarter_turns } => img.rotate90(*quarter_turns),
+            Transform::Rotation { degrees, fill } => {
+                img.warp_affine_with(&AffineMap::rotation(*degrees), *fill)
+            }
+            Transform::FlipHorizontal => img.flip_horizontal(),
+            Transform::FlipVertical => img.flip_vertical(),
+            Transform::Shear { factor, fill } => {
+                img.warp_affine_with(&AffineMap::shear_x(*factor), *fill)
+            }
+            Transform::Compose(list) => {
+                let mut out = img.clone();
+                for t in list {
+                    out = t.apply(&out);
+                }
+                out
+            }
+            Transform::MeanPreserving(inner) => {
+                let mut out = inner.apply(img);
+                let delta = img.mean() - out.mean();
+                for v in out.data_mut() {
+                    *v += delta;
+                }
+                out
+            }
+        }
+    }
+
+    /// Whether this transform preserves the pixel-mean measurement
+    /// (exactly for pixel permutations, up to one float rounding step
+    /// for [`Transform::MeanPreserving`]).
+    pub fn is_mean_preserving(&self) -> bool {
+        match self {
+            Transform::MajorRotation { .. } | Transform::FlipHorizontal | Transform::FlipVertical => true,
+            Transform::Rotation { .. } | Transform::Shear { .. } => false,
+            Transform::Compose(list) => list.iter().all(Transform::is_mean_preserving),
+            Transform::MeanPreserving(_) => true,
+        }
+    }
+
+    /// Wraps `self` in a [`Transform::MeanPreserving`] shell.
+    pub fn mean_preserving(self) -> Transform {
+        Transform::MeanPreserving(Box::new(self))
+    }
+
+    /// Zero-fill rotation by `degrees` (torchvision's default fill).
+    pub fn rotation(degrees: f32) -> Transform {
+        Transform::Rotation { degrees, fill: FillMode::Zero }
+    }
+
+    /// Reflection-padded rotation by `degrees` — the fill the OASIS
+    /// policies use (see [`FillMode::Reflect`]).
+    pub fn rotation_reflect(degrees: f32) -> Transform {
+        Transform::Rotation { degrees, fill: FillMode::Reflect }
+    }
+
+    /// Zero-fill horizontal shear with factor `factor`.
+    pub fn shear(factor: f32) -> Transform {
+        Transform::Shear { factor, fill: FillMode::Zero }
+    }
+
+    /// Reflection-padded horizontal shear with factor `factor`.
+    pub fn shear_reflect(factor: f32) -> Transform {
+        Transform::Shear { factor, fill: FillMode::Reflect }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::MajorRotation { quarter_turns } => {
+                write!(f, "rot{}", *quarter_turns as u32 * 90)
+            }
+            Transform::Rotation { degrees, .. } => write!(f, "rot{degrees:.0}"),
+            Transform::FlipHorizontal => write!(f, "hflip"),
+            Transform::FlipVertical => write!(f, "vflip"),
+            Transform::Shear { factor, .. } => write!(f, "shear{factor:.2}"),
+            Transform::Compose(list) => {
+                for (i, t) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "∘")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            Transform::MeanPreserving(inner) => write!(f, "mp({inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        let mut img = Image::new(1, 8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                img.set(0, y, x, ((y * 3 + x * 5) % 11) as f32 / 11.0).unwrap();
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn major_rotation_is_exact_permutation() {
+        let img = sample();
+        let r = Transform::MajorRotation { quarter_turns: 1 }.apply(&img);
+        let mut a: Vec<_> = img.data().to_vec();
+        let mut b: Vec<_> = r.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_preserving_classification() {
+        assert!(Transform::MajorRotation { quarter_turns: 2 }.is_mean_preserving());
+        assert!(Transform::FlipHorizontal.is_mean_preserving());
+        assert!(!Transform::rotation(30.0).is_mean_preserving());
+        assert!(!Transform::shear(0.5).is_mean_preserving());
+        assert!(Transform::Compose(vec![
+            Transform::FlipHorizontal,
+            Transform::FlipVertical
+        ])
+        .is_mean_preserving());
+        assert!(!Transform::Compose(vec![
+            Transform::FlipHorizontal,
+            Transform::shear(0.5)
+        ])
+        .is_mean_preserving());
+    }
+
+    #[test]
+    fn compose_applies_in_order() {
+        let img = sample();
+        let composed = Transform::Compose(vec![
+            Transform::FlipHorizontal,
+            Transform::FlipVertical,
+        ])
+        .apply(&img);
+        let manual = img.flip_horizontal().flip_vertical();
+        assert_eq!(composed, manual);
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity_up_to_interpolation() {
+        let img = sample();
+        let r = Transform::rotation(0.0).apply(&img);
+        for (a, b) in img.data().iter().zip(r.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Transform::MajorRotation { quarter_turns: 3 }.to_string(), "rot270");
+        assert_eq!(Transform::FlipHorizontal.to_string(), "hflip");
+        assert_eq!(Transform::shear(0.55).to_string(), "shear0.55");
+        assert_eq!(
+            Transform::Compose(vec![
+                Transform::MajorRotation { quarter_turns: 1 },
+                Transform::shear(1.0)
+            ])
+            .to_string(),
+            "rot90∘shear1.00"
+        );
+    }
+
+    #[test]
+    fn shear_preserves_dimensions() {
+        let img = sample();
+        let s = Transform::shear(1.0).apply(&img);
+        assert_eq!(s.dims(), img.dims());
+    }
+}

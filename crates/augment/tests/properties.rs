@@ -1,0 +1,131 @@
+//! Property tests for the augmentation transforms — these check the
+//! exact invariants the paper's defense argument relies on.
+
+use oasis_augment::{AugmentationPolicy, PolicyKind, Transform};
+use oasis_image::Image;
+use proptest::prelude::*;
+
+/// Strategy: a square image with side in [4, 16] and arbitrary unit
+/// pixel values.
+fn square_image() -> impl Strategy<Value = Image> {
+    (4usize..=16).prop_flat_map(|side| {
+        proptest::collection::vec(0.0f32..=1.0, 3 * side * side)
+            .prop_map(move |v| Image::from_vec(3, side, side, v).unwrap())
+    })
+}
+
+proptest! {
+    // The load-bearing invariant for the RTF defense: major rotation
+    // preserves the pixel-mean measurement *bit for bit* (paper §IV-B:
+    // "it does not change the average of pixel values").
+    #[test]
+    fn rot90_preserves_sum_exactly(img in square_image(), q in 0u8..4) {
+        let r = img.rotate90(q);
+        let sum_a: f32 = img.data().iter().sum();
+        let mut sorted_a: Vec<f32> = img.data().to_vec();
+        let mut sorted_b: Vec<f32> = r.data().to_vec();
+        sorted_a.sort_by(f32::total_cmp);
+        sorted_b.sort_by(f32::total_cmp);
+        prop_assert_eq!(sorted_a, sorted_b);
+        // Permutation ⇒ identical multiset ⇒ mean preserved up to
+        // summation order; check the measurement is essentially equal.
+        let sum_b: f32 = r.data().iter().sum();
+        prop_assert!((sum_a - sum_b).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn flips_are_involutions(img in square_image()) {
+        prop_assert_eq!(img.flip_horizontal().flip_horizontal(), img.clone());
+        prop_assert_eq!(img.flip_vertical().flip_vertical(), img);
+    }
+
+    #[test]
+    fn flips_are_permutations(img in square_image()) {
+        for flipped in [img.flip_horizontal(), img.flip_vertical()] {
+            let mut a: Vec<f32> = img.data().to_vec();
+            let mut b: Vec<f32> = flipped.data().to_vec();
+            a.sort_by(f32::total_cmp);
+            b.sort_by(f32::total_cmp);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn four_quarter_turns_is_identity(img in square_image()) {
+        let r = img.rotate90(1).rotate90(1).rotate90(1).rotate90(1);
+        prop_assert_eq!(r, img);
+    }
+
+    #[test]
+    fn hflip_vflip_commute_into_rot180(img in square_image()) {
+        let a = img.flip_horizontal().flip_vertical();
+        let b = img.rotate90(2);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expansion_factor_matches_expand_len(img in square_image()) {
+        for kind in PolicyKind::all() {
+            let p = kind.policy();
+            prop_assert_eq!(p.expand(&img).len() + 1, p.expansion_factor());
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_dimensions(img in square_image()) {
+        for kind in PolicyKind::all() {
+            for out in kind.policy().expand(&img) {
+                prop_assert_eq!(out.dims(), img.dims());
+            }
+        }
+    }
+
+    #[test]
+    fn shear_zero_is_identity(img in square_image()) {
+        let s = Transform::shear(0.0).apply(&img);
+        for (a, b) in img.data().iter().zip(s.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rotation_warp_stays_in_unit_range(img in square_image(), deg in -180.0f32..180.0) {
+        let r = Transform::Rotation { degrees: deg, fill: Default::default() }.apply(&img);
+        for &v in r.data() {
+            prop_assert!((-1e-4..=1.0 + 1e-4).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn every_policy_preserves_the_measurement(img in square_image()) {
+        // The defense's load-bearing property for the RTF attack: all
+        // seven policies keep the pixel-mean stable within float
+        // rounding (exact for permutations, one rounding step for the
+        // MeanPreserving-wrapped warps).
+        for kind in PolicyKind::all() {
+            let p = kind.policy();
+            for out in p.expand(&img) {
+                prop_assert!((out.mean() - img.mean()).abs() < 1e-5,
+                    "{} changed measurement by {}", kind.abbrev(), (out.mean() - img.mean()).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn mean_preserving_wrapper_is_tight(img in square_image(), deg in -90.0f32..90.0) {
+        let t = Transform::Rotation { degrees: deg, fill: Default::default() }.mean_preserving();
+        let out = t.apply(&img);
+        prop_assert!((out.mean() - img.mean()).abs() < 1e-6);
+    }
+}
+
+/// The AugmentationPolicy constructors are pure: calling twice gives
+/// identical policies.
+#[test]
+fn policies_are_deterministic() {
+    assert_eq!(AugmentationPolicy::major_rotation(), AugmentationPolicy::major_rotation());
+    assert_eq!(
+        AugmentationPolicy::major_rotation_shearing(),
+        AugmentationPolicy::major_rotation_shearing()
+    );
+}

@@ -1,0 +1,58 @@
+//! Criterion: attack construction and gradient-inversion latency —
+//! how cheap the server-side reconstruction machinery is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_attacks::{ActiveAttack, CahAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET};
+use oasis_data::cifar_like_with;
+use oasis_image::Image;
+use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode};
+use oasis_tensor::Tensor;
+
+fn calibration(count: usize) -> Vec<Image> {
+    cifar_like_with(count, 1, 16, 0)
+        .items()
+        .iter()
+        .map(|it| it.image.clone())
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let calib = calibration(64);
+    let mut group = c.benchmark_group("attack_build_model_16px");
+    for n in [64usize, 256] {
+        let rtf = RtfAttack::calibrated(n, &calib).unwrap();
+        group.bench_with_input(BenchmarkId::new("rtf", n), &rtf, |b, a| {
+            b.iter(|| std::hint::black_box(a.build_model((3, 16, 16), 10, 0).unwrap()));
+        });
+        let cah = CahAttack::calibrated(n, DEFAULT_ACTIVATION_TARGET, &calib, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("cah", n), &cah, |b, a| {
+            b.iter(|| std::hint::black_box(a.build_model((3, 16, 16), 10, 0).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let calib = calibration(64);
+    let attack = RtfAttack::calibrated(256, &calib).unwrap();
+    let mut model = attack.build_model((3, 16, 16), 10, 0).unwrap();
+    // One gradient pass to populate the buffers.
+    let batch = cifar_like_with(8, 1, 16, 3);
+    let mut x = Tensor::zeros(&[8, 768]);
+    for (i, it) in batch.items().iter().take(8).enumerate() {
+        x.row_mut(i).unwrap().copy_from_slice(it.image.data());
+    }
+    model.zero_grad();
+    let logits = model.forward(&x, Mode::Train).unwrap();
+    let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+    model.backward(&out.grad).unwrap();
+    let lin = model.layer_as::<Linear>(0).unwrap();
+    let (gw, gb) = (lin.grad_weight().clone(), lin.grad_bias().clone());
+
+    c.bench_function("rtf_reconstruct_256n_16px", |b| {
+        b.iter(|| std::hint::black_box(attack.reconstruct(&gw, &gb, (3, 16, 16))));
+    });
+}
+
+criterion_group!(benches, bench_build, bench_reconstruct);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion: augmentation throughput — the client-side cost OASIS
+//! adds per batch (the defense's only runtime overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_augment::PolicyKind;
+use oasis_data::cifar_like_with;
+
+fn bench_policies(c: &mut Criterion) {
+    let ds = cifar_like_with(8, 1, 32, 0);
+    let img = ds.items()[0].image.clone();
+    let mut group = c.benchmark_group("augment_expand_32px");
+    for kind in PolicyKind::all() {
+        let policy = kind.policy();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &img, |b, img| {
+            b.iter(|| std::hint::black_box(policy.expand(img)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_transforms(c: &mut Criterion) {
+    use oasis_augment::Transform;
+    let ds = cifar_like_with(8, 1, 32, 0);
+    let img = ds.items()[0].image.clone();
+    let cases = vec![
+        ("rot90", Transform::MajorRotation { quarter_turns: 1 }),
+        ("rot30_zero", Transform::rotation(30.0)),
+        ("rot30_reflect", Transform::rotation_reflect(30.0)),
+        ("hflip", Transform::FlipHorizontal),
+        ("shear_mp", Transform::shear_reflect(0.9).mean_preserving()),
+    ];
+    let mut group = c.benchmark_group("transform_apply_32px");
+    for (name, t) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &img, |b, img| {
+            b.iter(|| std::hint::black_box(t.apply(img)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_single_transforms);
+criterion_main!(benches);

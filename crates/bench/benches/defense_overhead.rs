@@ -1,0 +1,33 @@
+//! Criterion: per-batch defense overhead — D → D′ expansion cost for
+//! each policy (the OASIS client pays this before every local step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis::{Oasis, OasisConfig};
+use oasis_augment::PolicyKind;
+use oasis_data::{cifar_like_with, Batch};
+
+fn bench_defend(c: &mut Criterion) {
+    let ds = cifar_like_with(8, 1, 32, 0);
+    let batch = Batch::from_items(ds.items().to_vec());
+    let mut group = c.benchmark_group("oasis_defend_b8_32px");
+    for kind in PolicyKind::all() {
+        let defense = Oasis::new(OasisConfig::policy(kind));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &batch, |b, batch| {
+            b.iter(|| std::hint::black_box(defense.defend(batch)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_conversion(c: &mut Criterion) {
+    let ds = cifar_like_with(8, 1, 32, 0);
+    let batch = Batch::from_items(ds.items().to_vec());
+    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
+    let expanded = defense.defend(&batch);
+    c.bench_function("batch_to_matrix_56x3072", |b| {
+        b.iter(|| std::hint::black_box(expanded.to_matrix()));
+    });
+}
+
+criterion_group!(benches, bench_defend, bench_matrix_conversion);
+criterion_main!(benches);

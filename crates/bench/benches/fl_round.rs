@@ -1,0 +1,63 @@
+//! Criterion: federated-round latency — protocol overhead per round
+//! with and without the defense installed at the clients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis::{defended_client, undefended_client, OasisConfig};
+use oasis_augment::PolicyKind;
+use oasis_data::cifar_like_with;
+use oasis_fl::{FlClient, FlConfig, FlServer, ModelFactory};
+use oasis_nn::{Linear, Relu, Sequential};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+fn factory(d: usize, classes: usize) -> ModelFactory {
+    Arc::new(move || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = Sequential::new();
+        m.push(Linear::new(d, 64, &mut rng));
+        m.push(Relu::new());
+        m.push(Linear::new(64, classes, &mut rng));
+        m
+    })
+}
+
+fn clients(defended: bool) -> Vec<FlClient> {
+    let ds = cifar_like_with(10, 8, 16, 0);
+    let shard = |i: usize| {
+        let mut rng = StdRng::seed_from_u64(i as u64);
+        ds.split(0.5, &mut rng).0
+    };
+    (0..4)
+        .map(|i| {
+            if defended {
+                defended_client(i, shard(i), OasisConfig::policy(PolicyKind::MajorRotation))
+            } else {
+                undefended_client(i, shard(i))
+            }
+        })
+        .collect()
+}
+
+fn bench_round(c: &mut Criterion) {
+    let ds = cifar_like_with(10, 1, 16, 0);
+    let d = ds.feature_dim();
+    let mut group = c.benchmark_group("fl_round_4clients_16px");
+    group.sample_size(20);
+    for (label, defended) in [("undefended", false), ("oasis_mr", true)] {
+        let cs = clients(defended);
+        let f = factory(d, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cs, |b, cs| {
+            b.iter_batched(
+                || FlServer::new(Arc::clone(&f), FlConfig::default()).unwrap(),
+                |mut server| {
+                    server.run_round(cs, &mut StdRng::seed_from_u64(1)).unwrap();
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: PSNR and matching throughput — the evaluation harness's
+//! own cost (relevant when sweeping the Figure 3/4 grids).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_data::cifar_like_with;
+use oasis_image::Image;
+use oasis_metrics::{match_greedy, match_greedy_coarse, psnr};
+
+fn images(n: usize, side: usize) -> Vec<Image> {
+    cifar_like_with(n, 1, side, 1)
+        .items()
+        .iter()
+        .map(|it| it.image.clone())
+        .collect()
+}
+
+fn bench_psnr(c: &mut Criterion) {
+    let imgs = images(2, 32);
+    c.bench_function("psnr_32px", |b| {
+        b.iter(|| std::hint::black_box(psnr(&imgs[0], &imgs[1])));
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let originals = images(16, 32);
+    let recons = images(32, 32);
+    let mut group = c.benchmark_group("matching_32recons_16origs_32px");
+    group.bench_with_input(BenchmarkId::from_parameter("exact"), &(), |b, _| {
+        b.iter(|| std::hint::black_box(match_greedy(&recons, &originals)));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("coarse8"), &(), |b, _| {
+        b.iter(|| std::hint::black_box(match_greedy_coarse(&recons, &originals, 8)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_psnr, bench_matching);
+criterion_main!(benches);

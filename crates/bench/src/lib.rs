@@ -1,0 +1,270 @@
+//! # oasis-bench
+//!
+//! The benchmark harness that regenerates every table and figure of
+//! the OASIS paper's evaluation section. Each `src/bin/figN_*.rs`
+//! binary prints the rows/series of one figure; see `EXPERIMENTS.md`
+//! at the repository root for the full index and how the measured
+//! numbers compare with the paper's.
+//!
+//! All binaries accept:
+//!
+//! * `--quick` — a smoke-test scale that finishes in seconds,
+//! * `--full`  — the paper's full grid (slow on CPU),
+//! * (default) — a reduced-resolution scale that preserves the
+//!   paper's qualitative shape and finishes in minutes.
+
+#![warn(missing_docs)]
+
+use oasis_augment::PolicyKind;
+use oasis_data::{synthetic_dataset, Batch, Dataset};
+use oasis_fl::BatchPreprocessor;
+use oasis_image::Image;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use oasis_attacks::{
+    run_attack, run_attack_with_dp, ActiveAttack, AttackOutcome, CahAttack, LinearModelAttack,
+    RtfAttack, DEFAULT_ACTIVATION_TARGET,
+};
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke test.
+    Quick,
+    /// Minutes-scale default preserving the paper's shape.
+    Default,
+    /// The paper's full grids (slow on CPU).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--full` from the process arguments.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// Batch sizes of the Figure 3/4 grid at this scale.
+    pub fn grid_batches(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![8, 32],
+            Scale::Default => vec![8, 16, 32, 64, 128, 256],
+            Scale::Full => vec![8, 16, 32, 64, 96, 128, 160, 192, 224, 256],
+        }
+    }
+
+    /// Attacked-neuron counts of the Figure 3/4 grid at this scale.
+    pub fn grid_neurons(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![100, 400],
+            Scale::Default => vec![100, 300, 500, 700, 900],
+            Scale::Full => vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000],
+        }
+    }
+
+    /// Number of independent batches averaged per configuration.
+    pub fn trials(&self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Default => 2,
+            Scale::Full => 3,
+        }
+    }
+
+    /// Image side for the ImageNet stand-in at this scale.
+    pub fn imagenette_side(&self) -> usize {
+        match self {
+            Scale::Quick => 16,
+            Scale::Default => 32,
+            Scale::Full => 64,
+        }
+    }
+
+    /// Image side for the CIFAR100 stand-in at this scale.
+    pub fn cifar_side(&self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Default => 16,
+            Scale::Full => 32,
+        }
+    }
+}
+
+/// The two evaluation workloads of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The ImageNet (Imagenette subset) stand-in.
+    ImageNette,
+    /// The CIFAR100 stand-in.
+    Cifar100,
+}
+
+impl Workload {
+    /// Display name matching the paper's figure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::ImageNette => "ImageNet (ImageNette-like)",
+            Workload::Cifar100 => "CIFAR100 (CIFAR100-like)",
+        }
+    }
+
+    /// Builds the dataset at the given scale with enough samples for
+    /// batches up to `max_batch`.
+    pub fn dataset(&self, scale: Scale, max_batch: usize, seed: u64) -> Dataset {
+        match self {
+            Workload::ImageNette => {
+                let spc = (max_batch * 2).div_ceil(10).max(8);
+                oasis_data::imagenette_like_with(spc, scale.imagenette_side(), seed)
+            }
+            Workload::Cifar100 => {
+                let spc = (max_batch * 2).div_ceil(100).max(2);
+                oasis_data::cifar100_like_at(spc, scale.cifar_side(), seed)
+            }
+        }
+    }
+
+    /// A 100-class variant at ImageNette resolution, used by the
+    /// linear-model experiment where batches need ≥64 unique labels
+    /// (the paper has ImageNet's label space available; we synthesize
+    /// one).
+    pub fn linear_dataset(&self, scale: Scale, seed: u64) -> Dataset {
+        match self {
+            Workload::ImageNette => synthetic_dataset(
+                "ImageNet-like-100c",
+                100,
+                2,
+                scale.imagenette_side(),
+                seed,
+            ),
+            Workload::Cifar100 => synthetic_dataset("CIFAR100-like", 100, 2, scale.cifar_side(), seed),
+        }
+    }
+}
+
+/// Calibration images (the "coarse data statistics" the attacker is
+/// assumed to know) drawn from a disjoint seed.
+pub fn calibration_images(workload: Workload, scale: Scale, count: usize) -> Vec<Image> {
+    let ds = workload.dataset(scale, count, 0xCA11B);
+    ds.items().iter().take(count).map(|it| it.image.clone()).collect()
+}
+
+/// Runs `attack` against `trials` batches of size `batch_size` under
+/// `defense`, pooling all matched PSNRs.
+#[allow(clippy::too_many_arguments)]
+pub fn pooled_attack_psnrs(
+    attack: &dyn ActiveAttack,
+    dataset: &Dataset,
+    batch_size: usize,
+    defense: &dyn BatchPreprocessor,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pooled = Vec::new();
+    for trial in 0..trials {
+        let batch = dataset.sample_batch(batch_size.min(dataset.len()), &mut rng);
+        let outcome = run_attack(attack, &batch, defense, dataset.num_classes(), seed ^ trial as u64)
+            .expect("attack execution");
+        pooled.extend(outcome.matched_psnrs);
+    }
+    pooled
+}
+
+/// The named policies in the order of the paper's Figure 5 legend.
+pub fn figure5_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Without,
+        PolicyKind::MajorRotation,
+        PolicyKind::MinorRotation,
+        PolicyKind::Shearing,
+        PolicyKind::HorizontalFlip,
+        PolicyKind::VerticalFlip,
+    ]
+}
+
+/// The named policies in the order of the paper's Figure 6 legend.
+pub fn figure6_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Without,
+        PolicyKind::Shearing,
+        PolicyKind::MajorRotation,
+        PolicyKind::MajorRotationShearing,
+    ]
+}
+
+/// Ensures `out/` exists and returns the path of `name` inside it.
+pub fn out_path(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("out");
+    std::fs::create_dir_all(dir).expect("create out dir");
+    dir.join(name)
+}
+
+/// Prints a standard experiment header.
+pub fn banner(figure: &str, description: &str, scale: Scale) {
+    println!("==========================================================");
+    println!("{figure}: {description}");
+    println!("scale: {scale:?} (use --quick / --full to change)");
+    println!("==========================================================");
+}
+
+/// Batches drawn for the visual figures (fixed, documented seed).
+pub fn visual_batch(workload: Workload, scale: Scale, batch_size: usize, seed: u64) -> Batch {
+    let ds = workload.dataset(scale, batch_size, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF16);
+    ds.sample_batch(batch_size.min(ds.len()), &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_monotone_grids() {
+        assert!(Scale::Quick.grid_batches().len() < Scale::Full.grid_batches().len());
+        assert!(Scale::Quick.grid_neurons().len() < Scale::Full.grid_neurons().len());
+    }
+
+    #[test]
+    fn full_grid_matches_paper_axes() {
+        assert_eq!(Scale::Full.grid_batches(), vec![8, 16, 32, 64, 96, 128, 160, 192, 224, 256]);
+        assert_eq!(
+            Scale::Full.grid_neurons(),
+            vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+        );
+    }
+
+    #[test]
+    fn workload_datasets_have_expected_classes() {
+        let i = Workload::ImageNette.dataset(Scale::Quick, 8, 1);
+        assert_eq!(i.num_classes(), 10);
+        let c = Workload::Cifar100.dataset(Scale::Quick, 8, 1);
+        assert_eq!(c.num_classes(), 100);
+    }
+
+    #[test]
+    fn datasets_are_large_enough_for_max_batch() {
+        let ds = Workload::ImageNette.dataset(Scale::Quick, 64, 1);
+        assert!(ds.len() >= 64);
+    }
+
+    #[test]
+    fn linear_datasets_have_100_classes() {
+        for w in [Workload::ImageNette, Workload::Cifar100] {
+            assert_eq!(w.linear_dataset(Scale::Quick, 0).num_classes(), 100);
+        }
+    }
+
+    #[test]
+    fn figure_policy_lists_match_paper_legends() {
+        assert_eq!(figure5_policies().len(), 6);
+        assert_eq!(figure6_policies().len(), 4);
+        assert_eq!(figure6_policies()[3], PolicyKind::MajorRotationShearing);
+    }
+}

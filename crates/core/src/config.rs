@@ -1,0 +1,65 @@
+//! Defense configuration.
+
+use oasis_augment::{AugmentationPolicy, PolicyKind};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the OASIS defense.
+///
+/// ```
+/// use oasis::OasisConfig;
+/// use oasis_augment::PolicyKind;
+///
+/// // The paper's strongest anti-RTF configuration:
+/// let mr = OasisConfig::policy(PolicyKind::MajorRotation);
+/// assert_eq!(mr.augmentation().name(), "MR");
+///
+/// // The combination needed against CAH:
+/// let combo = OasisConfig::policy(PolicyKind::MajorRotationShearing);
+/// assert_eq!(combo.augmentation().expansion_factor(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OasisConfig {
+    policy: AugmentationPolicy,
+}
+
+impl OasisConfig {
+    /// Uses one of the paper's named policies.
+    pub fn policy(kind: PolicyKind) -> Self {
+        OasisConfig { policy: kind.policy() }
+    }
+
+    /// Uses a custom augmentation policy.
+    pub fn custom(policy: AugmentationPolicy) -> Self {
+        OasisConfig { policy }
+    }
+
+    /// The configured augmentation policy.
+    pub fn augmentation(&self) -> &AugmentationPolicy {
+        &self.policy
+    }
+}
+
+impl Default for OasisConfig {
+    /// Defaults to major rotation — the paper's most robust single
+    /// transformation against RTF (§IV-B).
+    fn default() -> Self {
+        OasisConfig::policy(PolicyKind::MajorRotation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_major_rotation() {
+        assert_eq!(OasisConfig::default().augmentation().name(), "MR");
+    }
+
+    #[test]
+    fn custom_policy_is_preserved() {
+        let p = AugmentationPolicy::shearing();
+        let cfg = OasisConfig::custom(p.clone());
+        assert_eq!(cfg.augmentation(), &p);
+    }
+}

@@ -1,0 +1,138 @@
+//! The OASIS defense: batch augmentation per paper Eq. 7.
+
+use oasis_data::Batch;
+use oasis_fl::BatchPreprocessor;
+use rand::rngs::StdRng;
+
+use crate::OasisConfig;
+
+/// The OASIS defense.
+///
+/// As a [`BatchPreprocessor`], `Oasis` plugs directly into the FL
+/// client pipeline: before gradients are computed, the local batch
+/// `D = {x_t}` is expanded to
+///
+/// ```text
+/// D′ = D ∪ ⋃_t X′_t        (paper Eq. 7)
+/// ```
+///
+/// where `X′_t` contains the configured transformations of `x_t`,
+/// each labeled like `x_t`. Originals come first in the output batch,
+/// followed by the augment groups in sample order — a layout the
+/// activation-set analyzer relies on.
+#[derive(Debug, Clone, Default)]
+pub struct Oasis {
+    config: OasisConfig,
+}
+
+impl Oasis {
+    /// Creates the defense from a configuration.
+    pub fn new(config: OasisConfig) -> Self {
+        Oasis { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OasisConfig {
+        &self.config
+    }
+
+    /// Expands a batch to `D′` (deterministic; the paper's transforms
+    /// have fixed parameters, so no randomness is consumed).
+    pub fn defend(&self, batch: &Batch) -> Batch {
+        let policy = self.config.augmentation();
+        let mut images = batch.images.clone();
+        let mut labels = batch.labels.clone();
+        for (img, &label) in batch.images.iter().zip(&batch.labels) {
+            for transformed in policy.expand(img) {
+                images.push(transformed);
+                labels.push(label);
+            }
+        }
+        Batch::new(images, labels)
+    }
+}
+
+impl BatchPreprocessor for Oasis {
+    fn process(&self, batch: &Batch, _rng: &mut StdRng) -> Batch {
+        self.defend(batch)
+    }
+
+    fn name(&self) -> &str {
+        self.config.augmentation().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_augment::PolicyKind;
+    use oasis_data::cifar_like_with;
+    use rand::SeedableRng;
+
+    fn batch(n: usize) -> Batch {
+        let ds = cifar_like_with(n, 1, 12, 0);
+        Batch::from_items(ds.items().to_vec())
+    }
+
+    #[test]
+    fn defend_expands_by_policy_factor() {
+        for kind in PolicyKind::all() {
+            let defense = Oasis::new(OasisConfig::policy(kind));
+            let b = batch(5);
+            let out = defense.defend(&b);
+            assert_eq!(
+                out.len(),
+                5 * kind.policy().expansion_factor(),
+                "policy {}",
+                kind.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn originals_come_first_unchanged() {
+        let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
+        let b = batch(3);
+        let out = defense.defend(&b);
+        for i in 0..3 {
+            assert_eq!(out.images[i], b.images[i]);
+            assert_eq!(out.labels[i], b.labels[i]);
+        }
+    }
+
+    #[test]
+    fn augments_inherit_labels() {
+        let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
+        let b = batch(4);
+        let out = defense.defend(&b);
+        // Layout: originals, then 6 augments per sample in order.
+        for t in 0..4 {
+            for k in 0..6 {
+                let idx = 4 + t * 6 + k;
+                assert_eq!(out.labels[idx], b.labels[t], "augment {k} of sample {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn without_policy_is_identity() {
+        let defense = Oasis::new(OasisConfig::policy(PolicyKind::Without));
+        let b = batch(4);
+        assert_eq!(defense.defend(&b), b);
+    }
+
+    #[test]
+    fn preprocessor_name_matches_policy() {
+        let defense = Oasis::new(OasisConfig::policy(PolicyKind::Shearing));
+        assert_eq!(BatchPreprocessor::name(&defense), "SH");
+    }
+
+    #[test]
+    fn process_is_deterministic() {
+        let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
+        let b = batch(2);
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(999);
+        assert_eq!(defense.process(&b, &mut rng1), defense.process(&b, &mut rng2));
+    }
+}

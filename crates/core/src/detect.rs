@@ -1,0 +1,230 @@
+//! Client-side detection of malicious layer structure.
+//!
+//! The paper's threat model notes the server's modifications "should
+//! be minimal to avoid detection" (§III-A) — implying clients *could*
+//! inspect the broadcast weights. This module makes that inspection
+//! concrete: both published attack constructions leave strong
+//! statistical fingerprints in the first fully-connected layer.
+//!
+//! * **RTF imprint modules** use (near-)identical rows — the same
+//!   measurement functional repeated `n` times — with biases swept
+//!   across quantiles. Honest initializations have essentially
+//!   orthogonal rows.
+//! * **CAH trap weights** have exactly half of each row's entries
+//!   negative with a magnitude asymmetry between the signs, and (in
+//!   the calibrated variant) biases far from the usual zero/uniform
+//!   initialization.
+//!
+//! Detection is *complementary* to the OASIS augmentation defense: a
+//! client can both augment (so that even undetected attacks fail) and
+//! audit (so that blatant attacks can be refused outright). The paper
+//! leaves detection unformalized; this is the reproduction's
+//! executable version of the remark, not a claimed contribution of
+//! the original work.
+
+use oasis_nn::Linear;
+
+/// Verdict of a first-layer audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerAudit {
+    /// Mean absolute cosine similarity between random row pairs
+    /// (≈1 for RTF imprint rows; ≈0 for honest init).
+    pub mean_row_cosine: f64,
+    /// Mean fraction of negative entries per row (≈0.5 both for
+    /// honest init and CAH; see `sign_magnitude_skew`).
+    pub negative_fraction: f64,
+    /// |mean(|negative entries|) − mean(positive entries)| /
+    /// (their sum) — trap weights scale one sign group (γ ≠ 1),
+    /// honest inits are symmetric.
+    pub sign_magnitude_skew: f64,
+    /// Standard deviation of the bias vector relative to the weight
+    /// scale; imprint modules sweep biases across data quantiles,
+    /// honest biases are near zero.
+    pub bias_spread: f64,
+    /// Excess kurtosis of the weight entries. Honest Kaiming-uniform
+    /// initialization gives ≈ −1.2; trap weights (signed half-normal
+    /// magnitudes) give ≈ 0.
+    pub weight_kurtosis: f64,
+    /// Heuristic verdict.
+    pub suspicious: bool,
+    /// Human-readable reasons behind the verdict.
+    pub reasons: Vec<String>,
+}
+
+/// Thresholds chosen so honest Kaiming-initialized layers pass with a
+/// wide margin (see the tests) while both published constructions
+/// trip at least one criterion.
+const COSINE_THRESHOLD: f64 = 0.9;
+const SKEW_THRESHOLD: f64 = 0.25;
+const BIAS_SPREAD_THRESHOLD: f64 = 3.0;
+const KURTOSIS_THRESHOLD: f64 = -0.6;
+
+/// Audits a first layer for active-reconstruction fingerprints.
+///
+/// This is a heuristic: a sophisticated attacker can trade attack
+/// efficiency for stealth, which is exactly why the paper builds the
+/// augmentation defense instead of relying on detection.
+pub fn audit_first_layer(layer: &Linear) -> LayerAudit {
+    let n = layer.out_features();
+    let d = layer.in_features();
+    let w = layer.weight();
+
+    // Row cosine similarity over a deterministic sample of pairs.
+    let mut cos_sum = 0.0f64;
+    let mut cos_count = 0usize;
+    let pairs = n.min(64);
+    for k in 0..pairs {
+        let i = k;
+        let j = (k + n / 2) % n;
+        if i == j {
+            continue;
+        }
+        let (a, b) = (w.row(i).expect("row"), w.row(j).expect("row"));
+        let dot: f64 = a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum();
+        let na: f64 = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+        if na > 0.0 && nb > 0.0 {
+            cos_sum += (dot / (na * nb)).abs();
+            cos_count += 1;
+        }
+    }
+    let mean_row_cosine = if cos_count == 0 { 0.0 } else { cos_sum / cos_count as f64 };
+
+    // Sign statistics.
+    let mut neg = 0usize;
+    let mut neg_mag = 0.0f64;
+    let mut pos_mag = 0.0f64;
+    let mut pos = 0usize;
+    for &v in w.data() {
+        if v < 0.0 {
+            neg += 1;
+            neg_mag += (-v) as f64;
+        } else if v > 0.0 {
+            pos += 1;
+            pos_mag += v as f64;
+        }
+    }
+    let total = (neg + pos).max(1);
+    let negative_fraction = neg as f64 / total as f64;
+    let mean_neg = if neg > 0 { neg_mag / neg as f64 } else { 0.0 };
+    let mean_pos = if pos > 0 { pos_mag / pos as f64 } else { 0.0 };
+    let sign_magnitude_skew = if mean_neg + mean_pos > 0.0 {
+        (mean_neg - mean_pos).abs() / (mean_neg + mean_pos)
+    } else {
+        0.0
+    };
+
+    // Excess kurtosis of the weight entries (population estimate).
+    let numel = w.numel().max(1) as f64;
+    let w_mean = w.data().iter().map(|&v| v as f64).sum::<f64>() / numel;
+    let mut m2 = 0.0f64;
+    let mut m4 = 0.0f64;
+    for &v in w.data() {
+        let dlt = v as f64 - w_mean;
+        m2 += dlt * dlt;
+        m4 += dlt * dlt * dlt * dlt;
+    }
+    m2 /= numel;
+    m4 /= numel;
+    let weight_kurtosis = if m2 > 0.0 { m4 / (m2 * m2) - 3.0 } else { 0.0 };
+
+    // Bias spread relative to the expected honest scale 1/√d.
+    let bias = layer.bias();
+    let bias_mean = bias.data().iter().map(|&v| v as f64).sum::<f64>() / n.max(1) as f64;
+    let bias_var = bias
+        .data()
+        .iter()
+        .map(|&v| {
+            let dlt = v as f64 - bias_mean;
+            dlt * dlt
+        })
+        .sum::<f64>()
+        / n.max(1) as f64;
+    let honest_scale = 1.0 / (d as f64).sqrt();
+    let bias_spread = bias_var.sqrt() / honest_scale;
+
+    let mut reasons = Vec::new();
+    if mean_row_cosine > COSINE_THRESHOLD {
+        reasons.push(format!(
+            "rows are near-parallel (mean |cos| {mean_row_cosine:.2}) — imprint-module signature"
+        ));
+    }
+    if sign_magnitude_skew > SKEW_THRESHOLD {
+        reasons.push(format!(
+            "negative/positive magnitude skew {sign_magnitude_skew:.2} — trap-weight signature"
+        ));
+    }
+    if bias_spread > BIAS_SPREAD_THRESHOLD {
+        reasons.push(format!(
+            "bias spread {bias_spread:.1}× the honest scale — quantile-cutoff signature"
+        ));
+    }
+    if weight_kurtosis > KURTOSIS_THRESHOLD {
+        reasons.push(format!(
+            "weight kurtosis {weight_kurtosis:.2} far from uniform-init (−1.2) — \
+             non-standard weight distribution"
+        ));
+    }
+    LayerAudit {
+        mean_row_cosine,
+        negative_fraction,
+        sign_magnitude_skew,
+        bias_spread,
+        weight_kurtosis,
+        suspicious: !reasons.is_empty(),
+        reasons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_nn::Linear;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn honest_layer_passes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(768, 256, &mut rng);
+        let audit = audit_first_layer(&layer);
+        assert!(!audit.suspicious, "honest layer flagged: {:?}", audit.reasons);
+        assert!(audit.mean_row_cosine < 0.3);
+        assert!((audit.negative_fraction - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn rtf_imprint_layer_is_flagged() {
+        use oasis_attacks::{ActiveAttack, RtfAttack};
+        let ds = oasis_data::cifar_like_with(8, 4, 12, 0);
+        let calib: Vec<_> = ds.items().iter().map(|it| it.image.clone()).collect();
+        let attack = RtfAttack::calibrated(64, &calib).unwrap();
+        let model = attack.build_model((3, 12, 12), 8, 0).unwrap();
+        let layer = model.layer_as::<Linear>(0).unwrap();
+        let audit = audit_first_layer(layer);
+        assert!(audit.suspicious, "RTF layer not flagged: {audit:?}");
+        assert!(audit.mean_row_cosine > 0.99, "identical rows must be detected");
+    }
+
+    #[test]
+    fn cah_trap_layer_is_flagged() {
+        use oasis_attacks::{ActiveAttack, CahAttack, DEFAULT_ACTIVATION_TARGET};
+        let ds = oasis_data::cifar_like_with(8, 8, 12, 0);
+        let calib: Vec<_> = ds.items().iter().map(|it| it.image.clone()).collect();
+        let attack =
+            CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 3).unwrap();
+        let model = attack.build_model((3, 12, 12), 8, 0).unwrap();
+        let layer = model.layer_as::<Linear>(0).unwrap();
+        let audit = audit_first_layer(layer);
+        assert!(audit.suspicious, "CAH layer not flagged: {audit:?}");
+    }
+
+    #[test]
+    fn audit_reports_reasons_when_suspicious() {
+        use oasis_attacks::{ActiveAttack, RtfAttack};
+        let attack = RtfAttack::new(32, 0.4, 0.1).unwrap();
+        let model = attack.build_model((1, 8, 8), 4, 0).unwrap();
+        let layer = model.layer_as::<Linear>(0).unwrap();
+        let audit = audit_first_layer(layer);
+        assert!(!audit.reasons.is_empty());
+    }
+}

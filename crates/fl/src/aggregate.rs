@@ -1,0 +1,103 @@
+//! Update aggregation (FedAvg).
+
+use crate::{ClientUpdate, FlError, Result};
+
+/// Plain FedAvg: the arithmetic mean of client gradient vectors
+/// (paper Eq. 1, `Ḡ = (1/M) Σ G_j`).
+///
+/// # Errors
+///
+/// Returns [`FlError::NoClients`] for an empty slice and
+/// [`FlError::UpdateLength`] if vectors disagree in length.
+pub fn fedavg(updates: &[ClientUpdate]) -> Result<Vec<f32>> {
+    let first = updates.first().ok_or(FlError::NoClients)?;
+    let n = first.grads.len();
+    let mut acc = vec![0.0f32; n];
+    for u in updates {
+        if u.grads.len() != n {
+            return Err(FlError::UpdateLength { len: u.grads.len(), expected: n });
+        }
+        for (a, &g) in acc.iter_mut().zip(&u.grads) {
+            *a += g;
+        }
+    }
+    let scale = 1.0 / updates.len() as f32;
+    for a in &mut acc {
+        *a *= scale;
+    }
+    Ok(acc)
+}
+
+/// Sample-weighted FedAvg: clients contribute proportionally to how
+/// many samples they trained on.
+///
+/// # Errors
+///
+/// Same conditions as [`fedavg`]; additionally errors if the total
+/// sample count is zero.
+pub fn fedavg_weighted(updates: &[ClientUpdate]) -> Result<Vec<f32>> {
+    let first = updates.first().ok_or(FlError::NoClients)?;
+    let n = first.grads.len();
+    let total: usize = updates.iter().map(|u| u.samples).sum();
+    if total == 0 {
+        return Err(FlError::BadConfig("weighted FedAvg over zero samples".into()));
+    }
+    let mut acc = vec![0.0f32; n];
+    for u in updates {
+        if u.grads.len() != n {
+            return Err(FlError::UpdateLength { len: u.grads.len(), expected: n });
+        }
+        let w = u.samples as f32 / total as f32;
+        for (a, &g) in acc.iter_mut().zip(&u.grads) {
+            *a += w * g;
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, grads: Vec<f32>, samples: usize) -> ClientUpdate {
+        ClientUpdate { client_id: id, grads, loss: 0.0, samples }
+    }
+
+    #[test]
+    fn fedavg_is_arithmetic_mean() {
+        let out = fedavg(&[upd(0, vec![1.0, 3.0], 1), upd(1, vec![3.0, 5.0], 1)]).unwrap();
+        assert_eq!(out, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn fedavg_of_identical_updates_is_identity() {
+        let g = vec![0.5, -1.0, 2.0];
+        let out = fedavg(&[upd(0, g.clone(), 1), upd(1, g.clone(), 1), upd(2, g.clone(), 1)])
+            .unwrap();
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn fedavg_rejects_empty() {
+        assert!(matches!(fedavg(&[]), Err(FlError::NoClients)));
+    }
+
+    #[test]
+    fn fedavg_rejects_length_mismatch() {
+        let r = fedavg(&[upd(0, vec![1.0], 1), upd(1, vec![1.0, 2.0], 1)]);
+        assert!(matches!(r, Err(FlError::UpdateLength { .. })));
+    }
+
+    #[test]
+    fn weighted_fedavg_weights_by_samples() {
+        let out =
+            fedavg_weighted(&[upd(0, vec![0.0], 1), upd(1, vec![4.0], 3)]).unwrap();
+        assert_eq!(out, vec![3.0]);
+    }
+
+    #[test]
+    fn weighted_fedavg_rejects_zero_samples() {
+        let r = fedavg_weighted(&[upd(0, vec![1.0], 0)]);
+        assert!(r.is_err());
+    }
+}

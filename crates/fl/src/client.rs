@@ -1,0 +1,163 @@
+//! Federated clients.
+
+use std::sync::Arc;
+
+use oasis_data::Dataset;
+use oasis_nn::{flatten_grads, load_params, softmax_cross_entropy, Layer, Mode, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{BatchPreprocessor, Result};
+
+/// Builds a fresh instance of the model architecture. Every
+/// participant constructs the same architecture and loads the
+/// broadcast weights into it — the FL analogue of agreeing on a model
+/// definition file.
+pub type ModelFactory = Arc<dyn Fn() -> Sequential + Send + Sync>;
+
+/// The gradients a client uploads after local training
+/// (`G_j` in paper Eq. 1).
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// The uploading client.
+    pub client_id: usize,
+    /// Flattened gradient vector in [`oasis_nn::flatten_grads`] order.
+    pub grads: Vec<f32>,
+    /// The client's local loss (diagnostic).
+    pub loss: f32,
+    /// How many samples contributed (after preprocessing — OASIS
+    /// expands this).
+    pub samples: usize,
+}
+
+/// A federated client owning a local data shard.
+///
+/// The client's only defense hook is its [`BatchPreprocessor`]: the
+/// OASIS defense (crate `oasis`) implements the preprocessor that
+/// replaces the local batch `D` with the augmented `D′` of Eq. 7.
+pub struct FlClient {
+    id: usize,
+    data: Dataset,
+    preprocessor: Arc<dyn BatchPreprocessor>,
+}
+
+impl FlClient {
+    /// Creates a client with a local shard and a batch preprocessor.
+    pub fn new(id: usize, data: Dataset, preprocessor: Arc<dyn BatchPreprocessor>) -> Self {
+        FlClient { id, data, preprocessor }
+    }
+
+    /// The client id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The client's local dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Executes one round of local computation: loads the broadcast
+    /// weights, preprocesses a sampled batch, and returns the exact
+    /// full-batch gradient — precisely what a dishonest server gets to
+    /// inspect.
+    ///
+    /// Determinism: the drawn batch depends only on
+    /// `(round_seed, client id)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-execution failures.
+    pub fn compute_update(
+        &self,
+        factory: &ModelFactory,
+        global_params: &[f32],
+        batch_size: usize,
+        round_seed: u64,
+    ) -> Result<ClientUpdate> {
+        let mut rng = StdRng::seed_from_u64(
+            round_seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let batch = self
+            .data
+            .sample_batch(batch_size.min(self.data.len()), &mut rng);
+        let processed = self.preprocessor.process(&batch, &mut rng);
+        let mut model = factory();
+        load_params(&mut model, global_params)?;
+        model.zero_grad();
+        let x = processed.to_matrix();
+        let logits = model.forward(&x, Mode::Train)?;
+        let loss = softmax_cross_entropy(&logits, &processed.labels)?;
+        model.backward(&loss.grad)?;
+        Ok(ClientUpdate {
+            client_id: self.id,
+            grads: flatten_grads(&mut model),
+            loss: loss.loss,
+            samples: processed.len(),
+        })
+    }
+}
+
+impl std::fmt::Debug for FlClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FlClient(id={}, samples={})", self.id, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdentityPreprocessor;
+    use oasis_data::cifar_like_with;
+    use oasis_nn::{flatten_params, Linear, Relu};
+
+    fn factory(d: usize, classes: usize) -> ModelFactory {
+        Arc::new(move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut m = Sequential::new();
+            m.push(Linear::new(d, 16, &mut rng));
+            m.push(Relu::new());
+            m.push(Linear::new(16, classes, &mut rng));
+            m
+        })
+    }
+
+    #[test]
+    fn update_has_model_parameter_count() {
+        let data = cifar_like_with(3, 4, 8, 0);
+        let d = data.feature_dim();
+        let f = factory(d, 3);
+        let mut template = f();
+        let global = flatten_params(&mut template);
+        let client = FlClient::new(0, data, Arc::new(IdentityPreprocessor));
+        let update = client.compute_update(&f, &global, 4, 99).unwrap();
+        assert_eq!(update.grads.len(), global.len());
+        assert_eq!(update.samples, 4);
+        assert!(update.loss.is_finite());
+    }
+
+    #[test]
+    fn updates_are_deterministic_per_round_seed() {
+        let data = cifar_like_with(3, 4, 8, 0);
+        let d = data.feature_dim();
+        let f = factory(d, 3);
+        let global = flatten_params(&mut f());
+        let client = FlClient::new(1, data, Arc::new(IdentityPreprocessor));
+        let a = client.compute_update(&f, &global, 4, 5).unwrap();
+        let b = client.compute_update(&f, &global, 4, 5).unwrap();
+        let c = client.compute_update(&f, &global, 4, 6).unwrap();
+        assert_eq!(a.grads, b.grads);
+        assert_ne!(a.grads, c.grads);
+    }
+
+    #[test]
+    fn gradient_is_nonzero_for_untrained_model() {
+        let data = cifar_like_with(2, 2, 8, 1);
+        let d = data.feature_dim();
+        let f = factory(d, 2);
+        let global = flatten_params(&mut f());
+        let client = FlClient::new(2, data, Arc::new(IdentityPreprocessor));
+        let update = client.compute_update(&f, &global, 2, 0).unwrap();
+        assert!(update.grads.iter().any(|&g| g.abs() > 1e-9));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the FL protocol.
+
+use oasis_nn::NnError;
+use std::fmt;
+
+/// Errors produced by the federated-learning simulation.
+#[derive(Debug)]
+pub enum FlError {
+    /// A model execution error inside a client or the server.
+    Nn(NnError),
+    /// The protocol was configured inconsistently.
+    BadConfig(String),
+    /// A client update has the wrong parameter count.
+    UpdateLength {
+        /// Length received.
+        len: usize,
+        /// Length expected (global model parameter count).
+        expected: usize,
+    },
+    /// No clients were selected for a round.
+    NoClients,
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Nn(e) => write!(f, "model error: {e}"),
+            FlError::BadConfig(msg) => write!(f, "bad FL configuration: {msg}"),
+            FlError::UpdateLength { len, expected } => {
+                write!(f, "client update of length {len}, expected {expected}")
+            }
+            FlError::NoClients => write!(f, "round executed with no clients"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            FlError::BadConfig("x".into()),
+            FlError::UpdateLength { len: 1, expected: 2 },
+            FlError::NoClients,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # oasis-fl
+//!
+//! A horizontal federated-learning protocol simulation (paper §II-A)
+//! with first-class support for **actively dishonest servers**
+//! (paper §III-A threat model).
+//!
+//! The protocol is the iterative scheme of paper Eq. 1: each round the
+//! server broadcasts the global weights `w_t`, a subset of clients
+//! computes full-batch gradients `G_j = ∇ L(D_j, w_t)` on their local
+//! data, and the server averages the updates and steps
+//! `w_{t+1} = w_t − η·Ḡ`.
+//!
+//! Two hooks make this crate the substrate for the OASIS evaluation:
+//!
+//! * [`ModelTamper`] — the dishonest server's ability to modify the
+//!   global model *before* dispatching it (how the RTF and CAH
+//!   attacks insert their malicious layers), and
+//! * [`BatchPreprocessor`] — the client's ability to preprocess its
+//!   training batch *before* computing gradients (how the OASIS
+//!   defense augments `D` into `D′`).
+//!
+//! ```
+//! use oasis_fl::{FlConfig, FlServer, partition_iid, IdentityPreprocessor};
+//! use oasis_data::cifar_like_with;
+//! use oasis_nn::{Linear, Relu, Sequential};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), oasis_fl::FlError> {
+//! let data = cifar_like_with(4, 6, 8, 0); // tiny: 4 classes, 8×8
+//! let d = data.feature_dim();
+//! let factory: oasis_fl::ModelFactory = Arc::new(move || {
+//!     let mut rng = StdRng::seed_from_u64(42);
+//!     let mut m = Sequential::new();
+//!     m.push(Linear::new(d, 32, &mut rng));
+//!     m.push(Relu::new());
+//!     m.push(Linear::new(32, 4, &mut rng));
+//!     m
+//! });
+//! let clients = partition_iid(&data, 3, Arc::new(IdentityPreprocessor), &mut StdRng::seed_from_u64(1));
+//! let mut server = FlServer::new(factory, FlConfig::default())?;
+//! let report = server.run_round(&clients, &mut StdRng::seed_from_u64(2))?;
+//! assert_eq!(report.participants, 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod client;
+mod config;
+mod error;
+mod server;
+mod tamper;
+mod training;
+
+pub use aggregate::{fedavg, fedavg_weighted};
+pub use client::{ClientUpdate, FlClient, ModelFactory};
+pub use config::FlConfig;
+pub use error::FlError;
+pub use server::{FlServer, RoundReport};
+pub use tamper::{HonestServer, ModelTamper};
+pub use training::{
+    evaluate_accuracy, partition_dirichlet, partition_iid, train_centralized, BatchPreprocessor,
+    IdentityPreprocessor, TrainReport,
+};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, FlError>;

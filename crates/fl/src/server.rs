@@ -1,0 +1,231 @@
+//! The central server.
+
+use oasis_tensor::parallel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use oasis_nn::{flatten_params, load_params, param_count, Sequential};
+
+use crate::{fedavg, FlClient, FlConfig, FlError, ModelFactory, Result};
+
+/// Outcome of one protocol round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: usize,
+    /// How many clients contributed.
+    pub participants: usize,
+    /// Mean client loss.
+    pub mean_loss: f32,
+    /// L2 norm of the aggregated update.
+    pub update_norm: f32,
+}
+
+/// The FL coordinator of paper Eq. 1, with an optional dishonest
+/// tamper hook.
+pub struct FlServer {
+    factory: ModelFactory,
+    model: Sequential,
+    config: FlConfig,
+    tamper: Option<Box<dyn crate::ModelTamper>>,
+    round: usize,
+}
+
+impl FlServer {
+    /// Creates a server with a freshly initialized global model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] if the factory produces an empty
+    /// model.
+    pub fn new(factory: ModelFactory, config: FlConfig) -> Result<Self> {
+        let mut model = factory();
+        if param_count(&mut model) == 0 {
+            return Err(FlError::BadConfig("model has no parameters".into()));
+        }
+        Ok(FlServer { factory, model, config, tamper: None, round: 0 })
+    }
+
+    /// Installs a dishonest-server behaviour (e.g. an active
+    /// reconstruction attack).
+    pub fn set_tamper(&mut self, tamper: Box<dyn crate::ModelTamper>) {
+        self.tamper = Some(tamper);
+    }
+
+    /// The global model (e.g. for evaluation).
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Current round counter.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The flattened global weights `w_t` as broadcast this round
+    /// (after tampering, if a tamper hook is installed).
+    pub fn broadcast_weights(&mut self) -> Vec<f32> {
+        if let Some(t) = &self.tamper {
+            t.tamper(&mut self.model, self.round);
+        }
+        flatten_params(&mut self.model)
+    }
+
+    /// Runs one round: tamper (if dishonest) → broadcast → parallel
+    /// client updates → FedAvg → server SGD step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoClients`] when `clients` is empty, or any
+    /// client-side model error.
+    pub fn run_round(&mut self, clients: &[FlClient], rng: &mut StdRng) -> Result<RoundReport> {
+        if clients.is_empty() {
+            return Err(FlError::NoClients);
+        }
+        // Random client selection (paper: "a subset of M < N users is
+        // randomly selected").
+        let m = if self.config.clients_per_round == 0 {
+            clients.len()
+        } else {
+            self.config.clients_per_round.min(clients.len())
+        };
+        let mut order: Vec<&FlClient> = clients.iter().collect();
+        order.shuffle(rng);
+        let selected = &order[..m];
+
+        let global = self.broadcast_weights();
+        let round_seed: u64 = rng.gen();
+        let batch = self.config.local_batch_size;
+        let results = parallel::map_indexed(selected, |_, client| {
+            client.compute_update(&self.factory, &global, batch, round_seed)
+        });
+        let mut updates = Vec::with_capacity(results.len());
+        for r in results {
+            updates.push(r?);
+        }
+        let agg = fedavg(&updates)?;
+        let mean_loss = updates.iter().map(|u| u.loss).sum::<f32>() / updates.len() as f32;
+        let update_norm = agg.iter().map(|g| g * g).sum::<f32>().sqrt();
+
+        // w_{t+1} = w_t − η Ḡ
+        let lr = self.config.learning_rate;
+        let mut new_params = flatten_params(&mut self.model);
+        for (w, &g) in new_params.iter_mut().zip(&agg) {
+            *w -= lr * g;
+        }
+        load_params(&mut self.model, &new_params)?;
+
+        let report = RoundReport {
+            round: self.round,
+            participants: updates.len(),
+            mean_loss,
+            update_norm,
+        };
+        self.round += 1;
+        Ok(report)
+    }
+
+    /// Runs `rounds` rounds, returning per-round reports.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing round.
+    pub fn run(
+        &mut self,
+        clients: &[FlClient],
+        rounds: usize,
+        seed: u64,
+    ) -> Result<Vec<RoundReport>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rounds).map(|_| self.run_round(clients, &mut rng)).collect()
+    }
+}
+
+impl std::fmt::Debug for FlServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FlServer(round={}, tamper={})",
+            self.round,
+            self.tamper.as_ref().map(|t| t.name()).unwrap_or("none")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition_iid, IdentityPreprocessor};
+    use oasis_data::cifar_like_with;
+    use oasis_nn::{Linear, Relu};
+    use std::sync::Arc;
+
+    fn setup(classes: usize) -> (ModelFactory, Vec<FlClient>) {
+        let data = cifar_like_with(classes, 8, 8, 3);
+        let d = data.feature_dim();
+        let factory: ModelFactory = Arc::new(move || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut m = Sequential::new();
+            m.push(Linear::new(d, 24, &mut rng));
+            m.push(Relu::new());
+            m.push(Linear::new(24, classes, &mut rng));
+            m
+        });
+        let clients = partition_iid(
+            &data,
+            4,
+            Arc::new(IdentityPreprocessor),
+            &mut StdRng::seed_from_u64(5),
+        );
+        (factory, clients)
+    }
+
+    #[test]
+    fn round_reports_participants() {
+        let (factory, clients) = setup(3);
+        let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
+        let report = server.run_round(&clients, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(report.participants, 4);
+        assert!(report.update_norm > 0.0);
+    }
+
+    #[test]
+    fn client_subset_selection_respects_config() {
+        let (factory, clients) = setup(3);
+        let cfg = FlConfig { clients_per_round: 2, ..FlConfig::default() };
+        let mut server = FlServer::new(factory, cfg).unwrap();
+        let report = server.run_round(&clients, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(report.participants, 2);
+    }
+
+    #[test]
+    fn training_reduces_loss_over_rounds() {
+        let (factory, clients) = setup(3);
+        let cfg = FlConfig { learning_rate: 0.5, local_batch_size: 8, clients_per_round: 0 };
+        let mut server = FlServer::new(factory, cfg).unwrap();
+        let reports = server.run(&clients, 30, 42).unwrap();
+        let first: f32 = reports[..3].iter().map(|r| r.mean_loss).sum::<f32>() / 3.0;
+        let last: f32 = reports[reports.len() - 3..].iter().map(|r| r.mean_loss).sum::<f32>() / 3.0;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn empty_client_set_errors() {
+        let (factory, _) = setup(2);
+        let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
+        assert!(matches!(
+            server.run_round(&[], &mut StdRng::seed_from_u64(0)),
+            Err(FlError::NoClients)
+        ));
+    }
+
+    #[test]
+    fn round_counter_advances() {
+        let (factory, clients) = setup(2);
+        let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
+        assert_eq!(server.round(), 0);
+        server.run_round(&clients, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(server.round(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! The CHW `f32` image container.
+
+use oasis_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{ImageError, Result};
+
+/// A dense `f32` image in CHW (channel-major) layout.
+///
+/// Pixel values are nominally in `[0, 1]`; transforms that produce
+/// out-of-range values should call [`Image::clamp01`] before the image
+/// is consumed by training or PSNR code.
+///
+/// ```
+/// use oasis_image::Image;
+///
+/// # fn main() -> Result<(), oasis_image::ImageError> {
+/// let mut img = Image::new(1, 2, 2);
+/// img.set(0, 1, 1, 0.75)?;
+/// assert_eq!(img.get(0, 1, 1)?, 0.75);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a black (all-zero) image.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Image { channels, height, width, data: vec![0.0; channels * height * width] }
+    }
+
+    /// Creates an image from a CHW buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::LengthMismatch`] if the buffer length does
+    /// not equal `channels * height * width`.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f32>) -> Result<Self> {
+        let expected = channels * height * width;
+        if data.len() != expected {
+            return Err(ImageError::LengthMismatch { len: data.len(), expected });
+        }
+        Ok(Image { channels, height, width, data })
+    }
+
+    /// Builds an image from a flat tensor (rank-1 of length `c*h*w`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::TensorShape`] on element-count mismatch.
+    pub fn from_tensor(t: &Tensor, channels: usize, height: usize, width: usize) -> Result<Self> {
+        let expected = channels * height * width;
+        if t.numel() != expected {
+            return Err(ImageError::TensorShape { numel: t.numel(), expected });
+        }
+        Ok(Image { channels, height, width, data: t.data().to_vec() })
+    }
+
+    /// Flattens the image into a rank-1 tensor of length `c*h*w`.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_slice(&self.data)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `(channels, height, width)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Total number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The flat CHW buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat CHW buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reads the pixel at `(channel, y, x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::OutOfRange`] on out-of-bounds access.
+    pub fn get(&self, channel: usize, y: usize, x: usize) -> Result<f32> {
+        Ok(self.data[self.offset(channel, y, x)?])
+    }
+
+    /// Writes the pixel at `(channel, y, x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::OutOfRange`] on out-of-bounds access.
+    pub fn set(&mut self, channel: usize, y: usize, x: usize, value: f32) -> Result<()> {
+        let off = self.offset(channel, y, x)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Unchecked pixel read used by hot interpolation loops.
+    ///
+    /// Returns `0.0` outside the image bounds (zero padding), which is
+    /// the fill convention for all geometric transforms (paper Eq. 2–5
+    /// with the usual implementation fill).
+    pub fn get_or_zero(&self, channel: usize, y: isize, x: isize) -> f32 {
+        if channel >= self.channels
+            || y < 0
+            || x < 0
+            || y as usize >= self.height
+            || x as usize >= self.width
+        {
+            return 0.0;
+        }
+        self.data[(channel * self.height + y as usize) * self.width + x as usize]
+    }
+
+    fn offset(&self, channel: usize, y: usize, x: usize) -> Result<usize> {
+        if channel >= self.channels {
+            return Err(ImageError::OutOfRange { index: channel, bound: self.channels });
+        }
+        if y >= self.height {
+            return Err(ImageError::OutOfRange { index: y, bound: self.height });
+        }
+        if x >= self.width {
+            return Err(ImageError::OutOfRange { index: x, bound: self.width });
+        }
+        Ok((channel * self.height + y) * self.width + x)
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Mean over all channels and pixels — the scalar "measurement"
+    /// the RTF attack bins on (paper §IV-B). Accumulated in f64 so the
+    /// measurement is stable to well below an RTF bin width.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        (self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64) as f32
+    }
+
+    /// Applies `f` to every element, returning a new image.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Image {
+        let mut out = self.clone();
+        out.data.iter_mut().for_each(|v| *v = f(*v));
+        out
+    }
+
+    /// Clamps all values into `[0, 1]`.
+    pub fn clamp01(&self) -> Image {
+        self.map(|v| v.clamp(0.0, 1.0))
+    }
+
+    /// Pixel-wise average of several same-shape images — the "linear
+    /// combination" visualization used in the paper's Figures 7–12.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `images` is empty or shapes differ.
+    pub fn blend(images: &[Image]) -> Result<Image> {
+        let first = images
+            .first()
+            .ok_or(ImageError::Format("blend of zero images".into()))?;
+        let mut out = Image::new(first.channels, first.height, first.width);
+        for img in images {
+            if img.dims() != first.dims() {
+                return Err(ImageError::DimensionMismatch {
+                    op: "blend",
+                    lhs: first.dims(),
+                    rhs: img.dims(),
+                });
+            }
+            for (o, &v) in out.data.iter_mut().zip(&img.data) {
+                *o += v;
+            }
+        }
+        let k = images.len() as f32;
+        out.data.iter_mut().for_each(|v| *v /= k);
+        Ok(out)
+    }
+
+    /// Box-filter downsampling to `out_h × out_w` (used to cheapen
+    /// large all-pairs PSNR matching; reconstruction scoring still
+    /// happens at full resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    pub fn downsample(&self, out_h: usize, out_w: usize) -> Image {
+        assert!(out_h > 0 && out_w > 0, "target dims must be positive");
+        let (c, h, w) = self.dims();
+        if out_h >= h && out_w >= w {
+            return self.clone();
+        }
+        let mut out = Image::new(c, out_h, out_w);
+        for ch in 0..c {
+            for oy in 0..out_h {
+                let y0 = oy * h / out_h;
+                let y1 = (((oy + 1) * h).div_ceil(out_h)).min(h).max(y0 + 1);
+                for ox in 0..out_w {
+                    let x0 = ox * w / out_w;
+                    let x1 = (((ox + 1) * w).div_ceil(out_w)).min(w).max(x0 + 1);
+                    let mut acc = 0.0f32;
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            acc += self.get(ch, y, x).expect("in bounds");
+                        }
+                    }
+                    let count = ((y1 - y0) * (x1 - x0)) as f32;
+                    out.set(ch, oy, ox, acc / count).expect("in bounds");
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts a single channel as a new 1-channel image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::OutOfRange`] if `channel` is out of bounds.
+    pub fn channel(&self, channel: usize) -> Result<Image> {
+        if channel >= self.channels {
+            return Err(ImageError::OutOfRange { index: channel, bound: self.channels });
+        }
+        let plane = self.height * self.width;
+        Ok(Image {
+            channels: 1,
+            height: self.height,
+            width: self.width,
+            data: self.data[channel * plane..(channel + 1) * plane].to_vec(),
+        })
+    }
+}
+
+impl fmt::Debug for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Image({}×{}×{}, mean={:.4})",
+            self.channels,
+            self.height,
+            self.width,
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Image::from_vec(3, 2, 2, vec![0.0; 11]).is_err());
+        assert!(Image::from_vec(3, 2, 2, vec![0.0; 12]).is_ok());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut img = Image::new(2, 3, 4);
+        img.set(1, 2, 3, 0.5).unwrap();
+        assert_eq!(img.get(1, 2, 3).unwrap(), 0.5);
+        assert!(img.get(2, 0, 0).is_err());
+        assert!(img.get(0, 3, 0).is_err());
+        assert!(img.get(0, 0, 4).is_err());
+    }
+
+    #[test]
+    fn get_or_zero_pads_outside() {
+        let mut img = Image::new(1, 2, 2);
+        img.fill(1.0);
+        assert_eq!(img.get_or_zero(0, -1, 0), 0.0);
+        assert_eq!(img.get_or_zero(0, 0, 2), 0.0);
+        assert_eq!(img.get_or_zero(0, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let img = Image::from_vec(1, 2, 2, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let t = img.to_tensor();
+        let back = Image::from_tensor(&t, 1, 2, 2).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn from_tensor_validates_count() {
+        let t = Tensor::zeros(&[5]);
+        assert!(Image::from_tensor(&t, 1, 2, 2).is_err());
+    }
+
+    #[test]
+    fn mean_is_arithmetic_mean() {
+        let img = Image::from_vec(1, 1, 4, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert_eq!(img.mean(), 0.5);
+    }
+
+    #[test]
+    fn blend_averages() {
+        let a = Image::from_vec(1, 1, 2, vec![0.0, 1.0]).unwrap();
+        let b = Image::from_vec(1, 1, 2, vec![1.0, 0.0]).unwrap();
+        let m = Image::blend(&[a, b]).unwrap();
+        assert_eq!(m.data(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn blend_rejects_mixed_dims() {
+        let a = Image::new(1, 2, 2);
+        let b = Image::new(1, 2, 3);
+        assert!(Image::blend(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn clamp01_bounds() {
+        let img = Image::from_vec(1, 1, 3, vec![-0.5, 0.5, 1.5]).unwrap();
+        assert_eq!(img.clamp01().data(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn downsample_preserves_mean_of_uniform() {
+        let mut img = Image::new(1, 8, 8);
+        img.fill(0.4);
+        let d = img.downsample(4, 4);
+        assert_eq!(d.dims(), (1, 4, 4));
+        assert!(d.data().iter().all(|&v| (v - 0.4).abs() < 1e-6));
+    }
+
+    #[test]
+    fn downsample_box_averages() {
+        let mut img = Image::new(1, 2, 2);
+        img.set(0, 0, 0, 1.0).unwrap();
+        let d = img.downsample(1, 1);
+        assert!((d.get(0, 0, 0).unwrap() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downsample_no_op_when_target_larger() {
+        let img = Image::new(1, 4, 4);
+        assert_eq!(img.downsample(8, 8), img);
+    }
+
+    #[test]
+    fn channel_extraction() {
+        let img = Image::from_vec(2, 1, 2, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let c1 = img.channel(1).unwrap();
+        assert_eq!(c1.data(), &[0.3, 0.4]);
+        assert!(img.channel(2).is_err());
+    }
+}

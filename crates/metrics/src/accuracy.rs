@@ -1,0 +1,48 @@
+//! Classification accuracy.
+
+use oasis_tensor::Tensor;
+
+/// Top-1 accuracy of `logits` (`[batch, classes]`) against `labels`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2 or the label count differs from
+/// the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = logits.argmax_rows().expect("logits must be [batch, classes]");
+    assert_eq!(preds.len(), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_scores_zero() {
+        let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn mixed_scores_fraction() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1]), 0.5);
+    }
+
+    #[test]
+    fn empty_batch_scores_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+}

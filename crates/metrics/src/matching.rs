@@ -1,0 +1,168 @@
+//! Matching reconstructions to original training samples.
+//!
+//! The attacks emit a pool of candidate reconstructions (one per bin
+//! or per trap neuron). To score an attack the way the paper and the
+//! `breaching` framework do, each reconstruction is assigned to an
+//! original image one-to-one by descending PSNR, and the matched
+//! PSNRs are what the figures report.
+
+use oasis_image::Image;
+use serde::{Deserialize, Serialize};
+
+use crate::psnr;
+
+/// One reconstruction↔original assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconstructionMatch {
+    /// Index into the reconstruction pool.
+    pub recon_idx: usize,
+    /// Index into the original batch `D`.
+    pub original_idx: usize,
+    /// PSNR of the pair, in dB.
+    pub psnr: f64,
+}
+
+/// Greedy one-to-one matching by descending PSNR.
+///
+/// Returns `min(recons.len(), originals.len())` matches; both sides
+/// are used at most once. Greedy matching on a descending-sorted pair
+/// list is the standard evaluation choice (optimal assignment changes
+/// numbers negligibly and costs O(n³)).
+pub fn match_greedy(recons: &[Image], originals: &[Image]) -> Vec<ReconstructionMatch> {
+    let mut pairs = Vec::with_capacity(recons.len() * originals.len());
+    for (ri, r) in recons.iter().enumerate() {
+        for (oi, o) in originals.iter().enumerate() {
+            pairs.push(ReconstructionMatch { recon_idx: ri, original_idx: oi, psnr: psnr(r, o) });
+        }
+    }
+    pairs.sort_by(|a, b| b.psnr.total_cmp(&a.psnr));
+    let mut recon_used = vec![false; recons.len()];
+    let mut orig_used = vec![false; originals.len()];
+    let mut out = Vec::new();
+    for p in pairs {
+        if !recon_used[p.recon_idx] && !orig_used[p.original_idx] {
+            recon_used[p.recon_idx] = true;
+            orig_used[p.original_idx] = true;
+            out.push(p);
+            if out.len() == recons.len().min(originals.len()) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Two-stage greedy matching for large pools: pairs are *selected* on
+/// box-downsampled copies (cheap), then the returned PSNR of each
+/// selected pair is recomputed at full resolution.
+///
+/// With `coarse_side >=` the image side this is identical to
+/// [`match_greedy`].
+pub fn match_greedy_coarse(
+    recons: &[Image],
+    originals: &[Image],
+    coarse_side: usize,
+) -> Vec<ReconstructionMatch> {
+    let shrink = |imgs: &[Image]| -> Vec<Image> {
+        imgs.iter().map(|i| i.downsample(coarse_side, coarse_side)).collect()
+    };
+    let small_r = shrink(recons);
+    let small_o = shrink(originals);
+    let coarse = match_greedy(&small_r, &small_o);
+    coarse
+        .into_iter()
+        .map(|m| ReconstructionMatch {
+            psnr: psnr(&recons[m.recon_idx], &originals[m.original_idx]),
+            ..m
+        })
+        .collect()
+}
+
+/// For every original, the best PSNR any reconstruction achieves
+/// against it — the per-sample "leakage" view used by the
+/// Proposition 1 ablation. Empty reconstruction pools yield 0 dB.
+pub fn best_psnr_per_original(recons: &[Image], originals: &[Image]) -> Vec<f64> {
+    originals
+        .iter()
+        .map(|o| {
+            recons
+                .iter()
+                .map(|r| psnr(r, o))
+                .fold(0.0f64, f64::max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(v: f32) -> Image {
+        let mut i = Image::new(1, 2, 2);
+        i.fill(v);
+        i
+    }
+
+    #[test]
+    fn exact_matches_pair_up() {
+        let originals = vec![img(0.1), img(0.5), img(0.9)];
+        let recons = vec![img(0.9), img(0.1)];
+        let matches = match_greedy(&recons, &originals);
+        assert_eq!(matches.len(), 2);
+        for m in &matches {
+            assert_eq!(m.psnr, crate::PSNR_CAP);
+        }
+        let pairs: Vec<(usize, usize)> =
+            matches.iter().map(|m| (m.recon_idx, m.original_idx)).collect();
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn one_to_one_constraint_holds() {
+        let originals = vec![img(0.5), img(0.5)];
+        let recons = vec![img(0.5), img(0.5), img(0.5)];
+        let matches = match_greedy(&recons, &originals);
+        assert_eq!(matches.len(), 2);
+        let mut orig: Vec<usize> = matches.iter().map(|m| m.original_idx).collect();
+        orig.sort_unstable();
+        orig.dedup();
+        assert_eq!(orig.len(), 2);
+    }
+
+    #[test]
+    fn empty_pools_give_empty_matches() {
+        assert!(match_greedy(&[], &[img(0.5)]).is_empty());
+        assert!(match_greedy(&[img(0.5)], &[]).is_empty());
+    }
+
+    #[test]
+    fn best_psnr_per_original_finds_leaks() {
+        let originals = vec![img(0.2), img(0.8)];
+        let recons = vec![img(0.8)];
+        let best = best_psnr_per_original(&recons, &originals);
+        assert!(best[1] > best[0]);
+        assert_eq!(best[1], crate::PSNR_CAP);
+    }
+
+    #[test]
+    fn best_psnr_with_no_recons_is_zero() {
+        let originals = vec![img(0.2)];
+        assert_eq!(best_psnr_per_original(&[], &originals), vec![0.0]);
+    }
+
+    #[test]
+    fn coarse_matching_agrees_with_exact_on_distinct_images() {
+        let originals = vec![img(0.1), img(0.5), img(0.9)];
+        let recons = vec![img(0.5), img(0.9)];
+        let exact = match_greedy(&recons, &originals);
+        let coarse = match_greedy_coarse(&recons, &originals, 2);
+        let key = |ms: &[ReconstructionMatch]| {
+            let mut v: Vec<(usize, usize)> =
+                ms.iter().map(|m| (m.recon_idx, m.original_idx)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&exact), key(&coarse));
+    }
+}

@@ -1,0 +1,108 @@
+//! Peak signal-to-noise ratio.
+
+use oasis_image::Image;
+
+/// The PSNR value reported for (numerically) identical images.
+///
+/// True zero-MSE reconstructions would be +∞ dB; the paper's "perfect"
+/// reconstructions land around 130–150 dB because of float round-off.
+/// We cap at 160 dB, safely above anything float32 noise produces.
+pub const PSNR_CAP: f64 = 160.0;
+
+/// Mean-squared-error floor below which PSNR saturates at
+/// [`PSNR_CAP`].
+const MSE_FLOOR: f64 = 1e-16;
+
+/// PSNR between two same-length signals with peak value 1.0, in dB.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn psnr_data(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "psnr requires equal lengths");
+    assert!(!a.is_empty(), "psnr of empty signals");
+    let mse: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse < MSE_FLOOR {
+        return PSNR_CAP;
+    }
+    (10.0 * (1.0 / mse).log10()).min(PSNR_CAP)
+}
+
+/// PSNR between two images of identical dimensions, in dB. Higher
+/// means the reconstruction is closer to the original (paper §IV-A).
+///
+/// # Panics
+///
+/// Panics if image dimensions differ.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "psnr requires identical dimensions");
+    psnr_data(a.data(), b.data())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_hit_cap() {
+        let mut a = Image::new(1, 4, 4);
+        a.fill(0.3);
+        assert_eq!(psnr(&a, &a.clone()), PSNR_CAP);
+    }
+
+    #[test]
+    fn known_mse_maps_to_expected_db() {
+        // MSE = 0.01 → PSNR = 10·log10(1/0.01) = 20 dB.
+        let a = vec![0.0f32; 100];
+        let b = vec![0.1f32; 100];
+        let p = psnr_data(&a, &b);
+        assert!((p - 20.0).abs() < 1e-5, "psnr {p}");
+    }
+
+    #[test]
+    fn more_noise_means_lower_psnr() {
+        let base = vec![0.5f32; 64];
+        let small: Vec<f32> = base.iter().map(|v| v + 0.01).collect();
+        let large: Vec<f32> = base.iter().map(|v| v + 0.2).collect();
+        assert!(psnr_data(&base, &small) > psnr_data(&base, &large));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0.1f32, 0.5, 0.9];
+        let b = vec![0.2f32, 0.4, 0.8];
+        assert_eq!(psnr_data(&a, &b), psnr_data(&b, &a));
+    }
+
+    #[test]
+    fn float32_round_off_lands_in_perfect_band() {
+        // A reconstruction that differs only by f32 noise (≈1e-7
+        // relative) must land in the paper's 120–160 dB "perfect" band.
+        let a: Vec<f32> = (0..1000).map(|i| (i as f32) / 1000.0).collect();
+        let b: Vec<f32> = a.iter().map(|&v| v * (1.0 + 1e-7) + 1e-8).collect();
+        let p = psnr_data(&a, &b);
+        assert!(p > 120.0, "psnr {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn rejects_mismatched_lengths() {
+        psnr_data(&[0.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn rejects_mismatched_images() {
+        let a = Image::new(1, 2, 2);
+        let b = Image::new(1, 2, 3);
+        psnr(&a, &b);
+    }
+}

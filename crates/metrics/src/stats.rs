@@ -1,0 +1,126 @@
+//! Boxplot-style summary statistics for figure output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Five-number summary plus mean/std — one boxplot of the paper's
+/// Figures 5, 6 and 13 (the green triangle is `mean`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`. Returns an all-zero summary
+    /// for empty input.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary { count: 0, min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0, std: 0.0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / sorted.len() as f64;
+        Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Linear-interpolated quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={:<4} min={:>7.2} q1={:>7.2} med={:>7.2} q3={:>7.2} max={:>7.2} mean={:>7.2}±{:.2}",
+            self.count, self.min, self.q1, self.median, self.q3, self.max, self.mean, self.std
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary_of_known_data() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let s = Summary::from_values(&[0.0, 1.0, 2.0, 3.0]);
+        assert!((s.q1 - 0.75).abs() < 1e-12);
+        assert!((s.median - 1.5).abs() < 1e-12);
+        assert!((s.q3 - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_collapses() {
+        let s = Summary::from_values(&[7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zeroed() {
+        let s = Summary::from_values(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn std_of_constant_is_zero() {
+        let s = Summary::from_values(&[4.0; 10]);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = Summary::from_values(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("min="));
+        assert!(text.contains("mean="));
+    }
+}

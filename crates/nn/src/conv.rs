@@ -1,0 +1,353 @@
+//! 2-D convolution via im2col, with fixed spatial geometry.
+//!
+//! The whole workspace passes activations as rank-2 tensors
+//! `[batch, features]`; convolution layers therefore carry their
+//! input geometry `(channels, height, width)` and reinterpret the flat
+//! features as CHW. This keeps the `Layer` interface uniform — which
+//! is exactly what the attacks need, since they treat the first layer
+//! as an `n×d` matrix regardless of what sits behind it.
+
+use oasis_tensor::{parallel, Tensor};
+use rand::Rng;
+use std::any::Any;
+
+use crate::{Layer, Mode, NnError, Result};
+
+/// A 2-D convolution with square kernels, zero padding and stride.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    in_h: usize,
+    in_w: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// `input_hw` fixes the spatial geometry of incoming activations;
+    /// inputs must be `[batch, in_channels * h * w]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        input_hw: (usize, usize),
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = (1.0 / fan_in).sqrt();
+        let ckk = in_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            in_h: input_hw.0,
+            in_w: input_hw.1,
+            weight: Tensor::rand_uniform(&[out_channels, ckk], -bound, bound, rng),
+            bias: Tensor::rand_uniform(&[out_channels], -bound, bound, rng),
+            grad_weight: Tensor::zeros(&[out_channels, ckk]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Flat output feature count `out_channels * out_h * out_w`.
+    pub fn out_features(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Flat input feature count `in_channels * in_h * in_w`.
+    pub fn in_features(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// `(out_channels, out_h, out_w)` — geometry for the next layer.
+    pub fn output_geometry(&self) -> (usize, usize, usize) {
+        (self.out_channels, self.out_h(), self.out_w())
+    }
+
+    /// Extracts the im2col matrix `(P, C·k·k)` for one sample.
+    fn im2col(&self, x: &[f32]) -> Vec<f32> {
+        let (c, h, w) = (self.in_channels, self.in_h, self.in_w);
+        let k = self.kernel;
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let ckk = c * k * k;
+        let mut col = vec![0.0f32; oh * ow * ckk];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (oy * ow + ox) * ckk;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let sy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        if sy < 0 || sy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let sx = (ox * self.stride + kx) as isize - self.padding as isize;
+                            if sx < 0 || sx as usize >= w {
+                                continue;
+                            }
+                            col[row + ch * k * k + ky * k + kx] =
+                                x[(ch * h + sy as usize) * w + sx as usize];
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// Scatter-adds a `(P, C·k·k)` column-gradient back into a flat
+    /// CHW input gradient (the adjoint of [`Conv2d::im2col`]).
+    fn col2im(&self, col: &[f32], gx: &mut [f32]) {
+        let (c, h, w) = (self.in_channels, self.in_h, self.in_w);
+        let k = self.kernel;
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let ckk = c * k * k;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (oy * ow + ox) * ckk;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let sy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        if sy < 0 || sy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let sx = (ox * self.stride + kx) as isize - self.padding as isize;
+                            if sx < 0 || sx as usize >= w {
+                                continue;
+                            }
+                            gx[(ch * h + sy as usize) * w + sx as usize] +=
+                                col[row + ch * k * k + ky * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features() {
+            return Err(NnError::BadInput {
+                layer: "conv2d",
+                expected: format!("[batch, {}]", self.in_features()),
+                actual: input.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.check_input(input)?;
+        let batch = input.dims()[0];
+        let p = self.out_h() * self.out_w();
+        let oc = self.out_channels;
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        let in_f = self.in_features();
+        let rows: Vec<Vec<f32>> = parallel::map_indexed(&(0..batch).collect::<Vec<_>>(), |_, &b| {
+            let x = &input.data()[b * in_f..(b + 1) * in_f];
+            let col = self.im2col(x);
+            let col_t = Tensor::from_vec(col, &[p, self.weight.dims()[1]])
+                .expect("im2col geometry");
+            // (P, CKK) · (CKK, out_c) via nt on W (out_c, CKK).
+            let y = col_t.matmul_nt(&self.weight).expect("conv forward matmul");
+            // Rearrange (P, oc) → channel-major (oc, P) with bias.
+            let mut row = vec![0.0f32; oc * p];
+            for pi in 0..p {
+                for c in 0..oc {
+                    row[c * p + pi] = y.data()[pi * oc + c] + self.bias.data()[c];
+                }
+            }
+            row
+        });
+        let mut out = Tensor::zeros(&[batch, oc * p]);
+        for (b, row) in rows.into_iter().enumerate() {
+            out.row_mut(b)?.copy_from_slice(&row);
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "conv2d" })?;
+        let batch = input.dims()[0];
+        let p = self.out_h() * self.out_w();
+        let oc = self.out_channels;
+        if grad_output.rank() != 2
+            || grad_output.dims()[0] != batch
+            || grad_output.dims()[1] != oc * p
+        {
+            return Err(NnError::BadInput {
+                layer: "conv2d",
+                expected: format!("[{batch}, {}]", oc * p),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let in_f = self.in_features();
+        let ckk = self.weight.dims()[1];
+
+        // Per-sample partials computed in parallel, reduced serially.
+        struct Partial {
+            gw: Tensor,
+            gb: Tensor,
+            gx: Vec<f32>,
+        }
+        let partials: Vec<Partial> =
+            parallel::map_indexed(&(0..batch).collect::<Vec<_>>(), |_, &b| {
+                let x = &input.data()[b * in_f..(b + 1) * in_f];
+                let col = self.im2col(x);
+                let col_t = Tensor::from_vec(col, &[p, ckk]).expect("im2col geometry");
+                // δY for this sample, rearranged (oc, P) → (P, oc).
+                let go = &grad_output.data()[b * oc * p..(b + 1) * oc * p];
+                let mut dy = vec![0.0f32; p * oc];
+                for c in 0..oc {
+                    for pi in 0..p {
+                        dy[pi * oc + c] = go[c * p + pi];
+                    }
+                }
+                let dy_t = Tensor::from_vec(dy, &[p, oc]).expect("dy geometry");
+                let gw = dy_t.matmul_tn(&col_t).expect("conv grad_w"); // (oc, ckk)
+                let gb = dy_t.sum_axis0().expect("conv grad_b"); // (oc)
+                let dcol = dy_t.matmul(&self.weight).expect("conv grad_col"); // (P, ckk)
+                let mut gx = vec![0.0f32; in_f];
+                self.col2im(dcol.data(), &mut gx);
+                Partial { gw, gb, gx }
+            });
+
+        let mut grad_input = Tensor::zeros(&[batch, in_f]);
+        for (b, part) in partials.into_iter().enumerate() {
+            self.grad_weight.add_assign(&part.gw)?;
+            self.grad_bias.add_assign(&part.gb)?;
+            grad_input.row_mut(b)?.copy_from_slice(&part.gx);
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, (4, 4), &mut rng);
+        conv.weight_set_for_test(&[1.0]);
+        conv.bias_set_for_test(&[0.0]);
+        let x = Tensor::randn(&[2, 16], &mut rng);
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn averaging_kernel_averages() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 2, 2, 0, (2, 2), &mut rng);
+        conv.weight_set_for_test(&[0.25, 0.25, 0.25, 0.25]);
+        conv.bias_set_for_test(&[0.0]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 1]);
+        assert!((y.data()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometry_with_stride_and_padding() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 16, 3, 2, 1, (32, 32), &mut rng);
+        assert_eq!(conv.out_h(), 16);
+        assert_eq!(conv.out_w(), 16);
+        assert_eq!(conv.out_features(), 16 * 16 * 16);
+        assert_eq!(conv.output_geometry(), (16, 16, 16));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, (4, 4), &mut rng);
+        assert!(conv.forward(&Tensor::zeros(&[1, 15]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn bias_shifts_every_position() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, (2, 2), &mut rng);
+        conv.weight_set_for_test(&[0.0]);
+        conv.bias_set_for_test(&[0.7]);
+        let y = conv.forward(&Tensor::zeros(&[1, 4]), Mode::Eval).unwrap();
+        assert!(y.data().iter().all(|&v| (v - 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_shapes_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, (5, 5), &mut rng);
+        let x = Tensor::randn(&[4, 2 * 25], &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let gx = conv.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        assert_eq!(conv.grad_weight_for_test().dims(), &[3, 2 * 9]);
+    }
+
+    impl Conv2d {
+        fn weight_set_for_test(&mut self, values: &[f32]) {
+            self.weight.data_mut().copy_from_slice(values);
+        }
+        fn bias_set_for_test(&mut self, values: &[f32]) {
+            self.bias.data_mut().copy_from_slice(values);
+        }
+        fn grad_weight_for_test(&self) -> &Tensor {
+            &self.grad_weight
+        }
+    }
+}

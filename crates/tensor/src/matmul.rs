@@ -1,0 +1,240 @@
+//! Dense matrix multiplication with cache-friendly loop order.
+
+use crate::{parallel, Result, Tensor, TensorError};
+
+/// Minimum number of output elements before the parallel path is used.
+///
+/// Below this, thread spawn overhead dominates on small matrices.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+impl Tensor {
+    /// Matrix product `self (m×k) · other (k×n) → (m×n)`.
+    ///
+    /// Uses `i-k-j` loop order so the innermost loop walks both the
+    /// output row and the right-hand row contiguously. Large products
+    /// are split across threads by row blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching
+    /// inner dimension.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = dims2(self, "matmul")?;
+        let (k2, n) = dims2(other, "matmul")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let kernel = |row0: usize, rows: &mut [f32]| {
+            // `rows` covers output rows [row0, row0 + rows.len()/n).
+            for (local_i, out_row) in rows.chunks_mut(n).enumerate() {
+                let i = row0 + local_i;
+                for p in 0..k {
+                    let aip = a[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(brow) {
+                        *o += aip * bv;
+                    }
+                }
+            }
+        };
+        if m * n >= PARALLEL_THRESHOLD && m > 1 {
+            parallel::for_each_row_block(out.data_mut(), n, kernel);
+        } else {
+            kernel(0, out.data_mut());
+        }
+        Ok(out)
+    }
+
+    /// Computes `selfᵀ · other` without materializing the transpose.
+    ///
+    /// `self` is `(k×m)`, `other` is `(k×n)`, result is `(m×n)`. This is
+    /// the shape needed for weight gradients (`xᵀ · δ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching
+    /// leading dimension.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        let (k, m) = dims2(self, "matmul_tn")?;
+        let (k2, n) = dims2(other, "matmul_tn")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        // out[i][j] = Σ_p a[p][i] * b[p][j]: accumulate row-by-row of a/b.
+        let o = out.data_mut();
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * n..(i + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `self · otherᵀ` without materializing the transpose.
+    ///
+    /// `self` is `(m×k)`, `other` is `(n×k)`, result is `(m×n)`. This is
+    /// the shape needed for input gradients (`δ · Wᵀ` with `W: n×k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching
+    /// trailing dimension.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = dims2(self, "matmul_nt")?;
+        let (n, k2) = dims2(other, "matmul_nt")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let kernel = |row0: usize, rows: &mut [f32]| {
+            for (local_i, out_row) in rows.chunks_mut(n).enumerate() {
+                let i = row0 + local_i;
+                let arow = &a[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
+                }
+            }
+        };
+        if m * n >= PARALLEL_THRESHOLD && m > 1 {
+            parallel::for_each_row_block(out.data_mut(), n, kernel);
+        } else {
+            kernel(0, out.data_mut());
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self (m×k) · v (k) → (m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `self` is rank-2 and `v` rank-1 with
+    /// matching length.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let (m, k) = dims2(self, "matvec")?;
+        if v.rank() != 1 || v.numel() != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.data()[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, actual: t.rank() });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: Vec<f32>, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(v, &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = m(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = m(vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0], 3, 2);
+        let b = m(vec![2.0, 1.0, 0.0, -1.0, 5.0, 2.0], 3, 2);
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = m(vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0], 2, 3);
+        let b = m(vec![2.0, 1.0, 0.0, -1.0, 5.0, 2.0], 2, 3);
+        let fused = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let v = Tensor::from_slice(&[5.0, 6.0]);
+        let mv = a.matvec(&v).unwrap();
+        assert_eq!(mv.data(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn large_matmul_uses_parallel_path_consistently() {
+        // Exercise both code paths and check they agree.
+        let n = 300; // 300*300 = 90_000 > threshold
+        let a = Tensor::from_vec((0..n * n).map(|i| (i % 17) as f32 * 0.25).collect(), &[n, n])
+            .unwrap();
+        let i = Tensor::eye(n);
+        let c = a.matmul(&i).unwrap();
+        assert_eq!(c, a);
+    }
+}

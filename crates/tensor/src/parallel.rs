@@ -1,0 +1,166 @@
+//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//!
+//! The workspace deliberately avoids a full task-scheduling runtime;
+//! the only parallel patterns needed are "split a flat output buffer
+//! into row blocks" (matmul, conv) and "run one closure per item"
+//! (federated clients). Both are provided here.
+
+use parking_lot::Mutex;
+
+/// Returns the number of worker threads to use.
+///
+/// Reads `std::thread::available_parallelism`, clamped to at least 1.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `data` (a flat row-major buffer with rows of `row_len`
+/// elements) into contiguous row blocks and invokes
+/// `kernel(first_row_index, block)` on worker threads.
+///
+/// The kernel must be pure per-block: blocks are disjoint, so no
+/// synchronization is required inside.
+///
+/// # Panics
+///
+/// Panics if `row_len` is zero while `data` is non-empty, or if
+/// `data.len()` is not a multiple of `row_len`.
+pub fn for_each_row_block<F>(data: &mut [f32], row_len: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(row_len > 0, "row_len must be positive for a non-empty buffer");
+    assert_eq!(data.len() % row_len, 0, "buffer must be a whole number of rows");
+    let rows = data.len() / row_len;
+    let workers = num_threads().min(rows);
+    if workers <= 1 {
+        kernel(0, data);
+        return;
+    }
+    let rows_per_block = rows.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row0 = 0usize;
+        while !rest.is_empty() {
+            let take = (rows_per_block * row_len).min(rest.len());
+            let (block, tail) = rest.split_at_mut(take);
+            let kernel = &kernel;
+            let start = row0;
+            scope.spawn(move |_| kernel(start, block));
+            row0 += take / row_len;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `f(index, &items[index])` for every item on worker threads and
+/// collects the results in input order.
+///
+/// Used by the FL server to evaluate clients concurrently.
+pub fn map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = Mutex::new(0usize);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    if i >= n {
+                        return;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let r = f(i, &items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn row_blocks_cover_every_row_once() {
+        let rows = 37;
+        let cols = 5;
+        let mut buf = vec![0.0f32; rows * cols];
+        for_each_row_block(&mut buf, cols, |row0, block| {
+            for (li, row) in block.chunks_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row0 + li) as f32;
+                }
+            }
+        });
+        for (i, row) in buf.chunks(cols).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f32), "row {i} incorrect: {row:?}");
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_noop() {
+        let mut buf: Vec<f32> = Vec::new();
+        for_each_row_block(&mut buf, 4, |_, _| panic!("kernel must not run"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_buffer_panics() {
+        let mut buf = vec![0.0f32; 7];
+        for_each_row_block(&mut buf, 3, |_, _| {});
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = map_indexed(&items, |i, &v| (i as u32) * 2 + v);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u32) * 3);
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_input() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = map_indexed(&items, |_, &v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_indexed_single_item() {
+        let out = map_indexed(&[41u32], |_, &v| v + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Integration test for the paper's Table I claim: training with
+//! OASIS does not majorly degrade accuracy (tiny-scale version; the
+//! full sweep lives in `cargo run -p oasis-bench --bin table1_accuracy`).
+
+use oasis::{Oasis, OasisConfig};
+use oasis_augment::PolicyKind;
+use oasis_data::cifar_like_with;
+use oasis_fl::{train_centralized, BatchPreprocessor, IdentityPreprocessor};
+use oasis_nn::{Linear, Relu, Sequential, Sgd};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn train_with(pre: &dyn BatchPreprocessor) -> f64 {
+    let ds = cifar_like_with(5, 24, 10, 9);
+    let mut rng = StdRng::seed_from_u64(0);
+    let (train, test) = ds.split(0.8, &mut rng);
+    let d = train.feature_dim();
+    let mut model = Sequential::new();
+    let mut mrng = StdRng::seed_from_u64(4);
+    model.push(Linear::new(d, 40, &mut mrng));
+    model.push(Relu::new());
+    model.push(Linear::new(40, 5, &mut mrng));
+    let mut opt = Sgd::with_momentum(0.05, 0.9, 1e-4);
+    train_centralized(&mut model, &mut opt, &train, &test, pre, 15, 8, 1)
+        .expect("training")
+        .test_accuracy
+}
+
+#[test]
+fn oasis_training_keeps_accuracy_close_to_baseline() {
+    let baseline = train_with(&IdentityPreprocessor);
+    assert!(baseline > 0.5, "baseline should learn: {baseline}");
+    for kind in [PolicyKind::MajorRotation, PolicyKind::MajorRotationShearing] {
+        let defense = Oasis::new(OasisConfig::policy(kind));
+        let acc = train_with(&defense);
+        assert!(
+            acc > baseline - 0.25,
+            "policy {} dropped accuracy too far: {acc:.2} vs baseline {baseline:.2}",
+            kind.abbrev()
+        );
+    }
+}

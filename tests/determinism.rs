@@ -1,0 +1,45 @@
+//! Reproducibility: every experiment endpoint is a pure function of
+//! its seeds.
+
+use oasis::{Oasis, OasisConfig};
+use oasis_attacks::{run_attack, CahAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET};
+use oasis_augment::PolicyKind;
+use oasis_data::{imagenette_like_with, Batch};
+use oasis_fl::IdentityPreprocessor;
+
+#[test]
+fn datasets_are_reproducible() {
+    let a = imagenette_like_with(4, 16, 5);
+    let b = imagenette_like_with(4, 16, 5);
+    assert_eq!(a.items(), b.items());
+}
+
+#[test]
+fn attack_outcomes_are_reproducible() {
+    let ds = imagenette_like_with(6, 16, 6);
+    let calib: Vec<_> = ds.items().iter().map(|it| it.image.clone()).collect();
+    let batch = Batch::from_items(ds.items()[..5].to_vec());
+
+    let rtf = RtfAttack::calibrated(64, &calib).unwrap();
+    let a = run_attack(&rtf, &batch, &IdentityPreprocessor, 10, 3).unwrap();
+    let b = run_attack(&rtf, &batch, &IdentityPreprocessor, 10, 3).unwrap();
+    assert_eq!(a.matched_psnrs, b.matched_psnrs);
+
+    let cah = CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 1).unwrap();
+    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
+    let c = run_attack(&cah, &batch, &defense, 10, 3).unwrap();
+    let d = run_attack(&cah, &batch, &defense, 10, 3).unwrap();
+    assert_eq!(c.matched_psnrs, d.matched_psnrs);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let ds = imagenette_like_with(6, 16, 6);
+    let calib: Vec<_> = ds.items().iter().map(|it| it.image.clone()).collect();
+    let batch = Batch::from_items(ds.items()[..5].to_vec());
+    let cah_a = CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 1).unwrap();
+    let cah_b = CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 2).unwrap();
+    let a = run_attack(&cah_a, &batch, &IdentityPreprocessor, 10, 3).unwrap();
+    let b = run_attack(&cah_b, &batch, &IdentityPreprocessor, 10, 3).unwrap();
+    assert_ne!(a.matched_psnrs, b.matched_psnrs);
+}

@@ -1,0 +1,68 @@
+//! Integration test for the executable Proposition 1: predicted
+//! activation-set protection tracks measured leakage across policies
+//! and attack families.
+
+use oasis::{activation_set_analysis, Oasis, OasisConfig};
+use oasis_attacks::{run_attack, ActiveAttack, RtfAttack};
+use oasis_augment::PolicyKind;
+use oasis_data::imagenette_like_with;
+use oasis_nn::Linear;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn prop1_protection_implies_no_rtf_leakage() {
+    let ds = imagenette_like_with(16, 24, 31);
+    let calibration: Vec<_> = ds.items().iter().map(|it| it.image.clone()).collect();
+    let attack = RtfAttack::calibrated(192, &calibration).expect("calibration");
+    let mut rng = StdRng::seed_from_u64(8);
+    let batch = ds.sample_batch(6, &mut rng);
+
+    let model = attack.build_model(batch.images[0].dims(), 10, 2).expect("model");
+    let layer = model.layer_as::<Linear>(0).expect("malicious layer");
+
+    for kind in [
+        PolicyKind::MajorRotation,
+        PolicyKind::HorizontalFlip,
+        PolicyKind::VerticalFlip,
+        PolicyKind::MinorRotation,
+        PolicyKind::Shearing,
+    ] {
+        let defense = Oasis::new(OasisConfig::policy(kind));
+        let analysis = activation_set_analysis(layer, &batch, &defense);
+        let outcome = run_attack(&attack, &batch, &defense, 10, 2).expect("run");
+        // Proposition 1: full activation-set twinning ⇒ the attacker
+        // cannot isolate any sample.
+        if analysis.protection_rate == 1.0 {
+            assert_eq!(
+                outcome.leak_rate(60.0),
+                0.0,
+                "policy {} predicted protected but leaked",
+                kind.abbrev()
+            );
+        }
+        // Mean-preserving policies must fully twin measurement layers.
+        assert_eq!(
+            analysis.protection_rate,
+            1.0,
+            "policy {} should twin RTF's measurement layer",
+            kind.abbrev()
+        );
+    }
+}
+
+#[test]
+fn without_policy_is_predicted_and_measured_unprotected() {
+    let ds = imagenette_like_with(16, 24, 32);
+    let calibration: Vec<_> = ds.items().iter().map(|it| it.image.clone()).collect();
+    let attack = RtfAttack::calibrated(192, &calibration).expect("calibration");
+    let mut rng = StdRng::seed_from_u64(9);
+    let batch = ds.sample_batch(6, &mut rng);
+
+    let model = attack.build_model(batch.images[0].dims(), 10, 2).expect("model");
+    let layer = model.layer_as::<Linear>(0).expect("malicious layer");
+    let defense = Oasis::new(OasisConfig::policy(PolicyKind::Without));
+    let analysis = activation_set_analysis(layer, &batch, &defense);
+    let outcome = run_attack(&attack, &batch, &defense, 10, 2).expect("run");
+    assert!(analysis.protection_rate < 0.5, "WO should not be predicted protected");
+    assert!(outcome.leak_rate(60.0) > 0.5, "WO should measurably leak");
+}
