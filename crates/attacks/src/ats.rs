@@ -38,10 +38,7 @@ impl AtsDefense {
             Transform::rotation(45.0),
             Transform::MajorRotation { quarter_turns: 1 },
             Transform::shear(0.55),
-            Transform::Compose(vec![
-                Transform::rotation(30.0),
-                Transform::shear(0.55),
-            ]),
+            Transform::Compose(vec![Transform::rotation(30.0), Transform::shear(0.55)]),
         ])
     }
 }

@@ -72,7 +72,13 @@ impl CahAttack {
         if gamma <= 0.0 {
             return Err(AttackError::BadConfig("gamma must be positive".into()));
         }
-        Ok(CahAttack { neurons, gamma, weight_seed, biases: None, calibrated_dim: None })
+        Ok(CahAttack {
+            neurons,
+            gamma,
+            weight_seed,
+            biases: None,
+            calibrated_dim: None,
+        })
     }
 
     /// Strongest-attack variant: per-row biases at the `1−target`
@@ -93,7 +99,9 @@ impl CahAttack {
             return Err(AttackError::Calibration("empty calibration set".into()));
         }
         if !(target > 0.0 && target < 1.0) {
-            return Err(AttackError::Calibration(format!("unreachable target {target}")));
+            return Err(AttackError::Calibration(format!(
+                "unreachable target {target}"
+            )));
         }
         let d = calibration[0].numel();
         let gamma = 1.0f32;
@@ -190,9 +198,10 @@ impl ActiveAttack for CahAttack {
         let (c, h, w) = geometry;
         let mut pool = Vec::new();
         for i in 0..self.neurons {
-            if let Some(values) =
-                invert_neuron(grad_weight.row(i).expect("row in bounds"), grad_bias.data()[i])
-            {
+            if let Some(values) = invert_neuron(
+                grad_weight.row(i).expect("row in bounds"),
+                grad_bias.data()[i],
+            ) {
                 if let Ok(img) = Image::from_vec(c, h, w, values) {
                     pool.push(img);
                 }
@@ -262,8 +271,13 @@ mod tests {
             let mut active = 0;
             for img in &imgs {
                 for r in 0..64 {
-                    let z: f32 =
-                        w.row(r).unwrap().iter().zip(img.data()).map(|(&a, &b)| a * b).sum();
+                    let z: f32 = w
+                        .row(r)
+                        .unwrap()
+                        .iter()
+                        .zip(img.data())
+                        .map(|(&a, &b)| a * b)
+                        .sum();
                     if z > 0.0 {
                         active += 1;
                     }

@@ -77,8 +77,11 @@ pub fn train_linear_with_dp(
                 model.backward(&out.grad)?;
                 let g = oasis_nn::flatten_grads(&mut model);
                 let norm = g.iter().map(|v| v * v).sum::<f32>().sqrt();
-                let scale =
-                    if norm > config.clip_norm { config.clip_norm / norm } else { 1.0 };
+                let scale = if norm > config.clip_norm {
+                    config.clip_norm / norm
+                } else {
+                    1.0
+                };
                 match &mut acc {
                     None => acc = Some(g.iter().map(|v| v * scale).collect()),
                     Some(a) => {
@@ -102,11 +105,12 @@ pub fn train_linear_with_dp(
             oasis_nn::load_params(&mut model, &params)?;
         }
     }
-    Ok(oasis_fl::evaluate_accuracy(&mut model, test, config.batch_size)
-        .map_err(|e| match e {
+    Ok(
+        oasis_fl::evaluate_accuracy(&mut model, test, config.batch_size).map_err(|e| match e {
             oasis_fl::FlError::Nn(nn) => crate::AttackError::Nn(nn),
             other => crate::AttackError::BadConfig(other.to_string()),
-        })?)
+        })?,
+    )
 }
 
 #[cfg(test)]
@@ -144,7 +148,10 @@ mod tests {
             learning_rate: 0.5,
             batch_size: 8,
         };
-        let heavy_noise = DpConfig { noise_multiplier: 50.0, ..low_noise };
+        let heavy_noise = DpConfig {
+            noise_multiplier: 50.0,
+            ..low_noise
+        };
         let clean = train_linear_with_dp(&train, &test, low_noise, 1).unwrap();
         let noisy = train_linear_with_dp(&train, &test, heavy_noise, 1).unwrap();
         assert!(

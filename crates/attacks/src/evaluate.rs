@@ -3,11 +3,11 @@
 //! code path behind every PSNR number in the paper's figures.
 
 use oasis_data::Batch;
+use oasis_fl::BatchPreprocessor;
 use oasis_image::Image;
 use oasis_metrics::{best_psnr_per_original, match_greedy_coarse, ReconstructionMatch, Summary};
 use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode, Sequential};
 use oasis_tensor::Tensor;
-use oasis_fl::BatchPreprocessor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,7 +82,11 @@ impl AttackOutcome {
         if self.per_original_best.is_empty() {
             return 0.0;
         }
-        let leaked = self.per_original_best.iter().filter(|&&p| p > threshold_db).count();
+        let leaked = self
+            .per_original_best
+            .iter()
+            .filter(|&&p| p > threshold_db)
+            .count();
         leaked as f64 / self.per_original_best.len() as f64
     }
 }
@@ -109,26 +113,7 @@ pub fn run_attack(
     classes: usize,
     seed: u64,
 ) -> Result<AttackOutcome> {
-    let geometry = batch
-        .images
-        .first()
-        .ok_or_else(|| AttackError::BadConfig("empty batch".into()))?
-        .dims();
-    let mut model = attack.build_model(geometry, classes, seed)?;
-
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEF3_17);
-    let processed = defense.process(batch, &mut rng);
-    let x = processed.to_matrix();
-    model.zero_grad();
-    let logits = model.forward(&x, Mode::Train)?;
-    let out = softmax_cross_entropy(&logits, &processed.labels)?;
-    model.backward(&out.grad)?;
-
-    let lin = model
-        .layer_as::<Linear>(0)
-        .ok_or_else(|| AttackError::BadConfig("malicious layer missing".into()))?;
-    let recons = attack.reconstruct(lin.grad_weight(), lin.grad_bias(), geometry);
-    Ok(score(recons, batch, &processed, out.loss))
+    run_attack_inner(attack, batch, defense, classes, seed, None)
 }
 
 /// Like [`run_attack`], but the client applies DP-SGD to its update:
@@ -149,6 +134,29 @@ pub fn run_attack_with_dp(
     clip_norm: f32,
     noise_std: f32,
 ) -> Result<AttackOutcome> {
+    run_attack_inner(
+        attack,
+        batch,
+        defense,
+        classes,
+        seed,
+        Some((clip_norm, noise_std)),
+    )
+}
+
+/// The shared attacked-round harness behind [`run_attack`] and
+/// [`run_attack_with_dp`]: build the malicious model, let the client
+/// preprocess its batch, compute the uploaded gradients (exact, or
+/// clipped-and-noised when `dp = Some((clip_norm, noise_std))`),
+/// invert, and score.
+fn run_attack_inner(
+    attack: &dyn ActiveAttack,
+    batch: &Batch,
+    defense: &dyn BatchPreprocessor,
+    classes: usize,
+    seed: u64,
+    dp: Option<(f32, f32)>,
+) -> Result<AttackOutcome> {
     let geometry = batch
         .images
         .first()
@@ -157,43 +165,74 @@ pub fn run_attack_with_dp(
     let mut model = attack.build_model(geometry, classes, seed)?;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDEF3_17);
     let processed = defense.process(batch, &mut rng);
-    let b = processed.len();
 
-    // Per-sample gradients, clipped then averaged (DP-SGD).
-    let d = geometry.0 * geometry.1 * geometry.2;
-    let n = attack.attacked_neurons();
-    let mut sum_gw = Tensor::zeros(&[n, d]);
-    let mut sum_gb = Tensor::zeros(&[n]);
-    let mut total_loss = 0.0f32;
-    for i in 0..b {
-        let xi = processed.images[i].to_tensor().reshape(&[1, d])?;
-        model.zero_grad();
-        let logits = model.forward(&xi, Mode::Train)?;
-        let out = softmax_cross_entropy(&logits, &processed.labels[i..i + 1])?;
-        model.backward(&out.grad)?;
-        total_loss += out.loss;
-        let lin = model
-            .layer_as::<Linear>(0)
-            .ok_or_else(|| AttackError::BadConfig("malicious layer missing".into()))?;
-        // Clip the whole per-sample gradient (all layers would be
-        // clipped in real DP-SGD; the malicious layer dominates the
-        // norm here and is all the attacker reads).
-        let norm = (lin.grad_weight().norm_sq() + lin.grad_bias().norm_sq()).sqrt();
-        let scale = if norm > clip_norm { clip_norm / norm } else { 1.0 };
-        sum_gw.axpy(scale, lin.grad_weight())?;
-        sum_gb.axpy(scale, lin.grad_bias())?;
-    }
-    let inv_b = 1.0 / b as f32;
-    sum_gw.scale_in_place(inv_b);
-    sum_gb.scale_in_place(inv_b);
-    let sigma = noise_std * clip_norm * inv_b;
-    let noise_w = Tensor::randn_scaled(&[n, d], 0.0, sigma, &mut rng);
-    let noise_b = Tensor::randn_scaled(&[n], 0.0, sigma, &mut rng);
-    sum_gw.add_assign(&noise_w)?;
-    sum_gb.add_assign(&noise_b)?;
+    let (recons, loss) = match dp {
+        None => {
+            // The honest client uploads exact full-batch gradients.
+            let x = processed.to_matrix();
+            model.zero_grad();
+            let logits = model.forward(&x, Mode::Train)?;
+            let out = softmax_cross_entropy(&logits, &processed.labels)?;
+            model.backward(&out.grad)?;
+            let lin = malicious_layer(&model)?;
+            (
+                attack.reconstruct(lin.grad_weight(), lin.grad_bias(), geometry),
+                out.loss,
+            )
+        }
+        Some((clip_norm, noise_std)) => {
+            // DP-SGD: per-sample gradients, clipped then averaged,
+            // plus Gaussian noise of std `noise_std · clip_norm / B`.
+            let b = processed.len();
+            let d = geometry.0 * geometry.1 * geometry.2;
+            let n = attack.attacked_neurons();
+            let mut sum_gw = Tensor::zeros(&[n, d]);
+            let mut sum_gb = Tensor::zeros(&[n]);
+            let mut total_loss = 0.0f32;
+            for i in 0..b {
+                let xi = processed.images[i].to_tensor().reshape(&[1, d])?;
+                model.zero_grad();
+                let logits = model.forward(&xi, Mode::Train)?;
+                let out = softmax_cross_entropy(&logits, &processed.labels[i..i + 1])?;
+                model.backward(&out.grad)?;
+                total_loss += out.loss;
+                let lin = malicious_layer(&model)?;
+                // Clip the whole per-sample gradient (all layers would
+                // be clipped in real DP-SGD; the malicious layer
+                // dominates the norm here and is all the attacker
+                // reads).
+                let norm = (lin.grad_weight().norm_sq() + lin.grad_bias().norm_sq()).sqrt();
+                let scale = if norm > clip_norm {
+                    clip_norm / norm
+                } else {
+                    1.0
+                };
+                sum_gw.axpy(scale, lin.grad_weight())?;
+                sum_gb.axpy(scale, lin.grad_bias())?;
+            }
+            let inv_b = 1.0 / b as f32;
+            sum_gw.scale_in_place(inv_b);
+            sum_gb.scale_in_place(inv_b);
+            let sigma = noise_std * clip_norm * inv_b;
+            let noise_w = Tensor::randn_scaled(&[n, d], 0.0, sigma, &mut rng);
+            let noise_b = Tensor::randn_scaled(&[n], 0.0, sigma, &mut rng);
+            sum_gw.add_assign(&noise_w)?;
+            sum_gb.add_assign(&noise_b)?;
+            (
+                attack.reconstruct(&sum_gw, &sum_gb, geometry),
+                total_loss * inv_b,
+            )
+        }
+    };
 
-    let recons = attack.reconstruct(&sum_gw, &sum_gb, geometry);
-    Ok(score(recons, batch, &processed, total_loss * inv_b))
+    Ok(score(recons, batch, &processed, loss))
+}
+
+/// The attacked first layer the adversary reads gradients from.
+fn malicious_layer(model: &Sequential) -> Result<&Linear> {
+    model
+        .layer_as::<Linear>(0)
+        .ok_or_else(|| AttackError::BadConfig("malicious layer missing".into()))
 }
 
 fn score(recons: Vec<Image>, batch: &Batch, processed: &Batch, client_loss: f32) -> AttackOutcome {

@@ -67,7 +67,13 @@ pub fn probit(p: f64) -> f64 {
 pub fn normal_cdf(x: f64) -> f64 {
     // Φ(x) = 1 − φ(x)(b1 t + b2 t² + … + b5 t⁵), t = 1/(1+px), x ≥ 0.
     const P: f64 = 0.231_641_9;
-    const B: [f64; 5] = [0.319_381_530, -0.356_563_782, 1.781_477_937, -1.821_255_978, 1.330_274_429];
+    const B: [f64; 5] = [
+        0.319_381_530,
+        -0.356_563_782,
+        1.781_477_937,
+        -1.821_255_978,
+        1.330_274_429,
+    ];
     let ax = x.abs();
     let t = 1.0 / (1.0 + P * ax);
     let phi = (-(ax * ax) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();

@@ -42,12 +42,20 @@ impl RtfAttack {
     /// non-positive std.
     pub fn new(neurons: usize, measurement_mean: f32, measurement_std: f32) -> Result<Self> {
         if neurons < 2 {
-            return Err(AttackError::BadConfig("RTF needs at least 2 neurons".into()));
+            return Err(AttackError::BadConfig(
+                "RTF needs at least 2 neurons".into(),
+            ));
         }
         if measurement_std <= 0.0 {
-            return Err(AttackError::BadConfig("measurement std must be positive".into()));
+            return Err(AttackError::BadConfig(
+                "measurement std must be positive".into(),
+            ));
         }
-        Ok(RtfAttack { neurons, measurement_mean, measurement_std })
+        Ok(RtfAttack {
+            neurons,
+            measurement_mean,
+            measurement_std,
+        })
     }
 
     /// Calibrates the measurement distribution from sample images —
@@ -68,7 +76,9 @@ impl RtfAttack {
         let mu = means.iter().sum::<f32>() / means.len() as f32;
         let var = means.iter().map(|m| (m - mu) * (m - mu)).sum::<f32>() / means.len() as f32;
         if var <= 0.0 {
-            return Err(AttackError::Calibration("calibration images have no variance".into()));
+            return Err(AttackError::Calibration(
+                "calibration images have no variance".into(),
+            ));
         }
         Self::new(neurons, mu, var.sqrt())
     }
@@ -129,7 +139,10 @@ impl ActiveAttack for RtfAttack {
                 )
             } else {
                 // Top bin: h(x) > c_n — the last neuron alone.
-                invert_neuron(grad_weight.row(i).expect("row in bounds"), grad_bias.data()[i])
+                invert_neuron(
+                    grad_weight.row(i).expect("row in bounds"),
+                    grad_bias.data()[i],
+                )
             };
             if let Some(values) = rec {
                 if let Ok(img) = Image::from_vec(c, h, w, values) {
@@ -144,8 +157,8 @@ impl ActiveAttack for RtfAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode};
     use oasis_metrics::{match_greedy, PSNR_CAP};
+    use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn structured_images(count: usize, side: usize, seed: u64) -> Vec<Image> {
@@ -169,8 +182,7 @@ mod tests {
     fn calibration_fits_sample_statistics() {
         let imgs = structured_images(40, 16, 3);
         let attack = RtfAttack::calibrated(64, &imgs).unwrap();
-        let emp_mean =
-            imgs.iter().map(Image::mean).sum::<f32>() / imgs.len() as f32;
+        let emp_mean = imgs.iter().map(Image::mean).sum::<f32>() / imgs.len() as f32;
         assert!((attack.measurement_mean - emp_mean).abs() < 1e-5);
         assert!(attack.measurement_std > 0.0);
     }

@@ -24,5 +24,5 @@
 mod policy;
 mod transform;
 
-pub use policy::{AugmentationPolicy, PolicyKind};
+pub use policy::{AugmentationPolicy, ParsePolicyError, PolicyKind};
 pub use transform::Transform;

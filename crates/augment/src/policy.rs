@@ -78,6 +78,52 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+/// Error returned when parsing a [`PolicyKind`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    input: String,
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown policy `{}` (expected one of WO, MR, mR, SH, HFlip, VFlip, MR+SH)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    /// Parses the figure-legend abbreviation ([`PolicyKind::abbrev`]).
+    ///
+    /// `MR` and `mR` differ only by case, so abbreviations match
+    /// case-sensitively; the spelled-out names (`without`,
+    /// `major-rotation`, `minor-rotation`, `shearing`, `hflip`,
+    /// `vflip`, `major-rotation-shearing`) match case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(kind) = PolicyKind::all().into_iter().find(|k| k.abbrev() == s) {
+            return Ok(kind);
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "without" => Ok(PolicyKind::Without),
+            "major-rotation" => Ok(PolicyKind::MajorRotation),
+            "minor-rotation" => Ok(PolicyKind::MinorRotation),
+            "shearing" => Ok(PolicyKind::Shearing),
+            "hflip" | "horizontal-flip" => Ok(PolicyKind::HorizontalFlip),
+            "vflip" | "vertical-flip" => Ok(PolicyKind::VerticalFlip),
+            "major-rotation-shearing" => Ok(PolicyKind::MajorRotationShearing),
+            _ => Err(ParsePolicyError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
 /// A set of transforms that, applied to a training sample `x_t`,
 /// produces the augmentation set `X′_t` of paper Eq. 7.
 ///
@@ -100,7 +146,10 @@ pub struct AugmentationPolicy {
 impl AugmentationPolicy {
     /// A policy from an explicit transform list.
     pub fn new(name: impl Into<String>, transforms: Vec<Transform>) -> Self {
-        AugmentationPolicy { name: name.into(), transforms }
+        AugmentationPolicy {
+            name: name.into(),
+            transforms,
+        }
     }
 
     /// The empty policy (no augmentation; `X′_t = ∅`).
@@ -216,7 +265,10 @@ mod tests {
         assert_eq!(AugmentationPolicy::shearing().expansion_factor(), 4);
         assert_eq!(AugmentationPolicy::horizontal_flip().expansion_factor(), 2);
         assert_eq!(AugmentationPolicy::vertical_flip().expansion_factor(), 2);
-        assert_eq!(AugmentationPolicy::major_rotation_shearing().expansion_factor(), 7);
+        assert_eq!(
+            AugmentationPolicy::major_rotation_shearing().expansion_factor(),
+            7
+        );
     }
 
     #[test]
@@ -252,6 +304,22 @@ mod tests {
             let p = kind.policy();
             assert_eq!(p.name(), kind.abbrev());
         }
+    }
+
+    #[test]
+    fn kind_parses_back_from_abbrev() {
+        for kind in PolicyKind::all() {
+            assert_eq!(kind.abbrev().parse::<PolicyKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            "major-rotation".parse::<PolicyKind>().unwrap(),
+            PolicyKind::MajorRotation
+        );
+        assert_eq!(
+            "mr".parse::<PolicyKind>(),
+            Err(ParsePolicyError { input: "mr".into() })
+        );
+        assert!("bogus".parse::<PolicyKind>().is_err());
     }
 
     #[test]

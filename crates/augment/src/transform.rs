@@ -103,7 +103,9 @@ impl Transform {
     /// for [`Transform::MeanPreserving`]).
     pub fn is_mean_preserving(&self) -> bool {
         match self {
-            Transform::MajorRotation { .. } | Transform::FlipHorizontal | Transform::FlipVertical => true,
+            Transform::MajorRotation { .. }
+            | Transform::FlipHorizontal
+            | Transform::FlipVertical => true,
             Transform::Rotation { .. } | Transform::Shear { .. } => false,
             Transform::Compose(list) => list.iter().all(Transform::is_mean_preserving),
             Transform::MeanPreserving(_) => true,
@@ -117,23 +119,35 @@ impl Transform {
 
     /// Zero-fill rotation by `degrees` (torchvision's default fill).
     pub fn rotation(degrees: f32) -> Transform {
-        Transform::Rotation { degrees, fill: FillMode::Zero }
+        Transform::Rotation {
+            degrees,
+            fill: FillMode::Zero,
+        }
     }
 
     /// Reflection-padded rotation by `degrees` — the fill the OASIS
     /// policies use (see [`FillMode::Reflect`]).
     pub fn rotation_reflect(degrees: f32) -> Transform {
-        Transform::Rotation { degrees, fill: FillMode::Reflect }
+        Transform::Rotation {
+            degrees,
+            fill: FillMode::Reflect,
+        }
     }
 
     /// Zero-fill horizontal shear with factor `factor`.
     pub fn shear(factor: f32) -> Transform {
-        Transform::Shear { factor, fill: FillMode::Zero }
+        Transform::Shear {
+            factor,
+            fill: FillMode::Zero,
+        }
     }
 
     /// Reflection-padded horizontal shear with factor `factor`.
     pub fn shear_reflect(factor: f32) -> Transform {
-        Transform::Shear { factor, fill: FillMode::Reflect }
+        Transform::Shear {
+            factor,
+            fill: FillMode::Reflect,
+        }
     }
 }
 
@@ -169,7 +183,8 @@ mod tests {
         let mut img = Image::new(1, 8, 8);
         for y in 0..8 {
             for x in 0..8 {
-                img.set(0, y, x, ((y * 3 + x * 5) % 11) as f32 / 11.0).unwrap();
+                img.set(0, y, x, ((y * 3 + x * 5) % 11) as f32 / 11.0)
+                    .unwrap();
             }
         }
         img
@@ -192,26 +207,21 @@ mod tests {
         assert!(Transform::FlipHorizontal.is_mean_preserving());
         assert!(!Transform::rotation(30.0).is_mean_preserving());
         assert!(!Transform::shear(0.5).is_mean_preserving());
-        assert!(Transform::Compose(vec![
-            Transform::FlipHorizontal,
-            Transform::FlipVertical
-        ])
-        .is_mean_preserving());
-        assert!(!Transform::Compose(vec![
-            Transform::FlipHorizontal,
-            Transform::shear(0.5)
-        ])
-        .is_mean_preserving());
+        assert!(
+            Transform::Compose(vec![Transform::FlipHorizontal, Transform::FlipVertical])
+                .is_mean_preserving()
+        );
+        assert!(
+            !Transform::Compose(vec![Transform::FlipHorizontal, Transform::shear(0.5)])
+                .is_mean_preserving()
+        );
     }
 
     #[test]
     fn compose_applies_in_order() {
         let img = sample();
-        let composed = Transform::Compose(vec![
-            Transform::FlipHorizontal,
-            Transform::FlipVertical,
-        ])
-        .apply(&img);
+        let composed = Transform::Compose(vec![Transform::FlipHorizontal, Transform::FlipVertical])
+            .apply(&img);
         let manual = img.flip_horizontal().flip_vertical();
         assert_eq!(composed, manual);
     }
@@ -227,7 +237,10 @@ mod tests {
 
     #[test]
     fn display_names_are_stable() {
-        assert_eq!(Transform::MajorRotation { quarter_turns: 3 }.to_string(), "rot270");
+        assert_eq!(
+            Transform::MajorRotation { quarter_turns: 3 }.to_string(),
+            "rot270"
+        );
         assert_eq!(Transform::FlipHorizontal.to_string(), "hflip");
         assert_eq!(Transform::shear(0.55).to_string(), "shear0.55");
         assert_eq!(

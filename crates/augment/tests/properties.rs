@@ -123,7 +123,10 @@ proptest! {
 /// identical policies.
 #[test]
 fn policies_are_deterministic() {
-    assert_eq!(AugmentationPolicy::major_rotation(), AugmentationPolicy::major_rotation());
+    assert_eq!(
+        AugmentationPolicy::major_rotation(),
+        AugmentationPolicy::major_rotation()
+    );
     assert_eq!(
         AugmentationPolicy::major_rotation_shearing(),
         AugmentationPolicy::major_rotation_shearing()

@@ -11,9 +11,13 @@ fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("augment_expand_32px");
     for kind in PolicyKind::all() {
         let policy = kind.policy();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &img, |b, img| {
-            b.iter(|| std::hint::black_box(policy.expand(img)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &img,
+            |b, img| {
+                b.iter(|| std::hint::black_box(policy.expand(img)));
+            },
+        );
     }
     group.finish();
 }

@@ -12,9 +12,13 @@ fn bench_defend(c: &mut Criterion) {
     let mut group = c.benchmark_group("oasis_defend_b8_32px");
     for kind in PolicyKind::all() {
         let defense = Oasis::new(OasisConfig::policy(kind));
-        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &batch, |b, batch| {
-            b.iter(|| std::hint::black_box(defense.defend(batch)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &batch,
+            |b, batch| {
+                b.iter(|| std::hint::black_box(defense.defend(batch)));
+            },
+        );
     }
     group.finish();
 }

@@ -28,7 +28,10 @@ fn main() {
         (Workload::Cifar100, 8usize, 300usize),
         (Workload::ImageNette, 8, 100),
     ] {
-        println!("\n--- {} | B = {batch}, n = {neurons} ---", workload.label());
+        println!(
+            "\n--- {} | B = {batch}, n = {neurons} ---",
+            workload.label()
+        );
         let dataset = workload.dataset(scale, batch, 43);
         let calib = calibration_images(workload, scale, 384);
         let attack = CahAttack::calibrated(neurons, DEFAULT_ACTIVATION_TARGET, &calib, 0xCA11)
@@ -80,8 +83,7 @@ fn main() {
             let p_emp = active_total as f64 / (neurons * m) as f64;
             // Binomial model: each of the `batch` originals is a
             // singleton at a given neuron w.p. p·(1−p)^{m−1}.
-            let model_e =
-                neurons as f64 * batch as f64 * p_emp * (1.0 - p_emp).powi(m as i32 - 1);
+            let model_e = neurons as f64 * batch as f64 * p_emp * (1.0 - p_emp).powi(m as i32 - 1);
             println!(
                 "{:>6} {:>6} {:>10} {:>12} {:>12.2} {:>10.3}",
                 kind.abbrev(),

@@ -2,37 +2,31 @@
 //! related-work section contrasts OASIS against.
 //!
 //! Sweeps the noise multiplier σ and reports (a) the RTF attack's
-//! reconstruction PSNR under DP-SGD updates and (b) the accuracy of a
+//! reconstruction PSNR under DP-SGD updates (a `dp:1,σ` defense
+//! scenario on the CIFAR100 workload) and (b) the accuracy of a
 //! linear classifier trained with the same mechanism — showing that
 //! the noise needed to push PSNR into OASIS territory destroys
 //! utility, while OASIS achieves low PSNR with accuracy parity
 //! (Table I).
 
 use oasis_attacks::{train_linear_with_dp, DpConfig};
-use oasis_bench::{
-    banner, calibration_images, run_attack_with_dp, RtfAttack, Scale, Workload,
-};
-use oasis_fl::IdentityPreprocessor;
-use oasis_metrics::Summary;
+use oasis_bench::{banner, AttackSpec, DefenseSpec, Scale, Scenario, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Extension: DP", "DP-SGD privacy/utility trade-off vs OASIS", scale);
+    banner(
+        "Extension: DP",
+        "DP-SGD privacy/utility trade-off vs OASIS",
+        scale,
+    );
 
-    let workload = Workload::Cifar100;
+    // Utility side: a 10-class training problem with enough samples
+    // per class for train/test accuracy to be meaningful.
     let dataset = oasis_data::cifar_like_with(10, 24, scale.cifar_side(), 5);
     let mut rng = StdRng::seed_from_u64(0);
     let (train, test) = dataset.split(0.75, &mut rng);
-
-    let calib = calibration_images(workload, scale, 128);
-    // Calibrate against the 10-class training distribution instead of
-    // the 100-class one: same generator family, so the measurement
-    // statistics match closely.
-    let _ = calib;
-    let cal_images: Vec<_> = train.items().iter().map(|it| it.image.clone()).collect();
-    let attack = RtfAttack::calibrated(128, &cal_images).expect("calibration");
 
     println!(
         "\n{:>8} {:>16} {:>16}",
@@ -43,17 +37,24 @@ fn main() {
         _ => vec![0.0, 0.1, 0.5, 1.0, 5.0, 20.0],
     };
     for sigma in sigmas {
-        let batch = train.sample_batch(8, &mut StdRng::seed_from_u64(2));
-        let outcome = run_attack_with_dp(
-            &attack,
-            &batch,
-            &IdentityPreprocessor,
-            train.num_classes(),
-            3,
-            1.0,
-            sigma,
-        )
-        .expect("dp attack run");
+        // Privacy side: the RTF attack against DP-SGD updates.
+        let report = Scenario::builder()
+            .workload(Workload::Cifar100)
+            .attack(AttackSpec::rtf(128))
+            .defense(DefenseSpec::Dp {
+                clip: 1.0,
+                noise: sigma,
+            })
+            .batch_size(8)
+            .trials(1)
+            .scale(scale)
+            .seed(3)
+            .dataset_seed(5)
+            .calibration(128)
+            .build()
+            .expect("dp scenario")
+            .run()
+            .expect("dp attack run");
         let cfg = DpConfig {
             clip_norm: 1.0,
             noise_multiplier: sigma,
@@ -65,8 +66,11 @@ fn main() {
             batch_size: 8,
         };
         let acc = train_linear_with_dp(&train, &test, cfg, 11).expect("dp training");
-        let psnr = Summary::from_values(&outcome.matched_psnrs).mean;
-        println!("{sigma:>8.2} {psnr:>16.2} {:>16.1}", acc * 100.0);
+        println!(
+            "{sigma:>8.2} {:>16.2} {:>16.1}",
+            report.mean_psnr(),
+            acc * 100.0
+        );
     }
     println!("\nExpected shape: PSNR only drops into the OASIS band (≈15–25 dB)");
     println!("once σ is large enough to visibly destroy accuracy — the paper's");

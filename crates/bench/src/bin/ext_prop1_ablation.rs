@@ -18,7 +18,11 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Extension: Prop 1", "activation-set overlap vs measured leakage", scale);
+    banner(
+        "Extension: Prop 1",
+        "activation-set overlap vs measured leakage",
+        scale,
+    );
 
     let workload = Workload::ImageNette;
     let dataset = workload.dataset(scale, 8, 11);

@@ -5,52 +5,31 @@
 //! B ∈ {8, 64} on both datasets.
 //!
 //! Note: unique labels at B = 64 require ≥64 classes, so this
-//! experiment uses 100-class synthetic datasets at each workload's
+//! experiment uses the 100-class synthetic workloads at each
 //! resolution (the paper has ImageNet's 1000-class label space).
 
-use oasis::{Oasis, OasisConfig};
-use oasis_bench::{banner, figure5_policies, LinearModelAttack, Scale, Workload};
-use oasis_fl::{BatchPreprocessor, IdentityPreprocessor};
-use oasis_metrics::Summary;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oasis_bench::{banner, figure5_policies, transform_comparison, AttackSpec, Scale, Workload};
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 13", "gradient inversion on linear models", scale);
 
-    for workload in [Workload::ImageNette, Workload::Cifar100] {
-        let dataset = workload.linear_dataset(scale, 1301);
-        for batch_size in [8usize, 64] {
-            println!(
-                "\n--- {} ({} classes) | B = {batch_size} ---",
-                workload.label(),
-                dataset.num_classes()
-            );
-            let attack = LinearModelAttack::new(dataset.num_classes()).expect("attack");
-            for kind in figure5_policies() {
-                let defense = Oasis::new(OasisConfig::policy(kind));
-                let idy = IdentityPreprocessor;
-                let def: &dyn BatchPreprocessor =
-                    if kind == oasis_augment::PolicyKind::Without { &idy } else { &defense };
-                let mut rng = StdRng::seed_from_u64(1300 + batch_size as u64);
-                let mut pooled = Vec::new();
-                for trial in 0..scale.trials().max(2) {
-                    let batch = dataset.sample_batch_unique_labels(batch_size, &mut rng);
-                    let outcome = oasis_bench::run_attack(
-                        &attack,
-                        &batch,
-                        def,
-                        dataset.num_classes(),
-                        500 + trial as u64,
-                    )
-                    .expect("attack run");
-                    pooled.extend(outcome.matched_psnrs);
-                }
-                println!("{:>6}  {}", kind.abbrev(), Summary::from_values(&pooled));
-            }
-        }
-    }
+    let configs = [
+        (Workload::ImageNette100c, 8usize, 0usize),
+        (Workload::ImageNette100c, 64, 0),
+        (Workload::Cifar100c, 8, 0),
+        (Workload::Cifar100c, 64, 0),
+    ];
+    transform_comparison(
+        scale,
+        AttackSpec::Linear,
+        &configs,
+        &figure5_policies(),
+        1301,
+        1300,
+        0,
+        0,
+    );
     println!("\nExpected shape (paper): all transforms reduce PSNR; rotation and");
     println!("shearing beat flipping (a flipped mixture still mirrors content).");
 }

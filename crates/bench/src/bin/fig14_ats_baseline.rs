@@ -7,57 +7,74 @@
 //! content is recognizable; OASIS's additive augmentation only yields
 //! unrecognizable linear combinations.
 
-use oasis::{Oasis, OasisConfig};
-use oasis_attacks::AtsDefense;
 use oasis_augment::PolicyKind;
-use oasis_bench::{
-    banner, calibration_images, out_path, run_attack, RtfAttack, Scale, Workload,
-};
-use oasis_fl::BatchPreprocessor;
+use oasis_bench::{banner, out_path, AttackSpec, DefenseSpec, Scale, Scenario, Workload};
 use oasis_image::{io, Image};
 use oasis_metrics::{match_greedy_coarse, Summary};
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Figure 14", "RTF vs ATSPrivacy-style transform replacement", scale);
+    banner(
+        "Figure 14",
+        "RTF vs ATSPrivacy-style transform replacement",
+        scale,
+    );
 
-    let workload = Workload::ImageNette;
-    let batch = oasis_bench::visual_batch(workload, scale, 8, 1414);
-    let calib = calibration_images(workload, scale, 256);
-    let attack = RtfAttack::calibrated(512, &calib).expect("calibration");
-
-    for (name, defense) in [
-        ("ATS (replacement)", Box::new(AtsDefense::searched()) as Box<dyn BatchPreprocessor>),
+    for (name, defense, file) in [
+        ("ATS (replacement)", DefenseSpec::Ats, "fig14_ats.ppm"),
         (
             "OASIS MR (addition)",
-            Box::new(Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation))),
+            DefenseSpec::Oasis(PolicyKind::MajorRotation),
+            "fig14_oasis.ppm",
         ),
     ] {
-        let outcome = run_attack(&attack, &batch, defense.as_ref(), 10, 14).expect("attack run");
+        let scenario = Scenario::builder()
+            .workload(Workload::ImageNette)
+            .attack(AttackSpec::rtf(512))
+            .defense(defense)
+            .batch_size(8)
+            .trials(1)
+            .scale(scale)
+            .seed(14)
+            .dataset_seed(1414)
+            .build()
+            .expect("figure 14 scenario");
+        let (report, outcomes) = scenario.run_detailed().expect("attack run");
+        let outcome = &outcomes[0];
+        // The original private batch of trial 0, as the runner drew it.
+        let batch = scenario.trial_batches().remove(0);
         // PSNR of reconstructions against the batch the client actually
         // trained on: high values = verbatim leakage of recognizable
         // (albeit transformed) content.
-        let vs_processed = match_greedy_coarse(&outcome.reconstructions, &outcome.processed_images, 8);
+        let vs_processed =
+            match_greedy_coarse(&outcome.reconstructions, &outcome.processed_images, 8);
         let leak: Vec<f64> = vs_processed.iter().map(|m| m.psnr).collect();
-        println!("\n=== {name} ===");
-        println!("  vs originals : {}", Summary::from_values(&outcome.matched_psnrs));
+        println!("\n=== {name} ===  ({})", scenario.spec_string());
+        println!("  vs originals : {}", report.summary);
         println!("  vs trained-on: {}", Summary::from_values(&leak));
 
         // Montage: top originals, middle what the client trained on
         // (first 8), bottom matched reconstructions.
-        let mut tiles = batch.images.clone();
-        tiles.extend(outcome.processed_images.iter().take(8).cloned().map(|i| i.clamp01()));
+        let mut tiles: Vec<Image> = batch.images.clone();
+        tiles.extend(
+            outcome
+                .processed_images
+                .iter()
+                .take(8)
+                .cloned()
+                .map(|i| i.clamp01()),
+        );
+        let geom = outcome.processed_images[0].dims();
         for i in 0..8usize.min(outcome.processed_images.len()) {
             let matched = vs_processed
                 .iter()
                 .find(|m| m.original_idx == i)
                 .map(|m| outcome.reconstructions[m.recon_idx].clone())
-                .unwrap_or_else(|| Image::new(3, batch.images[0].height(), batch.images[0].width()));
+                .unwrap_or_else(|| Image::new(geom.0, geom.1, geom.2));
             tiles.push(matched);
         }
-        let file = if name.starts_with("ATS") { "fig14_ats.ppm" } else { "fig14_oasis.ppm" };
         io::write_ppm(out_path(file), &io::montage(&tiles, 8).expect("montage")).expect("write");
-        println!("  montage -> out/{file}");
+        println!("  montage -> {}", out_path(file).display());
     }
     println!("\nExpected shape (paper): ATS reconstructions match the trained-on");
     println!("images near-perfectly (content revealed); OASIS stays low everywhere.");

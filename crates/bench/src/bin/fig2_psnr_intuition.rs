@@ -5,9 +5,7 @@
 
 use oasis::{Oasis, OasisConfig};
 use oasis_augment::PolicyKind;
-use oasis_bench::{
-    banner, calibration_images, out_path, run_attack, RtfAttack, Scale, Workload,
-};
+use oasis_bench::{banner, calibration_images, out_path, run_attack, RtfAttack, Scale, Workload};
 use oasis_data::Batch;
 use oasis_fl::IdentityPreprocessor;
 use oasis_image::io;
@@ -22,11 +20,16 @@ fn main() {
     let attack = RtfAttack::calibrated(256, &calib).expect("calibration");
     let batch = Batch::from_items(dataset.items()[..4].to_vec());
 
-    let undefended =
-        run_attack(&attack, &batch, &IdentityPreprocessor, dataset.num_classes(), 7).expect("run");
+    let undefended = run_attack(
+        &attack,
+        &batch,
+        &IdentityPreprocessor,
+        dataset.num_classes(),
+        7,
+    )
+    .expect("run");
     let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
-    let defended =
-        run_attack(&attack, &batch, &defense, dataset.num_classes(), 7).expect("run");
+    let defended = run_attack(&attack, &batch, &defense, dataset.num_classes(), 7).expect("run");
 
     println!("\nSample 0 original mean: {:.4}", batch.images[0].mean());
     println!(

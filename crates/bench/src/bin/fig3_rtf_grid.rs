@@ -3,54 +3,12 @@
 //! preliminary experiment the paper uses to pick the strongest attack
 //! configuration for each batch size.
 
-use oasis_bench::{banner, calibration_images, pooled_attack_psnrs, RtfAttack, Scale, Workload};
-use oasis_fl::IdentityPreprocessor;
-use oasis_metrics::Summary;
+use oasis_bench::{attack_grid, banner, AttackSpec, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 3", "RTF average PSNR grid (undefended)", scale);
-
-    for workload in [Workload::ImageNette, Workload::Cifar100] {
-        let batches = scale.grid_batches();
-        let neurons = scale.grid_neurons();
-        println!("\n--- {} ---", workload.label());
-        print!("{:>7}", "B \\ n");
-        for &n in &neurons {
-            print!("{n:>9}");
-        }
-        println!();
-        let max_batch = *batches.iter().max().expect("non-empty grid");
-        let dataset = workload.dataset(scale, max_batch, 101);
-        let calib = calibration_images(workload, scale, 256);
-        let mut best: Vec<(usize, usize, f64)> = Vec::new();
-        for &b in &batches {
-            print!("{b:>7}");
-            let mut row_best = (0usize, f64::MIN);
-            for &n in &neurons {
-                let attack = RtfAttack::calibrated(n, &calib).expect("calibration");
-                let psnrs = pooled_attack_psnrs(
-                    &attack,
-                    &dataset,
-                    b,
-                    &IdentityPreprocessor,
-                    scale.trials(),
-                    30_000 + b as u64 * 17 + n as u64,
-                );
-                let mean = Summary::from_values(&psnrs).mean;
-                if mean > row_best.1 {
-                    row_best = (n, mean);
-                }
-                print!("{mean:>9.2}");
-            }
-            println!();
-            best.push((b, row_best.0, row_best.1));
-        }
-        println!("strongest configuration per batch size:");
-        for (b, n, mean) in best {
-            println!("  B = {b:>4}: n = {n:>5} with mean PSNR {mean:.2} dB");
-        }
-    }
+    attack_grid(scale, AttackSpec::rtf(0), 101, 30_000, 256);
     println!("\nExpected shape (paper): PSNR decreases with batch size; for each");
     println!("batch size some mid/high neuron count maximizes the attack.");
 }

@@ -7,12 +7,7 @@
 //! {WO, MR, mR, SH, HFlip, VFlip}; the paper's green triangle is the
 //! `mean` column here.
 
-use oasis::{Oasis, OasisConfig};
-use oasis_bench::{
-    banner, calibration_images, figure5_policies, pooled_attack_psnrs, RtfAttack, Scale, Workload,
-};
-use oasis_fl::{BatchPreprocessor, IdentityPreprocessor};
-use oasis_metrics::Summary;
+use oasis_bench::{banner, figure5_policies, transform_comparison, AttackSpec, Scale, Workload};
 
 fn main() {
     let scale = Scale::from_args();
@@ -29,27 +24,16 @@ fn main() {
         (Workload::Cifar100, 8, 500),
         (Workload::Cifar100, 64, 600),
     ];
-
-    for (workload, batch, neurons) in configs {
-        let neurons = match scale {
-            Scale::Quick => neurons.min(200),
-            _ => neurons,
-        };
-        println!("\n--- {} | B = {batch}, n = {neurons} ---", workload.label());
-        let dataset = workload.dataset(scale, batch, 42);
-        let calib = calibration_images(workload, scale, 128);
-        let attack = RtfAttack::calibrated(neurons, &calib).expect("calibration");
-        for kind in figure5_policies() {
-            let defense = Oasis::new(OasisConfig::policy(kind));
-            let idy = IdentityPreprocessor;
-            let def: &dyn BatchPreprocessor =
-                if kind == oasis_augment::PolicyKind::Without { &idy } else { &defense };
-            let psnrs =
-                pooled_attack_psnrs(&attack, &dataset, batch, def, scale.trials(), 7_000 + batch as u64);
-            let summary = Summary::from_values(&psnrs);
-            println!("{:>6}  {}", kind.abbrev(), summary);
-        }
-    }
+    transform_comparison(
+        scale,
+        AttackSpec::rtf(0),
+        &configs,
+        &figure5_policies(),
+        42,
+        7_000,
+        128,
+        200,
+    );
     println!("\nExpected shape (paper): WO ≈ perfect-reconstruction band;");
     println!("every transform collapses PSNR; MR lowest; flips slightly above MR.");
 }

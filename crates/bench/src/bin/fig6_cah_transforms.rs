@@ -5,14 +5,12 @@
 //! CIFAR100 (B, n) = (8, 300) and (64, 600). The paper's finding: at
 //! B = 8, MR or SH alone leave many perfect reconstructions (high
 //! outliers); the MR+SH integration collapses the PSNR.
+//!
+//! A large calibration set (384 images) keeps per-row quantile noise
+//! small; noisy quantiles create under-activated rows that stay
+//! singleton-prone even under MR+SH.
 
-use oasis::{Oasis, OasisConfig};
-use oasis_bench::{
-    banner, calibration_images, figure6_policies, pooled_attack_psnrs, CahAttack, Scale, Workload,
-    DEFAULT_ACTIVATION_TARGET,
-};
-use oasis_fl::{BatchPreprocessor, IdentityPreprocessor};
-use oasis_metrics::Summary;
+use oasis_bench::{banner, figure6_policies, transform_comparison, AttackSpec, Scale, Workload};
 
 fn main() {
     let scale = Scale::from_args();
@@ -28,32 +26,16 @@ fn main() {
         (Workload::Cifar100, 8, 300),
         (Workload::Cifar100, 64, 600),
     ];
-
-    for (workload, batch, neurons) in configs {
-        let neurons = match scale {
-            Scale::Quick => neurons.min(150),
-            _ => neurons,
-        };
-        println!("\n--- {} | B = {batch}, n = {neurons} ---", workload.label());
-        let dataset = workload.dataset(scale, batch, 43);
-        // A large calibration set keeps per-row quantile noise small;
-        // noisy quantiles create under-activated rows that stay
-        // singleton-prone even under MR+SH.
-        let calib = calibration_images(workload, scale, 384);
-        let attack =
-            CahAttack::calibrated(neurons, DEFAULT_ACTIVATION_TARGET, &calib, 0xCA11)
-                .expect("calibration");
-        for kind in figure6_policies() {
-            let defense = Oasis::new(OasisConfig::policy(kind));
-            let idy = IdentityPreprocessor;
-            let def: &dyn BatchPreprocessor =
-                if kind == oasis_augment::PolicyKind::Without { &idy } else { &defense };
-            let psnrs =
-                pooled_attack_psnrs(&attack, &dataset, batch, def, scale.trials(), 8_000 + batch as u64);
-            let summary = Summary::from_values(&psnrs);
-            println!("{:>6}  {}", kind.abbrev(), summary);
-        }
-    }
+    transform_comparison(
+        scale,
+        AttackSpec::cah(0),
+        &configs,
+        &figure6_policies(),
+        43,
+        8_000,
+        384,
+        150,
+    );
     println!("\nExpected shape (paper): WO high; at B=8 MR and SH alone keep high");
     println!("maxima (leaked samples); MR+SH collapses PSNR at both batch sizes.");
 }

@@ -40,7 +40,8 @@ fn panel(
             .iter()
             .find(|m| m.original_idx == i)
             .map(|m| outcome.reconstructions[m.recon_idx].clone());
-        recon_row.push(matched.unwrap_or_else(|| Image::new(img.channels(), img.height(), img.width())));
+        recon_row
+            .push(matched.unwrap_or_else(|| Image::new(img.channels(), img.height(), img.width())));
     }
     let mut tiles = batch.images.clone();
     tiles.extend(recon_row);
@@ -57,7 +58,11 @@ fn panel(
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Figures 7–12", "visual reconstructions per transformation", scale);
+    banner(
+        "Figures 7–12",
+        "visual reconstructions per transformation",
+        scale,
+    );
     println!("(montages: top row = raw inputs, bottom row = reconstructions)\n");
 
     let workload = Workload::ImageNette;
@@ -67,11 +72,46 @@ fn main() {
     let calib = calibration_images(workload, scale, 256);
 
     let rtf = RtfAttack::calibrated(512, &calib).expect("rtf calibration");
-    panel("Fig 7", &rtf, &batch, PolicyKind::MajorRotation, classes, "fig7_major_rotation.ppm");
-    panel("Fig 8", &rtf, &batch, PolicyKind::MinorRotation, classes, "fig8_minor_rotation.ppm");
-    panel("Fig 9", &rtf, &batch, PolicyKind::Shearing, classes, "fig9_shearing.ppm");
-    panel("Fig 10", &rtf, &batch, PolicyKind::HorizontalFlip, classes, "fig10_hflip.ppm");
-    panel("Fig 11", &rtf, &batch, PolicyKind::VerticalFlip, classes, "fig11_vflip.ppm");
+    panel(
+        "Fig 7",
+        &rtf,
+        &batch,
+        PolicyKind::MajorRotation,
+        classes,
+        "fig7_major_rotation.ppm",
+    );
+    panel(
+        "Fig 8",
+        &rtf,
+        &batch,
+        PolicyKind::MinorRotation,
+        classes,
+        "fig8_minor_rotation.ppm",
+    );
+    panel(
+        "Fig 9",
+        &rtf,
+        &batch,
+        PolicyKind::Shearing,
+        classes,
+        "fig9_shearing.ppm",
+    );
+    panel(
+        "Fig 10",
+        &rtf,
+        &batch,
+        PolicyKind::HorizontalFlip,
+        classes,
+        "fig10_hflip.ppm",
+    );
+    panel(
+        "Fig 11",
+        &rtf,
+        &batch,
+        PolicyKind::VerticalFlip,
+        classes,
+        "fig11_vflip.ppm",
+    );
 
     let cah = CahAttack::calibrated(100, DEFAULT_ACTIVATION_TARGET, &calib, 0xCA11)
         .expect("cah calibration");
@@ -85,14 +125,8 @@ fn main() {
     );
 
     // Reference panel: the undefended reconstruction, for contrast.
-    let undefended = run_attack(
-        &rtf,
-        &batch,
-        &oasis_fl::IdentityPreprocessor,
-        classes,
-        99,
-    )
-    .expect("undefended run");
+    let undefended = run_attack(&rtf, &batch, &oasis_fl::IdentityPreprocessor, classes, 99)
+        .expect("undefended run");
     let mut tiles = batch.images.clone();
     for (i, _) in batch.images.iter().enumerate() {
         let matched = undefended

@@ -1,0 +1,255 @@
+//! `scenario` — run any attack × defense × workload experiment, or a
+//! sweep over comma-separated spec lists, from the command line.
+//!
+//! ```text
+//! cargo run --release -p oasis-bench --bin scenario -- \
+//!     --attack rtf:512 --defense oasis:MR --workload imagenette --quick
+//!
+//! # sweep: 2 attacks × 3 defenses × 2 batch sizes = 12 scenarios
+//! cargo run --release -p oasis-bench --bin scenario -- \
+//!     --attack rtf:512,cah:400 --defense none,oasis:MR,oasis:MR+SH \
+//!     --batch 8,64 --quick
+//! ```
+//!
+//! Every run prints its report and writes the serialized
+//! [`ScenarioReport`] JSON under `out/` (or `$OASIS_OUT_DIR`).
+//! Unknown flags are errors, not silently ignored.
+
+use oasis_bench::{
+    AttackSpec, DefenseSpec, Sampling, Scale, Scenario, ScenarioError, ScenarioReport, WorkloadSpec,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+scenario — declarative OASIS experiment runner
+
+USAGE:
+    scenario [FLAGS]
+
+FLAGS (comma-separated lists sweep the grid):
+    --attack SPECS      rtf:N | cah:N[,G] | linear        [default: rtf:512]
+    --defense SPECS     none | oasis:P | ats | dp:C,S     [default: none]
+                        (P ∈ WO, MR, mR, SH, HFlip, VFlip, MR+SH)
+    --workload SPECS    imagenette | cifar100 |
+                        imagenette100c | cifar100c        [default: imagenette]
+    --batch SIZES       client batch size(s) B            [default: 8]
+    --trials N          attacked rounds pooled per cell   [default: per scale]
+    --seed N            master seed                       [default: 0]
+    --dataset-seed N    decouple the dataset build seed from --seed
+    --calibration N     calibration images for the attacker
+    --sampling MODE     uniform | unique-labels           [default: per attack]
+    --leak-db DB        leak-rate PSNR threshold          [default: 60]
+    --scale S           quick | default | full            [default: default]
+    --quick / --full    shorthand for --scale
+    --no-save           print reports without writing out/*.json
+    --help              this text
+
+Artifacts go to out/ by default; set OASIS_OUT_DIR to redirect.";
+
+struct Args {
+    attacks: Vec<AttackSpec>,
+    defenses: Vec<DefenseSpec>,
+    workloads: Vec<WorkloadSpec>,
+    batches: Vec<usize>,
+    trials: Option<usize>,
+    seed: u64,
+    dataset_seed: Option<u64>,
+    calibration: Option<usize>,
+    sampling: Option<Sampling>,
+    leak_db: Option<f64>,
+    scale: Scale,
+    save: bool,
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cells =
+        args.attacks.len() * args.defenses.len() * args.workloads.len() * args.batches.len();
+    if cells > 1 {
+        println!("sweep: {cells} scenarios");
+    }
+    let mut failures = 0u32;
+    for &workload in &args.workloads {
+        for &attack in &args.attacks {
+            for &defense in &args.defenses {
+                for &batch in &args.batches {
+                    match run_cell(&args, workload, attack, defense, batch) {
+                        Ok(report) => {
+                            println!("{report}");
+                            if args.save {
+                                match report.save() {
+                                    Ok(path) => println!("  report -> {}", path.display()),
+                                    Err(e) => {
+                                        eprintln!("error: saving report failed: {e}");
+                                        failures += 1;
+                                    }
+                                }
+                            }
+                            println!();
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "error: scenario attack={attack} defense={defense} \
+                                 workload={workload} batch={batch} failed: {e}"
+                            );
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_cell(
+    args: &Args,
+    workload: WorkloadSpec,
+    attack: AttackSpec,
+    defense: DefenseSpec,
+    batch: usize,
+) -> Result<ScenarioReport, ScenarioError> {
+    let mut builder = Scenario::builder()
+        .workload(workload)
+        .attack(attack)
+        .defense(defense)
+        .batch_size(batch)
+        .scale(args.scale)
+        .seed(args.seed);
+    if let Some(trials) = args.trials {
+        builder = builder.trials(trials);
+    }
+    if let Some(ds) = args.dataset_seed {
+        builder = builder.dataset_seed(ds);
+    }
+    if let Some(cal) = args.calibration {
+        builder = builder.calibration(cal);
+    }
+    if let Some(sampling) = args.sampling {
+        builder = builder.sampling(sampling);
+    }
+    if let Some(db) = args.leak_db {
+        builder = builder.leak_threshold_db(db);
+    }
+    builder.build()?.run()
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        attacks: vec![AttackSpec::rtf(512)],
+        defenses: vec![DefenseSpec::None],
+        workloads: vec![WorkloadSpec::ImageNette],
+        batches: vec![8],
+        trials: None,
+        seed: 0,
+        dataset_seed: None,
+        calibration: None,
+        sampling: None,
+        leak_db: None,
+        scale: Scale::Default,
+        save: true,
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--attack" => args.attacks = parse_list(value("--attack")?, "attack")?,
+            "--defense" => args.defenses = parse_list(value("--defense")?, "defense")?,
+            "--workload" => args.workloads = parse_list(value("--workload")?, "workload")?,
+            "--batch" => {
+                args.batches = parse_list(value("--batch")?, "batch size")?;
+            }
+            "--trials" => args.trials = Some(parse_one(value("--trials")?, "trial count")?),
+            "--seed" => args.seed = parse_one(value("--seed")?, "seed")?,
+            "--dataset-seed" => {
+                args.dataset_seed = Some(parse_one(value("--dataset-seed")?, "dataset seed")?);
+            }
+            "--calibration" => {
+                args.calibration = Some(parse_one(value("--calibration")?, "calibration count")?);
+            }
+            "--sampling" => args.sampling = Some(parse_one(value("--sampling")?, "sampling")?),
+            "--leak-db" => args.leak_db = Some(parse_one(value("--leak-db")?, "leak threshold")?),
+            "--scale" => args.scale = parse_one(value("--scale")?, "scale")?,
+            "--quick" => args.scale = Scale::Quick,
+            "--full" => args.scale = Scale::Full,
+            "--no-save" => args.save = false,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Parses one value, mapping the error to a CLI message.
+fn parse_one<T>(value: &str, what: &str) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("bad {what} `{value}`: {e}"))
+}
+
+/// Parses a comma-separated sweep list.
+///
+/// Some specs contain commas themselves (`cah:N,G`, `dp:C,S`), so
+/// list items are matched greedily: each item consumes as many
+/// comma-separated segments as still parse as one spec.
+fn parse_list<T>(value: &str, what: &str) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let segments: Vec<&str> = value.split(',').filter(|s| !s.is_empty()).collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < segments.len() {
+        let mut candidate = String::new();
+        let mut matched: Option<(usize, T)> = None;
+        for (j, segment) in segments.iter().enumerate().skip(i) {
+            if j > i {
+                candidate.push(',');
+            }
+            candidate.push_str(segment);
+            if let Ok(item) = candidate.parse::<T>() {
+                matched = Some((j, item));
+            }
+        }
+        match matched {
+            Some((j, item)) => {
+                items.push(item);
+                i = j + 1;
+            }
+            // Nothing starting at segment `i` parses; surface the
+            // single-segment error for context.
+            None => match parse_one::<T>(segments[i], what) {
+                Err(msg) => return Err(msg),
+                Ok(_) => unreachable!("greedy match missed a parseable segment"),
+            },
+        }
+    }
+    if items.is_empty() {
+        return Err(format!("empty {what} list"));
+    }
+    Ok(items)
+}

@@ -96,8 +96,11 @@ fn main() {
             let mut opt = Adam::new(1e-3, setup.weight_decay);
             let defense = Oasis::new(OasisConfig::policy(kind));
             let idy = IdentityPreprocessor;
-            let pre: &dyn BatchPreprocessor =
-                if kind == PolicyKind::Without { &idy } else { &defense };
+            let pre: &dyn BatchPreprocessor = if kind == PolicyKind::Without {
+                &idy
+            } else {
+                &defense
+            };
             let report = train_centralized(
                 &mut model,
                 &mut opt,

@@ -6,6 +6,12 @@
 //! at the repository root for the full index and how the measured
 //! numbers compare with the paper's.
 //!
+//! Figure binaries are thin loops over the declarative
+//! [`oasis_scenario`] engine — the experiment definitions themselves
+//! (attack, defense, workload, batch, trials, seeds) are values; the
+//! `scenario` binary runs any such value or a sweep from the command
+//! line.
+//!
 //! All binaries accept:
 //!
 //! * `--quick` — a smoke-test scale that finishes in seconds,
@@ -16,7 +22,7 @@
 #![warn(missing_docs)]
 
 use oasis_augment::PolicyKind;
-use oasis_data::{synthetic_dataset, Batch, Dataset};
+use oasis_data::Batch;
 use oasis_fl::BatchPreprocessor;
 use oasis_image::Image;
 use rand::rngs::StdRng;
@@ -26,141 +32,37 @@ pub use oasis_attacks::{
     run_attack, run_attack_with_dp, ActiveAttack, AttackOutcome, CahAttack, LinearModelAttack,
     RtfAttack, DEFAULT_ACTIVATION_TARGET,
 };
+pub use oasis_scenario::{
+    out_path, AttackSpec, DefenseSpec, Sampling, Scale, Scenario, ScenarioError, ScenarioReport,
+    WorkloadSpec,
+};
 
-/// Scale of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Seconds-scale smoke test.
-    Quick,
-    /// Minutes-scale default preserving the paper's shape.
-    Default,
-    /// The paper's full grids (slow on CPU).
-    Full,
-}
-
-impl Scale {
-    /// Parses `--quick` / `--full` from the process arguments.
-    pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
-        if args.iter().any(|a| a == "--quick") {
-            Scale::Quick
-        } else if args.iter().any(|a| a == "--full") {
-            Scale::Full
-        } else {
-            Scale::Default
-        }
-    }
-
-    /// Batch sizes of the Figure 3/4 grid at this scale.
-    pub fn grid_batches(&self) -> Vec<usize> {
-        match self {
-            Scale::Quick => vec![8, 32],
-            Scale::Default => vec![8, 16, 32, 64, 128, 256],
-            Scale::Full => vec![8, 16, 32, 64, 96, 128, 160, 192, 224, 256],
-        }
-    }
-
-    /// Attacked-neuron counts of the Figure 3/4 grid at this scale.
-    pub fn grid_neurons(&self) -> Vec<usize> {
-        match self {
-            Scale::Quick => vec![100, 400],
-            Scale::Default => vec![100, 300, 500, 700, 900],
-            Scale::Full => vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000],
-        }
-    }
-
-    /// Number of independent batches averaged per configuration.
-    pub fn trials(&self) -> usize {
-        match self {
-            Scale::Quick => 1,
-            Scale::Default => 2,
-            Scale::Full => 3,
-        }
-    }
-
-    /// Image side for the ImageNet stand-in at this scale.
-    pub fn imagenette_side(&self) -> usize {
-        match self {
-            Scale::Quick => 16,
-            Scale::Default => 32,
-            Scale::Full => 64,
-        }
-    }
-
-    /// Image side for the CIFAR100 stand-in at this scale.
-    pub fn cifar_side(&self) -> usize {
-        match self {
-            Scale::Quick => 12,
-            Scale::Default => 16,
-            Scale::Full => 32,
-        }
-    }
-}
-
-/// The two evaluation workloads of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Workload {
-    /// The ImageNet (Imagenette subset) stand-in.
-    ImageNette,
-    /// The CIFAR100 stand-in.
-    Cifar100,
-}
-
-impl Workload {
-    /// Display name matching the paper's figure captions.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Workload::ImageNette => "ImageNet (ImageNette-like)",
-            Workload::Cifar100 => "CIFAR100 (CIFAR100-like)",
-        }
-    }
-
-    /// Builds the dataset at the given scale with enough samples for
-    /// batches up to `max_batch`.
-    pub fn dataset(&self, scale: Scale, max_batch: usize, seed: u64) -> Dataset {
-        match self {
-            Workload::ImageNette => {
-                let spc = (max_batch * 2).div_ceil(10).max(8);
-                oasis_data::imagenette_like_with(spc, scale.imagenette_side(), seed)
-            }
-            Workload::Cifar100 => {
-                let spc = (max_batch * 2).div_ceil(100).max(2);
-                oasis_data::cifar100_like_at(spc, scale.cifar_side(), seed)
-            }
-        }
-    }
-
-    /// A 100-class variant at ImageNette resolution, used by the
-    /// linear-model experiment where batches need ≥64 unique labels
-    /// (the paper has ImageNet's label space available; we synthesize
-    /// one).
-    pub fn linear_dataset(&self, scale: Scale, seed: u64) -> Dataset {
-        match self {
-            Workload::ImageNette => synthetic_dataset(
-                "ImageNet-like-100c",
-                100,
-                2,
-                scale.imagenette_side(),
-                seed,
-            ),
-            Workload::Cifar100 => synthetic_dataset("CIFAR100-like", 100, 2, scale.cifar_side(), seed),
-        }
-    }
-}
+/// The two evaluation workloads of the paper (alias of
+/// [`WorkloadSpec`], which also provides the 100-class synthetic
+/// variants used by the linear-model experiment).
+pub type Workload = WorkloadSpec;
 
 /// Calibration images (the "coarse data statistics" the attacker is
 /// assumed to know) drawn from a disjoint seed.
 pub fn calibration_images(workload: Workload, scale: Scale, count: usize) -> Vec<Image> {
-    let ds = workload.dataset(scale, count, 0xCA11B);
-    ds.items().iter().take(count).map(|it| it.image.clone()).collect()
+    Scenario::builder()
+        .workload(workload)
+        .scale(scale)
+        .calibration(count)
+        .build()
+        .expect("calibration-only scenario is always valid")
+        .calibration_images()
 }
 
 /// Runs `attack` against `trials` batches of size `batch_size` under
 /// `defense`, pooling all matched PSNRs.
-#[allow(clippy::too_many_arguments)]
+///
+/// Retained for bespoke experiments (e.g. sweeping a calibrated
+/// attack object that is expensive to rebuild); figure binaries use
+/// [`Scenario`] instead.
 pub fn pooled_attack_psnrs(
     attack: &dyn ActiveAttack,
-    dataset: &Dataset,
+    dataset: &oasis_data::Dataset,
     batch_size: usize,
     defense: &dyn BatchPreprocessor,
     trials: usize,
@@ -170,11 +72,141 @@ pub fn pooled_attack_psnrs(
     let mut pooled = Vec::new();
     for trial in 0..trials {
         let batch = dataset.sample_batch(batch_size.min(dataset.len()), &mut rng);
-        let outcome = run_attack(attack, &batch, defense, dataset.num_classes(), seed ^ trial as u64)
-            .expect("attack execution");
+        let outcome = run_attack(
+            attack,
+            &batch,
+            defense,
+            dataset.num_classes(),
+            seed ^ trial as u64,
+        )
+        .expect("attack execution");
         pooled.extend(outcome.matched_psnrs);
     }
     pooled
+}
+
+/// The shared Figure 3/4 grid loop: one [`Scenario`] per
+/// (batch size × attacked neurons) cell of each workload, printed as
+/// the paper's grid with the strongest per-batch configuration
+/// highlighted.
+///
+/// `seed_base` spreads the per-cell seeds (`seed_base + B·mult + n`,
+/// the figure binaries' historical scheme); `dataset_seed` pins the
+/// workload build. Each cell rebuilds its (deterministic) dataset and
+/// calibration set; at full scale that cost is dominated by the
+/// attack rounds themselves.
+pub fn attack_grid(
+    scale: Scale,
+    attack: AttackSpec,
+    dataset_seed: u64,
+    seed_base: u64,
+    calibration: usize,
+) {
+    let seed_mult: u64 = match attack.family() {
+        "cah" => 19,
+        _ => 17,
+    };
+    for workload in [Workload::ImageNette, Workload::Cifar100] {
+        let batches = scale.grid_batches();
+        let neurons = scale.grid_neurons();
+        println!("\n--- {} ---", workload.label());
+        print!("{:>7}", "B \\ n");
+        for &n in &neurons {
+            print!("{n:>9}");
+        }
+        println!();
+        let max_batch = *batches.iter().max().expect("non-empty grid");
+        let mut best: Vec<(usize, usize, f64)> = Vec::new();
+        for &b in &batches {
+            print!("{b:>7}");
+            let mut row_best = (0usize, f64::MIN);
+            for &n in &neurons {
+                let report = Scenario::builder()
+                    .workload(workload)
+                    .attack(attack.with_neurons(n))
+                    .defense(DefenseSpec::None)
+                    .batch_size(b)
+                    .trials(scale.trials())
+                    .scale(scale)
+                    .seed(seed_base + b as u64 * seed_mult + n as u64)
+                    .dataset_seed(dataset_seed)
+                    .dataset_capacity(max_batch)
+                    .calibration(calibration)
+                    .build()
+                    .expect("grid cell scenario")
+                    .run()
+                    .expect("grid cell run");
+                let mean = report.mean_psnr();
+                if mean > row_best.1 {
+                    row_best = (n, mean);
+                }
+                print!("{mean:>9.2}");
+            }
+            println!();
+            best.push((b, row_best.0, row_best.1));
+        }
+        println!("strongest configuration per batch size:");
+        for (b, n, mean) in best {
+            println!("  B = {b:>4}: n = {n:>5} with mean PSNR {mean:.2} dB");
+        }
+    }
+}
+
+/// The shared Figure 5/6/13 transform-comparison loop: for each
+/// (workload, B, n) configuration, one [`Scenario`] per policy in
+/// `policies`, printed as the paper's per-policy summary rows.
+///
+/// `neuron_cap` bounds `n` at quick scale so smoke tests stay in
+/// seconds; `linear` attacks ignore the neuron axis entirely.
+#[allow(clippy::too_many_arguments)]
+pub fn transform_comparison(
+    scale: Scale,
+    attack: AttackSpec,
+    configs: &[(Workload, usize, usize)],
+    policies: &[PolicyKind],
+    dataset_seed: u64,
+    seed_base: u64,
+    calibration: usize,
+    neuron_cap: usize,
+) {
+    for &(workload, batch, neurons) in configs {
+        let neurons = scale.cap_neurons(neurons, neuron_cap);
+        let attack = attack.with_neurons(neurons);
+        // The linear-model experiment historically pooled at least two
+        // batches so unique-label draws cover the class space.
+        let trials = match attack.family() {
+            "linear" => scale.trials().max(2),
+            _ => scale.trials(),
+        };
+        match attack.family() {
+            "linear" => println!("\n--- {} | B = {batch} ---", workload.label()),
+            _ => println!(
+                "\n--- {} | B = {batch}, n = {neurons} ---",
+                workload.label()
+            ),
+        }
+        for &kind in policies {
+            let defense = match kind {
+                PolicyKind::Without => DefenseSpec::None,
+                kind => DefenseSpec::Oasis(kind),
+            };
+            let report = Scenario::builder()
+                .workload(workload)
+                .attack(attack)
+                .defense(defense)
+                .batch_size(batch)
+                .trials(trials)
+                .scale(scale)
+                .seed(seed_base + batch as u64)
+                .dataset_seed(dataset_seed)
+                .calibration(calibration)
+                .build()
+                .expect("transform scenario")
+                .run()
+                .expect("transform run");
+            println!("{:>6}  {}", kind.abbrev(), report.summary);
+        }
+    }
 }
 
 /// The named policies in the order of the paper's Figure 5 legend.
@@ -199,18 +231,11 @@ pub fn figure6_policies() -> Vec<PolicyKind> {
     ]
 }
 
-/// Ensures `out/` exists and returns the path of `name` inside it.
-pub fn out_path(name: &str) -> std::path::PathBuf {
-    let dir = std::path::Path::new("out");
-    std::fs::create_dir_all(dir).expect("create out dir");
-    dir.join(name)
-}
-
 /// Prints a standard experiment header.
 pub fn banner(figure: &str, description: &str, scale: Scale) {
     println!("==========================================================");
     println!("{figure}: {description}");
-    println!("scale: {scale:?} (use --quick / --full to change)");
+    println!("scale: {scale} (use --quick / --full to change)");
     println!("==========================================================");
 }
 
@@ -224,21 +249,6 @@ pub fn visual_batch(workload: Workload, scale: Scale, batch_size: usize, seed: u
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn scales_produce_monotone_grids() {
-        assert!(Scale::Quick.grid_batches().len() < Scale::Full.grid_batches().len());
-        assert!(Scale::Quick.grid_neurons().len() < Scale::Full.grid_neurons().len());
-    }
-
-    #[test]
-    fn full_grid_matches_paper_axes() {
-        assert_eq!(Scale::Full.grid_batches(), vec![8, 16, 32, 64, 96, 128, 160, 192, 224, 256]);
-        assert_eq!(
-            Scale::Full.grid_neurons(),
-            vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
-        );
-    }
 
     #[test]
     fn workload_datasets_have_expected_classes() {
@@ -255,16 +265,23 @@ mod tests {
     }
 
     #[test]
-    fn linear_datasets_have_100_classes() {
-        for w in [Workload::ImageNette, Workload::Cifar100] {
-            assert_eq!(w.linear_dataset(Scale::Quick, 0).num_classes(), 100);
-        }
-    }
-
-    #[test]
     fn figure_policy_lists_match_paper_legends() {
         assert_eq!(figure5_policies().len(), 6);
         assert_eq!(figure6_policies().len(), 4);
         assert_eq!(figure6_policies()[3], PolicyKind::MajorRotationShearing);
+    }
+
+    #[test]
+    fn calibration_images_honor_count() {
+        let imgs = calibration_images(Workload::Cifar100, Scale::Quick, 12);
+        assert_eq!(imgs.len(), 12);
+    }
+
+    #[test]
+    fn out_path_honors_env_override() {
+        // `out_path` lives in oasis-scenario; spot-check the re-export
+        // creates files where the figure binaries expect them.
+        let p = out_path("bench_test_artifact.txt");
+        assert!(p.parent().is_some_and(std::path::Path::exists));
     }
 }

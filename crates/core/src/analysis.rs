@@ -59,7 +59,11 @@ pub fn activation_set_analysis(
         .expect("shapes validated above");
     let n = malicious_layer.out_features();
     let active = |row: usize| -> Vec<bool> {
-        z.row(row).expect("row in bounds").iter().map(|&v| v > 0.0).collect()
+        z.row(row)
+            .expect("row in bounds")
+            .iter()
+            .map(|&v| v > 0.0)
+            .collect()
     };
 
     let mut per_sample_protected = Vec::with_capacity(b);
@@ -93,7 +97,11 @@ pub fn activation_set_analysis(
     let _ = n;
     ActivationAnalysis {
         protection_rate,
-        mean_active_neurons: if b == 0 { 0.0 } else { total_active as f64 / b as f64 },
+        mean_active_neurons: if b == 0 {
+            0.0
+        } else {
+            total_active as f64 / b as f64
+        },
         per_sample_protected,
         twin_counts,
     }
@@ -171,9 +179,15 @@ mod tests {
         let defense = Oasis::new(OasisConfig::policy(PolicyKind::Without));
         let analysis = activation_set_analysis(&layer, &b, &defense);
         // Samples activating at least one neuron are unprotected.
-        let active_samples =
-            analysis.per_sample_protected.iter().filter(|&&p| !p).count();
-        assert!(active_samples > 0, "test layer should activate for some samples");
+        let active_samples = analysis
+            .per_sample_protected
+            .iter()
+            .filter(|&&p| !p)
+            .count();
+        assert!(
+            active_samples > 0,
+            "test layer should activate for some samples"
+        );
     }
 
     #[test]

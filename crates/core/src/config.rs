@@ -25,7 +25,9 @@ pub struct OasisConfig {
 impl OasisConfig {
     /// Uses one of the paper's named policies.
     pub fn policy(kind: PolicyKind) -> Self {
-        OasisConfig { policy: kind.policy() }
+        OasisConfig {
+            policy: kind.policy(),
+        }
     }
 
     /// Uses a custom augmentation policy.

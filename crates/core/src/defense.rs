@@ -133,6 +133,9 @@ mod tests {
         let b = batch(2);
         let mut rng1 = StdRng::seed_from_u64(1);
         let mut rng2 = StdRng::seed_from_u64(999);
-        assert_eq!(defense.process(&b, &mut rng1), defense.process(&b, &mut rng2));
+        assert_eq!(
+            defense.process(&b, &mut rng1),
+            defense.process(&b, &mut rng2)
+        );
     }
 }

@@ -80,15 +80,31 @@ pub fn audit_first_layer(layer: &Linear) -> LayerAudit {
             continue;
         }
         let (a, b) = (w.row(i).expect("row"), w.row(j).expect("row"));
-        let dot: f64 = a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum();
-        let na: f64 = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
-        let nb: f64 = b.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+        let dot: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x as f64) * (y as f64))
+            .sum();
+        let na: f64 = a
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = b
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt();
         if na > 0.0 && nb > 0.0 {
             cos_sum += (dot / (na * nb)).abs();
             cos_count += 1;
         }
     }
-    let mean_row_cosine = if cos_count == 0 { 0.0 } else { cos_sum / cos_count as f64 };
+    let mean_row_cosine = if cos_count == 0 {
+        0.0
+    } else {
+        cos_sum / cos_count as f64
+    };
 
     // Sign statistics.
     let mut neg = 0usize;
@@ -187,7 +203,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let layer = Linear::new(768, 256, &mut rng);
         let audit = audit_first_layer(&layer);
-        assert!(!audit.suspicious, "honest layer flagged: {:?}", audit.reasons);
+        assert!(
+            !audit.suspicious,
+            "honest layer flagged: {:?}",
+            audit.reasons
+        );
         assert!(audit.mean_row_cosine < 0.3);
         assert!((audit.negative_fraction - 0.5).abs() < 0.05);
     }
@@ -202,7 +222,10 @@ mod tests {
         let layer = model.layer_as::<Linear>(0).unwrap();
         let audit = audit_first_layer(layer);
         assert!(audit.suspicious, "RTF layer not flagged: {audit:?}");
-        assert!(audit.mean_row_cosine > 0.99, "identical rows must be detected");
+        assert!(
+            audit.mean_row_cosine > 0.99,
+            "identical rows must be detected"
+        );
     }
 
     #[test]
@@ -210,8 +233,7 @@ mod tests {
         use oasis_attacks::{ActiveAttack, CahAttack, DEFAULT_ACTIVATION_TARGET};
         let ds = oasis_data::cifar_like_with(8, 8, 12, 0);
         let calib: Vec<_> = ds.items().iter().map(|it| it.image.clone()).collect();
-        let attack =
-            CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 3).unwrap();
+        let attack = CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 3).unwrap();
         let model = attack.build_model((3, 12, 12), 8, 0).unwrap();
         let layer = model.layer_as::<Linear>(0).unwrap();
         let audit = audit_first_layer(layer);

@@ -52,8 +52,11 @@ mod tests {
             m
         });
         let global = flatten_params(&mut factory());
-        let client =
-            defended_client(0, data.clone(), OasisConfig::policy(PolicyKind::MajorRotation));
+        let client = defended_client(
+            0,
+            data.clone(),
+            OasisConfig::policy(PolicyKind::MajorRotation),
+        );
         let update = client.compute_update(&factory, &global, 4, 1).unwrap();
         assert_eq!(update.samples, 16, "4 samples × (1 + 3 rotations)");
 

@@ -46,7 +46,10 @@ pub fn synthetic_dataset(
         let mut rng =
             StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(class as u64) ^ SALT);
         for _ in 0..samples_per_class {
-            items.push(LabeledImage { image: spec.render(side, side, &mut rng), label: class });
+            items.push(LabeledImage {
+                image: spec.render(side, side, &mut rng),
+                label: class,
+            });
         }
     }
     Dataset::new(name, classes, items)

@@ -37,7 +37,11 @@ impl Dataset {
                 it.label
             );
         }
-        Dataset { name: name.into(), num_classes, items }
+        Dataset {
+            name: name.into(),
+            num_classes,
+            items,
+        }
     }
 
     /// The dataset's display name.
@@ -68,7 +72,10 @@ impl Dataset {
     /// `(channels, height, width)` of the first sample, or `(0,0,0)`
     /// when empty.
     pub fn geometry(&self) -> (usize, usize, usize) {
-        self.items.first().map(|it| it.image.dims()).unwrap_or((0, 0, 0))
+        self.items
+            .first()
+            .map(|it| it.image.dims())
+            .unwrap_or((0, 0, 0))
     }
 
     /// Flat feature dimension `c·h·w`.
@@ -96,7 +103,11 @@ impl Dataset {
     ///
     /// Panics if `size > len()`.
     pub fn sample_batch(&self, size: usize, rng: &mut impl Rng) -> Batch {
-        assert!(size <= self.items.len(), "batch {size} > dataset {}", self.items.len());
+        assert!(
+            size <= self.items.len(),
+            "batch {size} > dataset {}",
+            self.items.len()
+        );
         let mut idx: Vec<usize> = (0..self.items.len()).collect();
         idx.shuffle(rng);
         let chosen = &idx[..size];
@@ -115,9 +126,14 @@ impl Dataset {
         for (i, it) in self.items.iter().enumerate() {
             by_class[it.label].push(i);
         }
-        let mut classes: Vec<usize> =
-            (0..self.num_classes).filter(|&c| !by_class[c].is_empty()).collect();
-        assert!(classes.len() >= size, "only {} populated classes for batch {size}", classes.len());
+        let mut classes: Vec<usize> = (0..self.num_classes)
+            .filter(|&c| !by_class[c].is_empty())
+            .collect();
+        assert!(
+            classes.len() >= size,
+            "only {} populated classes for batch {size}",
+            classes.len()
+        );
         classes.shuffle(rng);
         let items = classes[..size]
             .iter()
@@ -132,7 +148,9 @@ impl Dataset {
     /// Iterates over sequential (non-shuffled) batches of `size`,
     /// including a trailing partial batch.
     pub fn batches(&self, size: usize) -> impl Iterator<Item = Batch> + '_ {
-        self.items.chunks(size.max(1)).map(|chunk| Batch::from_items(chunk.to_vec()))
+        self.items
+            .chunks(size.max(1))
+            .map(|chunk| Batch::from_items(chunk.to_vec()))
     }
 
     /// Iterates over shuffled batches of `size` (one epoch).
@@ -172,7 +190,10 @@ mod tests {
             for s in 0..per_class {
                 let mut img = Image::new(1, 2, 2);
                 img.fill((c * per_class + s) as f32 / 100.0);
-                items.push(LabeledImage { image: img, label: c });
+                items.push(LabeledImage {
+                    image: img,
+                    label: c,
+                });
             }
         }
         Dataset::new("tiny", classes, items)
@@ -228,7 +249,14 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn new_rejects_bad_labels() {
         let img = Image::new(1, 2, 2);
-        Dataset::new("bad", 1, vec![LabeledImage { image: img, label: 1 }]);
+        Dataset::new(
+            "bad",
+            1,
+            vec![LabeledImage {
+                image: img,
+                label: 1,
+            }],
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub fn imagenette_like_with(samples_per_class: usize, side: usize, seed: u64) ->
         let mut rng =
             StdRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(class as u64) ^ SALT);
         for _ in 0..samples_per_class {
-            items.push(LabeledImage { image: spec.render(side, side, &mut rng), label: class });
+            items.push(LabeledImage {
+                image: spec.render(side, side, &mut rng),
+                label: class,
+            });
         }
     }
     Dataset::new("ImageNette-like", classes, items)

@@ -203,8 +203,12 @@ mod tests {
         let spec = ClassSpec::derive(5, 4);
         let img = spec.render(32, 32, &mut StdRng::seed_from_u64(1));
         let mean = img.mean();
-        let var: f32 =
-            img.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / img.numel() as f32;
+        let var: f32 = img
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / img.numel() as f32;
         assert!(var.sqrt() > 0.05, "std {}", var.sqrt());
     }
 
@@ -212,7 +216,9 @@ mod tests {
     fn brightness_jitter_spreads_measurements() {
         let spec = ClassSpec::derive(5, 4);
         let mut rng = StdRng::seed_from_u64(1);
-        let means: Vec<f32> = (0..50).map(|_| spec.render(32, 32, &mut rng).mean()).collect();
+        let means: Vec<f32> = (0..50)
+            .map(|_| spec.render(32, 32, &mut rng).mean())
+            .collect();
         let lo = means.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = means.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         assert!(hi - lo > 0.05, "measurement spread {}", hi - lo);

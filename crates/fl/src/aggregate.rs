@@ -15,7 +15,10 @@ pub fn fedavg(updates: &[ClientUpdate]) -> Result<Vec<f32>> {
     let mut acc = vec![0.0f32; n];
     for u in updates {
         if u.grads.len() != n {
-            return Err(FlError::UpdateLength { len: u.grads.len(), expected: n });
+            return Err(FlError::UpdateLength {
+                len: u.grads.len(),
+                expected: n,
+            });
         }
         for (a, &g) in acc.iter_mut().zip(&u.grads) {
             *a += g;
@@ -40,12 +43,17 @@ pub fn fedavg_weighted(updates: &[ClientUpdate]) -> Result<Vec<f32>> {
     let n = first.grads.len();
     let total: usize = updates.iter().map(|u| u.samples).sum();
     if total == 0 {
-        return Err(FlError::BadConfig("weighted FedAvg over zero samples".into()));
+        return Err(FlError::BadConfig(
+            "weighted FedAvg over zero samples".into(),
+        ));
     }
     let mut acc = vec![0.0f32; n];
     for u in updates {
         if u.grads.len() != n {
-            return Err(FlError::UpdateLength { len: u.grads.len(), expected: n });
+            return Err(FlError::UpdateLength {
+                len: u.grads.len(),
+                expected: n,
+            });
         }
         let w = u.samples as f32 / total as f32;
         for (a, &g) in acc.iter_mut().zip(&u.grads) {
@@ -60,7 +68,12 @@ mod tests {
     use super::*;
 
     fn upd(id: usize, grads: Vec<f32>, samples: usize) -> ClientUpdate {
-        ClientUpdate { client_id: id, grads, loss: 0.0, samples }
+        ClientUpdate {
+            client_id: id,
+            grads,
+            loss: 0.0,
+            samples,
+        }
     }
 
     #[test]
@@ -72,8 +85,12 @@ mod tests {
     #[test]
     fn fedavg_of_identical_updates_is_identity() {
         let g = vec![0.5, -1.0, 2.0];
-        let out = fedavg(&[upd(0, g.clone(), 1), upd(1, g.clone(), 1), upd(2, g.clone(), 1)])
-            .unwrap();
+        let out = fedavg(&[
+            upd(0, g.clone(), 1),
+            upd(1, g.clone(), 1),
+            upd(2, g.clone(), 1),
+        ])
+        .unwrap();
         assert_eq!(out, g);
     }
 
@@ -90,8 +107,7 @@ mod tests {
 
     #[test]
     fn weighted_fedavg_weights_by_samples() {
-        let out =
-            fedavg_weighted(&[upd(0, vec![0.0], 1), upd(1, vec![4.0], 3)]).unwrap();
+        let out = fedavg_weighted(&[upd(0, vec![0.0], 1), upd(1, vec![4.0], 3)]).unwrap();
         assert_eq!(out, vec![3.0]);
     }
 

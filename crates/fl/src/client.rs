@@ -44,7 +44,11 @@ pub struct FlClient {
 impl FlClient {
     /// Creates a client with a local shard and a batch preprocessor.
     pub fn new(id: usize, data: Dataset, preprocessor: Arc<dyn BatchPreprocessor>) -> Self {
-        FlClient { id, data, preprocessor }
+        FlClient {
+            id,
+            data,
+            preprocessor,
+        }
     }
 
     /// The client id.

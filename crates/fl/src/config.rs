@@ -17,7 +17,11 @@ pub struct FlConfig {
 
 impl Default for FlConfig {
     fn default() -> Self {
-        FlConfig { learning_rate: 0.1, local_batch_size: 8, clients_per_round: 0 }
+        FlConfig {
+            learning_rate: 0.1,
+            local_batch_size: 8,
+            clients_per_round: 0,
+        }
     }
 }
 
@@ -37,7 +41,11 @@ mod tests {
         // Serialize via Debug-comparable round trip through serde_json
         // is unavailable (no serde_json dep); check the derives exist
         // by cloning and comparing.
-        let c = FlConfig { learning_rate: 0.5, local_batch_size: 4, clients_per_round: 2 };
+        let c = FlConfig {
+            learning_rate: 0.5,
+            local_batch_size: 4,
+            clients_per_round: 2,
+        };
         assert_eq!(c.clone(), c);
     }
 }

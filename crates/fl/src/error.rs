@@ -57,7 +57,10 @@ mod tests {
     fn displays_are_nonempty() {
         for e in [
             FlError::BadConfig("x".into()),
-            FlError::UpdateLength { len: 1, expected: 2 },
+            FlError::UpdateLength {
+                len: 1,
+                expected: 2,
+            },
             FlError::NoClients,
         ] {
             assert!(!e.to_string().is_empty());

@@ -44,7 +44,13 @@ impl FlServer {
         if param_count(&mut model) == 0 {
             return Err(FlError::BadConfig("model has no parameters".into()));
         }
-        Ok(FlServer { factory, model, config, tamper: None, round: 0 })
+        Ok(FlServer {
+            factory,
+            model,
+            config,
+            tamper: None,
+            round: 0,
+        })
     }
 
     /// Installs a dishonest-server behaviour (e.g. an active
@@ -138,7 +144,9 @@ impl FlServer {
         seed: u64,
     ) -> Result<Vec<RoundReport>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..rounds).map(|_| self.run_round(clients, &mut rng)).collect()
+        (0..rounds)
+            .map(|_| self.run_round(clients, &mut rng))
+            .collect()
     }
 }
 
@@ -185,7 +193,9 @@ mod tests {
     fn round_reports_participants() {
         let (factory, clients) = setup(3);
         let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
-        let report = server.run_round(&clients, &mut StdRng::seed_from_u64(0)).unwrap();
+        let report = server
+            .run_round(&clients, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         assert_eq!(report.participants, 4);
         assert!(report.update_norm > 0.0);
     }
@@ -193,20 +203,33 @@ mod tests {
     #[test]
     fn client_subset_selection_respects_config() {
         let (factory, clients) = setup(3);
-        let cfg = FlConfig { clients_per_round: 2, ..FlConfig::default() };
+        let cfg = FlConfig {
+            clients_per_round: 2,
+            ..FlConfig::default()
+        };
         let mut server = FlServer::new(factory, cfg).unwrap();
-        let report = server.run_round(&clients, &mut StdRng::seed_from_u64(0)).unwrap();
+        let report = server
+            .run_round(&clients, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         assert_eq!(report.participants, 2);
     }
 
     #[test]
     fn training_reduces_loss_over_rounds() {
         let (factory, clients) = setup(3);
-        let cfg = FlConfig { learning_rate: 0.5, local_batch_size: 8, clients_per_round: 0 };
+        let cfg = FlConfig {
+            learning_rate: 0.5,
+            local_batch_size: 8,
+            clients_per_round: 0,
+        };
         let mut server = FlServer::new(factory, cfg).unwrap();
         let reports = server.run(&clients, 30, 42).unwrap();
         let first: f32 = reports[..3].iter().map(|r| r.mean_loss).sum::<f32>() / 3.0;
-        let last: f32 = reports[reports.len() - 3..].iter().map(|r| r.mean_loss).sum::<f32>() / 3.0;
+        let last: f32 = reports[reports.len() - 3..]
+            .iter()
+            .map(|r| r.mean_loss)
+            .sum::<f32>()
+            / 3.0;
         assert!(last < first, "loss did not decrease: {first} -> {last}");
     }
 
@@ -225,7 +248,9 @@ mod tests {
         let (factory, clients) = setup(2);
         let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
         assert_eq!(server.round(), 0);
-        server.run_round(&clients, &mut StdRng::seed_from_u64(0)).unwrap();
+        server
+            .run_round(&clients, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         assert_eq!(server.round(), 1);
     }
 }

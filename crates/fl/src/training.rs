@@ -55,7 +55,11 @@ pub fn partition_iid(
     let mut clients = Vec::with_capacity(n);
     for i in 0..n {
         let start = i * per;
-        let end = if i == n - 1 { items.len() } else { (i + 1) * per };
+        let end = if i == n - 1 {
+            items.len()
+        } else {
+            (i + 1) * per
+        };
         let shard = Dataset::new(
             format!("{}-shard{}", dataset.name(), i),
             dataset.num_classes(),
@@ -128,7 +132,9 @@ pub fn partition_dirichlet(
         }
         class_items.shuffle(rng);
         // Dirichlet weights = normalized Gamma draws.
-        let weights: Vec<f64> = (0..n).map(|_| gamma_sample(alpha, rng).max(1e-12)).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|_| gamma_sample(alpha, rng).max(1e-12))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut start = 0usize;
         for (client, &w) in weights.iter().enumerate() {
@@ -203,7 +209,10 @@ pub fn train_centralized(
         epoch_losses.push(losses.iter().sum::<f32>() / losses.len().max(1) as f32);
     }
     let test_accuracy = evaluate_accuracy(model, test, batch_size.max(1))?;
-    Ok(TrainReport { epoch_losses, test_accuracy })
+    Ok(TrainReport {
+        epoch_losses,
+        test_accuracy,
+    })
 }
 
 /// Top-1 accuracy of `model` on `dataset`, evaluated in batches.
@@ -221,13 +230,19 @@ pub fn evaluate_accuracy(
     for batch in dataset.batches(batch_size) {
         let x: Tensor = batch.to_matrix();
         let logits = model.forward(&x, Mode::Eval)?;
-        let preds = logits
-            .argmax_rows()
-            .map_err(oasis_nn::NnError::from)?;
-        correct += preds.iter().zip(&batch.labels).filter(|(p, l)| p == l).count();
+        let preds = logits.argmax_rows().map_err(oasis_nn::NnError::from)?;
+        correct += preds
+            .iter()
+            .zip(&batch.labels)
+            .filter(|(p, l)| p == l)
+            .count();
         total += batch.len();
     }
-    Ok(if total == 0 { 0.0 } else { correct as f64 / total as f64 })
+    Ok(if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    })
 }
 
 #[cfg(test)]

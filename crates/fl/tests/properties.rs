@@ -4,7 +4,12 @@ use oasis_fl::{fedavg, fedavg_weighted, ClientUpdate};
 use proptest::prelude::*;
 
 fn upd(id: usize, grads: Vec<f32>, samples: usize) -> ClientUpdate {
-    ClientUpdate { client_id: id, grads, loss: 0.0, samples }
+    ClientUpdate {
+        client_id: id,
+        grads,
+        loss: 0.0,
+        samples,
+    }
 }
 
 proptest! {

@@ -55,19 +55,29 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::LengthMismatch { len, expected } => {
-                write!(f, "buffer of length {len} does not match image with {expected} elements")
+                write!(
+                    f,
+                    "buffer of length {len} does not match image with {expected} elements"
+                )
             }
             ImageError::DimensionMismatch { op, lhs, rhs } => {
                 write!(f, "dimension mismatch in {op}: {lhs:?} vs {rhs:?}")
             }
-            ImageError::ChannelMismatch { op, expected, actual } => {
+            ImageError::ChannelMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op} requires {expected} channels, got {actual}")
             }
             ImageError::OutOfRange { index, bound } => {
                 write!(f, "index {index} out of range (bound {bound})")
             }
             ImageError::TensorShape { numel, expected } => {
-                write!(f, "tensor with {numel} elements cannot fill image with {expected}")
+                write!(
+                    f,
+                    "tensor with {numel} elements cannot fill image with {expected}"
+                )
             }
             ImageError::Io(e) => write!(f, "io error: {e}"),
             ImageError::Format(msg) => write!(f, "unsupported image format: {msg}"),
@@ -96,7 +106,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ImageError::LengthMismatch { len: 2, expected: 12 };
+        let e = ImageError::LengthMismatch {
+            len: 2,
+            expected: 12,
+        };
         assert!(e.to_string().contains("12"));
     }
 

@@ -33,7 +33,12 @@ pub struct Image {
 impl Image {
     /// Creates a black (all-zero) image.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Image { channels, height, width, data: vec![0.0; channels * height * width] }
+        Image {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
     }
 
     /// Creates an image from a CHW buffer.
@@ -45,9 +50,17 @@ impl Image {
     pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f32>) -> Result<Self> {
         let expected = channels * height * width;
         if data.len() != expected {
-            return Err(ImageError::LengthMismatch { len: data.len(), expected });
+            return Err(ImageError::LengthMismatch {
+                len: data.len(),
+                expected,
+            });
         }
-        Ok(Image { channels, height, width, data })
+        Ok(Image {
+            channels,
+            height,
+            width,
+            data,
+        })
     }
 
     /// Builds an image from a flat tensor (rank-1 of length `c*h*w`).
@@ -58,9 +71,17 @@ impl Image {
     pub fn from_tensor(t: &Tensor, channels: usize, height: usize, width: usize) -> Result<Self> {
         let expected = channels * height * width;
         if t.numel() != expected {
-            return Err(ImageError::TensorShape { numel: t.numel(), expected });
+            return Err(ImageError::TensorShape {
+                numel: t.numel(),
+                expected,
+            });
         }
-        Ok(Image { channels, height, width, data: t.data().to_vec() })
+        Ok(Image {
+            channels,
+            height,
+            width,
+            data: t.data().to_vec(),
+        })
     }
 
     /// Flattens the image into a rank-1 tensor of length `c*h*w`.
@@ -142,13 +163,22 @@ impl Image {
 
     fn offset(&self, channel: usize, y: usize, x: usize) -> Result<usize> {
         if channel >= self.channels {
-            return Err(ImageError::OutOfRange { index: channel, bound: self.channels });
+            return Err(ImageError::OutOfRange {
+                index: channel,
+                bound: self.channels,
+            });
         }
         if y >= self.height {
-            return Err(ImageError::OutOfRange { index: y, bound: self.height });
+            return Err(ImageError::OutOfRange {
+                index: y,
+                bound: self.height,
+            });
         }
         if x >= self.width {
-            return Err(ImageError::OutOfRange { index: x, bound: self.width });
+            return Err(ImageError::OutOfRange {
+                index: x,
+                bound: self.width,
+            });
         }
         Ok((channel * self.height + y) * self.width + x)
     }
@@ -250,7 +280,10 @@ impl Image {
     /// Returns [`ImageError::OutOfRange`] if `channel` is out of bounds.
     pub fn channel(&self, channel: usize) -> Result<Image> {
         if channel >= self.channels {
-            return Err(ImageError::OutOfRange { index: channel, bound: self.channels });
+            return Err(ImageError::OutOfRange {
+                index: channel,
+                bound: self.channels,
+            });
         }
         let plane = self.height * self.width;
         Ok(Image {

@@ -27,7 +27,10 @@ pub struct AffineMap {
 impl AffineMap {
     /// The identity map.
     pub fn identity() -> Self {
-        AffineMap { linear: [[1.0, 0.0], [0.0, 1.0]], translation: [0.0, 0.0] }
+        AffineMap {
+            linear: [[1.0, 0.0], [0.0, 1.0]],
+            translation: [0.0, 0.0],
+        }
     }
 
     /// Inverse map for a rotation *of the image* by `degrees`
@@ -38,18 +41,27 @@ impl AffineMap {
         let (sin, cos) = (theta.sin(), theta.cos());
         // Coordinates are (y, x); a CCW rotation in (x, y) maps to this
         // form in (y, x).
-        AffineMap { linear: [[cos, -sin], [sin, cos]], translation: [0.0, 0.0] }
+        AffineMap {
+            linear: [[cos, -sin], [sin, cos]],
+            translation: [0.0, 0.0],
+        }
     }
 
     /// Inverse map for a horizontal shear with factor `mu`
     /// (paper Eq. 5: `I'(i, j) = I(i + µj, j)`).
     pub fn shear_x(mu: f32) -> Self {
-        AffineMap { linear: [[1.0, 0.0], [mu, 1.0]], translation: [0.0, 0.0] }
+        AffineMap {
+            linear: [[1.0, 0.0], [mu, 1.0]],
+            translation: [0.0, 0.0],
+        }
     }
 
     /// Inverse map for a vertical shear with factor `mu`.
     pub fn shear_y(mu: f32) -> Self {
-        AffineMap { linear: [[1.0, mu], [0.0, 1.0]], translation: [0.0, 0.0] }
+        AffineMap {
+            linear: [[1.0, mu], [0.0, 1.0]],
+            translation: [0.0, 0.0],
+        }
     }
 
     /// Composition `self ∘ other` (apply `other` first).
@@ -70,7 +82,10 @@ impl AffineMap {
             a[0][0] * other.translation[0] + a[0][1] * other.translation[1] + self.translation[0],
             a[1][0] * other.translation[0] + a[1][1] * other.translation[1] + self.translation[1],
         ];
-        AffineMap { linear, translation }
+        AffineMap {
+            linear,
+            translation,
+        }
     }
 
     /// Applies the map to center-relative coordinates `(y, x)`.
@@ -338,7 +353,10 @@ mod tests {
     #[test]
     fn bilinear_at_integer_coords_is_exact() {
         let img = gradient_image();
-        assert_eq!(bilinear_sample(&img, 0, 3.0, 4.0), img.get(0, 3, 4).unwrap());
+        assert_eq!(
+            bilinear_sample(&img, 0, 3.0, 4.0),
+            img.get(0, 3, 4).unwrap()
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub fn write_auto(path: impl AsRef<Path>, img: &Image) -> Result<()> {
     match img.channels() {
         1 => write_pgm(path, img),
         3 => write_ppm(path, img),
-        c => Err(ImageError::ChannelMismatch { op: "write_auto", expected: 3, actual: c }),
+        c => Err(ImageError::ChannelMismatch {
+            op: "write_auto",
+            expected: 3,
+            actual: c,
+        }),
     }
 }
 
@@ -197,7 +201,8 @@ pub fn montage(images: &[Image], cols: usize) -> Result<Image> {
             for y in 0..h {
                 for x in 0..w {
                     let v = img.get(ch, y, x).expect("in bounds");
-                    out.set(ch, oy + y, ox + x, v.clamp(0.0, 1.0)).expect("in bounds");
+                    out.set(ch, oy + y, ox + x, v.clamp(0.0, 1.0))
+                        .expect("in bounds");
                 }
             }
         }
@@ -221,7 +226,8 @@ mod tests {
         for y in 0..4 {
             for x in 0..5 {
                 for c in 0..3 {
-                    img.set(c, y, x, ((y * 5 + x + c) % 7) as f32 / 7.0).unwrap();
+                    img.set(c, y, x, ((y * 5 + x + c) % 7) as f32 / 7.0)
+                        .unwrap();
                 }
             }
         }

@@ -9,7 +9,9 @@ use oasis_tensor::Tensor;
 /// Panics if `logits` is not rank-2 or the label count differs from
 /// the batch size.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
-    let preds = logits.argmax_rows().expect("logits must be [batch, classes]");
+    let preds = logits
+        .argmax_rows()
+        .expect("logits must be [batch, classes]");
     assert_eq!(preds.len(), labels.len(), "label count mismatch");
     if labels.is_empty() {
         return 0.0;

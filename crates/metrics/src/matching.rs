@@ -32,7 +32,11 @@ pub fn match_greedy(recons: &[Image], originals: &[Image]) -> Vec<Reconstruction
     let mut pairs = Vec::with_capacity(recons.len() * originals.len());
     for (ri, r) in recons.iter().enumerate() {
         for (oi, o) in originals.iter().enumerate() {
-            pairs.push(ReconstructionMatch { recon_idx: ri, original_idx: oi, psnr: psnr(r, o) });
+            pairs.push(ReconstructionMatch {
+                recon_idx: ri,
+                original_idx: oi,
+                psnr: psnr(r, o),
+            });
         }
     }
     pairs.sort_by(|a, b| b.psnr.total_cmp(&a.psnr));
@@ -64,7 +68,9 @@ pub fn match_greedy_coarse(
     coarse_side: usize,
 ) -> Vec<ReconstructionMatch> {
     let shrink = |imgs: &[Image]| -> Vec<Image> {
-        imgs.iter().map(|i| i.downsample(coarse_side, coarse_side)).collect()
+        imgs.iter()
+            .map(|i| i.downsample(coarse_side, coarse_side))
+            .collect()
     };
     let small_r = shrink(recons);
     let small_o = shrink(originals);
@@ -84,12 +90,7 @@ pub fn match_greedy_coarse(
 pub fn best_psnr_per_original(recons: &[Image], originals: &[Image]) -> Vec<f64> {
     originals
         .iter()
-        .map(|o| {
-            recons
-                .iter()
-                .map(|r| psnr(r, o))
-                .fold(0.0f64, f64::max)
-        })
+        .map(|o| recons.iter().map(|r| psnr(r, o)).fold(0.0f64, f64::max))
         .collect()
 }
 
@@ -112,8 +113,10 @@ mod tests {
         for m in &matches {
             assert_eq!(m.psnr, crate::PSNR_CAP);
         }
-        let pairs: Vec<(usize, usize)> =
-            matches.iter().map(|m| (m.recon_idx, m.original_idx)).collect();
+        let pairs: Vec<(usize, usize)> = matches
+            .iter()
+            .map(|m| (m.recon_idx, m.original_idx))
+            .collect();
         assert!(pairs.contains(&(0, 2)));
         assert!(pairs.contains(&(1, 0)));
     }

@@ -30,7 +30,16 @@ impl Summary {
     /// for empty input.
     pub fn from_values(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Summary { count: 0, min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0, std: 0.0 };
+            return Summary {
+                count: 0,
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);

@@ -106,7 +106,11 @@ impl Layer for BatchNorm {
                         }
                     }
                 }
-                self.cache = Some(Cache { x_hat, inv_std, spatial: p });
+                self.cache = Some(Cache {
+                    x_hat,
+                    inv_std,
+                    spatial: p,
+                });
             }
             Mode::Eval => {
                 for c in 0..self.channels {

@@ -172,22 +172,23 @@ impl Layer for Conv2d {
             self.cached_input = Some(input.clone());
         }
         let in_f = self.in_features();
-        let rows: Vec<Vec<f32>> = parallel::map_indexed(&(0..batch).collect::<Vec<_>>(), |_, &b| {
-            let x = &input.data()[b * in_f..(b + 1) * in_f];
-            let col = self.im2col(x);
-            let col_t = Tensor::from_vec(col, &[p, self.weight.dims()[1]])
-                .expect("im2col geometry");
-            // (P, CKK) · (CKK, out_c) via nt on W (out_c, CKK).
-            let y = col_t.matmul_nt(&self.weight).expect("conv forward matmul");
-            // Rearrange (P, oc) → channel-major (oc, P) with bias.
-            let mut row = vec![0.0f32; oc * p];
-            for pi in 0..p {
-                for c in 0..oc {
-                    row[c * p + pi] = y.data()[pi * oc + c] + self.bias.data()[c];
+        let rows: Vec<Vec<f32>> =
+            parallel::map_indexed(&(0..batch).collect::<Vec<_>>(), |_, &b| {
+                let x = &input.data()[b * in_f..(b + 1) * in_f];
+                let col = self.im2col(x);
+                let col_t =
+                    Tensor::from_vec(col, &[p, self.weight.dims()[1]]).expect("im2col geometry");
+                // (P, CKK) · (CKK, out_c) via nt on W (out_c, CKK).
+                let y = col_t.matmul_nt(&self.weight).expect("conv forward matmul");
+                // Rearrange (P, oc) → channel-major (oc, P) with bias.
+                let mut row = vec![0.0f32; oc * p];
+                for pi in 0..p {
+                    for c in 0..oc {
+                        row[c * p + pi] = y.data()[pi * oc + c] + self.bias.data()[c];
+                    }
                 }
-            }
-            row
-        });
+                row
+            });
         let mut out = Tensor::zeros(&[batch, oc * p]);
         for (b, row) in rows.into_iter().enumerate() {
             out.row_mut(b)?.copy_from_slice(&row);

@@ -42,7 +42,11 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
-            NnError::BadInput { layer, expected, actual } => {
+            NnError::BadInput {
+                layer,
+                expected,
+                actual,
+            } => {
                 write!(f, "{layer}: expected {expected}, got dims {actual:?}")
             }
             NnError::BackwardBeforeForward { layer } => {
@@ -81,10 +85,20 @@ mod tests {
     fn displays_are_nonempty() {
         let errs: Vec<NnError> = vec![
             NnError::Tensor(TensorError::EmptyTensor),
-            NnError::BadInput { layer: "linear", expected: "width 4".into(), actual: vec![3] },
+            NnError::BadInput {
+                layer: "linear",
+                expected: "width 4".into(),
+                actual: vec![3],
+            },
             NnError::BackwardBeforeForward { layer: "relu" },
-            NnError::BadLabel { label: 7, classes: 5 },
-            NnError::ParamLength { len: 1, expected: 2 },
+            NnError::BadLabel {
+                label: 7,
+                classes: 5,
+            },
+            NnError::ParamLength {
+                len: 1,
+                expected: 2,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -134,9 +134,7 @@ pub fn check_layer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        AvgPoolAll, BatchNorm, Conv2d, Linear, MaxPool2, Relu, ResidualBlock, Sequential,
-    };
+    use crate::{AvgPoolAll, BatchNorm, Conv2d, Linear, MaxPool2, Relu, ResidualBlock, Sequential};
     use rand::{rngs::StdRng, SeedableRng};
 
     const EPS: f32 = 5e-3;
@@ -227,8 +225,16 @@ mod tests {
         let x = Tensor::randn(&[3, 2 * 16], &mut rng);
         let mut check_rng = StdRng::seed_from_u64(107);
         let report = check_layer(&mut layer, &x, EPS, 40, &mut check_rng).unwrap();
-        assert!(report.p90_input_err < TOL, "p90 input err {}", report.p90_input_err);
-        assert!(report.p90_param_err < TOL, "p90 param err {}", report.p90_param_err);
+        assert!(
+            report.p90_input_err < TOL,
+            "p90 input err {}",
+            report.p90_input_err
+        );
+        assert!(
+            report.p90_param_err < TOL,
+            "p90 param err {}",
+            report.p90_param_err
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub fn flatten_grads(layer: &mut dyn Layer) -> Vec<f32> {
 pub fn load_params(layer: &mut dyn Layer, flat: &[f32]) -> Result<()> {
     let expected = param_count(layer);
     if flat.len() != expected {
-        return Err(crate::NnError::ParamLength { len: flat.len(), expected });
+        return Err(crate::NnError::ParamLength {
+            len: flat.len(),
+            expected,
+        });
     }
     let mut offset = 0usize;
     layer.visit_params(&mut |p, _| {

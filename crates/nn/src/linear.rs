@@ -127,7 +127,8 @@ impl Layer for Linear {
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward { layer: "linear" })?;
         // ∂L/∂W = δᵀ · x  (out, in)
-        self.grad_weight.add_assign(&grad_output.matmul_tn(input)?)?;
+        self.grad_weight
+            .add_assign(&grad_output.matmul_tn(input)?)?;
         // ∂L/∂b = Σ_batch δ
         self.grad_bias.add_assign(&grad_output.sum_axis0()?)?;
         // ∂L/∂x = δ · W
@@ -211,8 +212,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let make = |rng: &mut StdRng| Linear::new(3, 2, rng);
         let mut l_batch = make(&mut rng);
-        let mut l_single = Linear::from_parts(l_batch.weight().clone(), l_batch.bias().clone())
-            .unwrap();
+        let mut l_single =
+            Linear::from_parts(l_batch.weight().clone(), l_batch.bias().clone()).unwrap();
 
         let x = Tensor::randn(&[4, 3], &mut rng);
         let g = Tensor::randn(&[4, 2], &mut rng);

@@ -85,7 +85,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
         grad.set(&[r, label], old - 1.0)?;
     }
     grad.scale_in_place(1.0 / batch as f32);
-    Ok(LossOutput { loss: (loss / batch as f64) as f32, grad })
+    Ok(LossOutput {
+        loss: (loss / batch as f64) as f32,
+        grad,
+    })
 }
 
 /// Mean-squared-error loss with mean reduction.

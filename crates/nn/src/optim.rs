@@ -36,12 +36,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum and L2 weight decay.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 

@@ -24,8 +24,17 @@ impl MaxPool2 {
     ///
     /// Panics if `h` or `w` is odd.
     pub fn new(channels: usize, h: usize, w: usize) -> Self {
-        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 requires even spatial dims");
-        MaxPool2 { channels, in_h: h, in_w: w, argmax: None, in_features: channels * h * w }
+        assert!(
+            h % 2 == 0 && w % 2 == 0,
+            "MaxPool2 requires even spatial dims"
+        );
+        MaxPool2 {
+            channels,
+            in_h: h,
+            in_w: w,
+            argmax: None,
+            in_features: channels * h * w,
+        }
     }
 
     /// `(channels, h/2, w/2)`.
@@ -122,7 +131,10 @@ impl AvgPoolAll {
     /// Creates a global average pool over `channels` channels; the
     /// spatial size is inferred from the first forward pass.
     pub fn new(channels: usize) -> Self {
-        AvgPoolAll { channels, spatial: None }
+        AvgPoolAll {
+            channels,
+            spatial: None,
+        }
     }
 }
 
@@ -150,9 +162,9 @@ impl Layer for AvgPoolAll {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let p = self
-            .spatial
-            .ok_or(NnError::BackwardBeforeForward { layer: "avgpool_all" })?;
+        let p = self.spatial.ok_or(NnError::BackwardBeforeForward {
+            layer: "avgpool_all",
+        })?;
         let batch = grad_output.dims()[0];
         let mut gx = Tensor::zeros(&[batch, self.channels * p]);
         for b in 0..batch {
@@ -198,7 +210,9 @@ mod tests {
         let mut pool = MaxPool2::new(1, 2, 2);
         let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.5], &[1, 4]).unwrap();
         pool.forward(&x, Mode::Train).unwrap();
-        let gx = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1]).unwrap()).unwrap();
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![5.0], &[1, 1]).unwrap())
+            .unwrap();
         assert_eq!(gx.data(), &[0.0, 5.0, 0.0, 0.0]);
     }
 
@@ -221,7 +235,9 @@ mod tests {
         let mut pool = AvgPoolAll::new(1);
         let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 4]).unwrap();
         pool.forward(&x, Mode::Train).unwrap();
-        let gx = pool.backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap()).unwrap();
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap())
+            .unwrap();
         assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
     }
 

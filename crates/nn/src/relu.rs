@@ -74,7 +74,9 @@ mod tests {
     #[test]
     fn forward_clamps_negatives() {
         let mut r = Relu::new();
-        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]).reshape(&[1, 3]).unwrap();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0])
+            .reshape(&[1, 3])
+            .unwrap();
         let y = r.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
     }
@@ -82,9 +84,13 @@ mod tests {
     #[test]
     fn backward_gates_by_activation() {
         let mut r = Relu::new();
-        let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]).reshape(&[1, 3]).unwrap();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 2.0])
+            .reshape(&[1, 3])
+            .unwrap();
         r.forward(&x, Mode::Train).unwrap();
-        let g = Tensor::from_slice(&[10.0, 10.0, 10.0]).reshape(&[1, 3]).unwrap();
+        let g = Tensor::from_slice(&[10.0, 10.0, 10.0])
+            .reshape(&[1, 3])
+            .unwrap();
         let gx = r.backward(&g).unwrap();
         assert_eq!(gx.data(), &[0.0, 10.0, 10.0]);
     }

@@ -90,7 +90,9 @@ impl Layer for ResidualBlock {
         let mask = self
             .out_mask
             .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "residual_block" })?;
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "residual_block",
+            })?;
         let mut g = grad_output.clone();
         for (v, &m) in g.data_mut().iter_mut().zip(mask) {
             if !m {
@@ -265,6 +267,9 @@ mod tests {
             first.get_or_insert(out.loss);
             last = out.loss;
         }
-        assert!(last < first.unwrap(), "loss did not decrease: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap(),
+            "loss did not decrease: {first:?} -> {last}"
+        );
     }
 }

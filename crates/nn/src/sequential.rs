@@ -133,7 +133,9 @@ mod tests {
     fn forward_chains_layers() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut m = mlp(&mut rng);
-        let y = m.forward(&Tensor::randn(&[5, 4], &mut rng), Mode::Eval).unwrap();
+        let y = m
+            .forward(&Tensor::randn(&[5, 4], &mut rng), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[5, 3]);
     }
 

@@ -1,0 +1,114 @@
+//! # oasis-scenario
+//!
+//! The declarative experiment engine of the OASIS reproduction:
+//! **every attack × defense × workload experiment is a value**, not a
+//! hand-wired binary.
+//!
+//! The paper's evaluation is a grid — {RTF, CAH, linear-model}
+//! attacks × {undefended, OASIS policies, ATSPrivacy, DP-SGD}
+//! defenses × {ImageNette-like, CIFAR100-like} workloads. This crate
+//! names every cell with compact spec strings
+//! ([`AttackSpec`] / [`DefenseSpec`] / [`WorkloadSpec`], all
+//! round-tripping through `FromStr` ⇄ `Display`), assembles a cell
+//! with [`Scenario::builder`], executes trials in parallel, and
+//! returns a [`ScenarioReport`] carrying per-trial matched PSNRs,
+//! leak rates, wall clock, and the full provenance needed to
+//! reproduce the numbers — serializable to JSON under `out/`.
+//!
+//! ```
+//! use oasis_scenario::{Scale, Scenario};
+//!
+//! let report = Scenario::builder()
+//!     .attack("rtf:64".parse().unwrap())
+//!     .defense("oasis:MR".parse().unwrap())
+//!     .workload("cifar100".parse().unwrap())
+//!     .batch_size(4)
+//!     .trials(1)
+//!     .scale(Scale::Quick)
+//!     .seed(1)
+//!     .calibration(32)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! println!("{report}");
+//! assert!(report.summary.count > 0);
+//! ```
+//!
+//! The `scenario` binary in `oasis-bench` exposes the same engine on
+//! the command line, including sweeps over comma-separated spec
+//! lists; the `figN_*` binaries are thin loops over this API.
+
+#![warn(missing_docs)]
+
+mod scale;
+mod scenario;
+mod spec;
+
+pub use scale::Scale;
+pub use scenario::{Sampling, Scenario, ScenarioBuilder, ScenarioReport, TrialReport};
+pub use spec::{AttackSpec, DefenseSpec, WorkloadSpec, CAH_WEIGHT_SEED};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced while parsing specs or executing scenarios.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A spec string or scenario configuration was invalid.
+    BadSpec(String),
+    /// An attacked round failed.
+    Attack(oasis_attacks::AttackError),
+    /// Writing an artifact failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BadSpec(msg) => write!(f, "bad scenario spec: {msg}"),
+            ScenarioError::Attack(e) => write!(f, "attack execution failed: {e}"),
+            ScenarioError::Io(e) => write!(f, "artifact I/O failed: {e}"),
+        }
+    }
+}
+
+impl From<oasis_attacks::AttackError> for ScenarioError {
+    fn from(e: oasis_attacks::AttackError) -> Self {
+        ScenarioError::Attack(e)
+    }
+}
+
+impl From<std::io::Error> for ScenarioError {
+    fn from(e: std::io::Error) -> Self {
+        ScenarioError::Io(e)
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::BadSpec(_) => None,
+            ScenarioError::Attack(e) => Some(e),
+            ScenarioError::Io(e) => Some(e),
+        }
+    }
+}
+
+/// Returns `<artifact dir>/name`, creating the directory if needed.
+///
+/// The artifact directory is `out/` by default; set the
+/// `OASIS_OUT_DIR` environment variable to redirect artifacts (CI,
+/// parallel sweeps).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn out_path(name: &str) -> PathBuf {
+    let dir = std::env::var_os("OASIS_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("out"));
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create artifact dir {}: {e}", dir.display()));
+    dir.join(name)
+}

@@ -1,0 +1,671 @@
+//! The scenario engine: one declarative value describing an
+//! attack × defense × workload experiment, a parallel runner, and a
+//! serializable report.
+
+use oasis_attacks::{run_attack, run_attack_with_dp, AttackOutcome};
+use oasis_data::{Batch, Dataset};
+use oasis_image::Image;
+use oasis_metrics::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::time::Instant;
+
+use crate::{out_path, AttackSpec, DefenseSpec, Scale, ScenarioError, WorkloadSpec};
+
+/// How trial batches are drawn from the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sampling {
+    /// Uniformly without replacement (the default).
+    #[default]
+    Uniform,
+    /// One sample per sampled class — all labels distinct, the
+    /// setting of the linear-model inversion (paper §IV-D).
+    UniqueLabels,
+}
+
+impl fmt::Display for Sampling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sampling::Uniform => "uniform",
+            Sampling::UniqueLabels => "unique-labels",
+        })
+    }
+}
+
+impl FromStr for Sampling {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Ok(Sampling::Uniform),
+            "unique-labels" | "unique_labels" => Ok(Sampling::UniqueLabels),
+            other => Err(ScenarioError::BadSpec(format!(
+                "unknown sampling `{other}` (expected uniform or unique-labels)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Sampling {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Sampling {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("sampling", value))?;
+        s.parse()
+            .map_err(|e: ScenarioError| serde::Error::msg(e.to_string()))
+    }
+}
+
+/// One fully specified experiment: every knob of an
+/// attack × defense × workload cell, as a serializable value.
+///
+/// Build with [`Scenario::builder`], execute with [`Scenario::run`]:
+///
+/// ```
+/// use oasis_scenario::{Scale, Scenario};
+///
+/// let report = Scenario::builder()
+///     .workload("imagenette".parse().unwrap())
+///     .attack("rtf:64".parse().unwrap())
+///     .defense("oasis:MR".parse().unwrap())
+///     .batch_size(4)
+///     .trials(1)
+///     .scale(Scale::Quick)
+///     .seed(7)
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.trials.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The attack under evaluation.
+    pub attack: AttackSpec,
+    /// The client-side defense (or `none`).
+    pub defense: DefenseSpec,
+    /// The workload attacked.
+    pub workload: WorkloadSpec,
+    /// Client batch size `B`.
+    pub batch_size: usize,
+    /// Number of independent attacked rounds pooled.
+    pub trials: usize,
+    /// Resolution / grid scale.
+    pub scale: Scale,
+    /// Master seed: drives batch sampling; trial `i` attacks with
+    /// seed `seed ^ i`.
+    pub seed: u64,
+    /// Seed of the workload dataset build (defaults to `seed`).
+    pub dataset_seed: u64,
+    /// Dataset is provisioned for batches up to this size (defaults
+    /// to `batch_size`; grid figures share one dataset sized for
+    /// their largest batch).
+    pub dataset_capacity: usize,
+    /// Number of calibration images the attacker fits its
+    /// measurement statistics on.
+    pub calibration: usize,
+    /// How trial batches are drawn.
+    pub sampling: Sampling,
+    /// PSNR threshold (dB) above which a sample counts as leaked.
+    pub leak_threshold_db: f64,
+}
+
+/// Seed of the calibration split — disjoint from every experiment
+/// seed, mirroring the attacker's "coarse public statistics".
+const CALIBRATION_SEED: u64 = 0xCA11B;
+
+impl Scenario {
+    /// Starts building a scenario (defaults: `rtf:512` vs `none` on
+    /// `imagenette`, `B = 8`, scale-default trials, seed 0).
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The one-line spec string `attack=… defense=… workload=… …`.
+    ///
+    /// Covers every axis that differs from its default (secondary
+    /// axes like `dataset_seed` appear only when decoupled), so the
+    /// printed line reproduces the run; the serialized
+    /// [`ScenarioReport`] always carries the complete scenario.
+    pub fn spec_string(&self) -> String {
+        let mut s = format!(
+            "attack={} defense={} workload={} batch={} trials={} scale={} seed={}",
+            self.attack,
+            self.defense,
+            self.workload,
+            self.batch_size,
+            self.trials,
+            self.scale,
+            self.seed
+        );
+        if self.dataset_seed != self.seed {
+            s.push_str(&format!(" dataset_seed={}", self.dataset_seed));
+        }
+        if self.dataset_capacity != self.batch_size {
+            s.push_str(&format!(" dataset_capacity={}", self.dataset_capacity));
+        }
+        if self.calibration != self.attack.default_calibration() {
+            s.push_str(&format!(" calibration={}", self.calibration));
+        }
+        let default_sampling = match self.attack {
+            AttackSpec::Linear => Sampling::UniqueLabels,
+            _ => Sampling::Uniform,
+        };
+        if self.sampling != default_sampling {
+            s.push_str(&format!(" sampling={}", self.sampling));
+        }
+        s
+    }
+
+    /// The trial batches this scenario draws — the same sequence
+    /// [`Scenario::run`] attacks (trial `i` is element `i`). Visual
+    /// figures use this to recover the original private images.
+    pub fn trial_batches(&self) -> Vec<Batch> {
+        self.trial_batches_from(&self.dataset())
+    }
+
+    fn trial_batches_from(&self, dataset: &Dataset) -> Vec<Batch> {
+        let batch_size = self.batch_size.min(dataset.len());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.trials)
+            .map(|_| match self.sampling {
+                Sampling::Uniform => dataset.sample_batch(batch_size, &mut rng),
+                Sampling::UniqueLabels => dataset.sample_batch_unique_labels(batch_size, &mut rng),
+            })
+            .collect()
+    }
+
+    /// Draws the calibration images the attacker is assumed to know.
+    pub fn calibration_images(&self) -> Vec<Image> {
+        if self.calibration == 0 {
+            return Vec::new();
+        }
+        let ds = self
+            .workload
+            .dataset(self.scale, self.calibration, CALIBRATION_SEED);
+        ds.items()
+            .iter()
+            .take(self.calibration)
+            .map(|it| it.image.clone())
+            .collect()
+    }
+
+    /// Builds the workload dataset this scenario attacks.
+    pub fn dataset(&self) -> Dataset {
+        self.workload
+            .dataset(self.scale, self.dataset_capacity, self.dataset_seed)
+    }
+
+    /// Executes the scenario: all trial batches are drawn up front
+    /// from the master seed, then attacked rounds run in parallel via
+    /// [`oasis_tensor::parallel`]; results are deterministic for a
+    /// fixed scenario regardless of thread interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec cannot be constructed (bad
+    /// calibration, unique-label sampling without enough classes) or
+    /// an attacked round fails.
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        self.run_detailed().map(|(report, _)| report)
+    }
+
+    /// Like [`Scenario::run`], but also returns the raw
+    /// [`AttackOutcome`] of every trial (reconstruction pools and
+    /// processed batches) for visual figures.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run`].
+    pub fn run_detailed(&self) -> Result<(ScenarioReport, Vec<AttackOutcome>), ScenarioError> {
+        let started = Instant::now();
+        let dataset = self.dataset();
+        let classes = dataset.num_classes();
+        let calibration = self.calibration_images();
+        let attack = self.attack.build(&calibration, classes)?;
+        let defense = self.defense.build();
+        let dp = self.defense.dp_params();
+
+        // Batches are drawn sequentially from one rng (so trial `i`
+        // sees the same batch however many workers run), then the
+        // expensive attacked rounds fan out across threads.
+        let batches = self.trial_batches_from(&dataset);
+
+        let outcomes: Vec<Result<AttackOutcome, ScenarioError>> =
+            oasis_tensor::parallel::map_indexed(&batches, |i, batch| {
+                let trial_seed = self.seed ^ i as u64;
+                let outcome = match dp {
+                    Some((clip, noise)) => run_attack_with_dp(
+                        attack.as_ref(),
+                        batch,
+                        defense.as_ref(),
+                        classes,
+                        trial_seed,
+                        clip,
+                        noise,
+                    ),
+                    None => run_attack(
+                        attack.as_ref(),
+                        batch,
+                        defense.as_ref(),
+                        classes,
+                        trial_seed,
+                    ),
+                };
+                outcome.map_err(ScenarioError::from)
+            });
+
+        let mut trials = Vec::with_capacity(outcomes.len());
+        let mut detailed = Vec::with_capacity(outcomes.len());
+        let mut pooled = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let outcome = outcome?;
+            pooled.extend_from_slice(&outcome.matched_psnrs);
+            trials.push(TrialReport {
+                trial: i,
+                attack_seed: self.seed ^ i as u64,
+                matched_psnrs: outcome.matched_psnrs.clone(),
+                mean_psnr: outcome.mean_psnr(),
+                leak_rate: outcome.leak_rate(self.leak_threshold_db),
+                client_loss: outcome.client_loss,
+            });
+            detailed.push(outcome);
+        }
+
+        let summary = Summary::from_values(&pooled);
+        let leak_rate = if trials.is_empty() {
+            0.0
+        } else {
+            trials.iter().map(|t| t.leak_rate).sum::<f64>() / trials.len() as f64
+        };
+        let report = ScenarioReport {
+            scenario: self.clone(),
+            trials,
+            summary,
+            leak_rate,
+            wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok((report, detailed))
+    }
+}
+
+/// Fluent constructor for [`Scenario`] (see [`Scenario::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    attack: Option<AttackSpec>,
+    defense: Option<DefenseSpec>,
+    workload: Option<WorkloadSpec>,
+    batch_size: Option<usize>,
+    trials: Option<usize>,
+    scale: Scale,
+    seed: u64,
+    dataset_seed: Option<u64>,
+    dataset_capacity: Option<usize>,
+    calibration: Option<usize>,
+    sampling: Option<Sampling>,
+    leak_threshold_db: Option<f64>,
+}
+
+impl ScenarioBuilder {
+    /// Sets the attack (default `rtf:512`).
+    pub fn attack(mut self, attack: AttackSpec) -> Self {
+        self.attack = Some(attack);
+        self
+    }
+
+    /// Sets the defense (default `none`).
+    pub fn defense(mut self, defense: DefenseSpec) -> Self {
+        self.defense = Some(defense);
+        self
+    }
+
+    /// Sets the workload (default `imagenette`).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the client batch size `B` (default 8).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size);
+        self
+    }
+
+    /// Sets the trial count (default: the scale's trial count).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = Some(trials);
+        self
+    }
+
+    /// Sets the scale (default [`Scale::Default`]).
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the master seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Decouples the dataset seed from the master seed.
+    pub fn dataset_seed(mut self, dataset_seed: u64) -> Self {
+        self.dataset_seed = Some(dataset_seed);
+        self
+    }
+
+    /// Provisions the dataset for batches up to `max_batch` (grid
+    /// figures share one dataset across their batch axis).
+    pub fn dataset_capacity(mut self, max_batch: usize) -> Self {
+        self.dataset_capacity = Some(max_batch);
+        self
+    }
+
+    /// Overrides the calibration-image count (default: the attack's
+    /// [`AttackSpec::default_calibration`]).
+    pub fn calibration(mut self, images: usize) -> Self {
+        self.calibration = Some(images);
+        self
+    }
+
+    /// Overrides batch sampling (default: unique labels for `linear`,
+    /// uniform otherwise).
+    pub fn sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = Some(sampling);
+        self
+    }
+
+    /// Sets the leak-rate PSNR threshold in dB (default 60).
+    pub fn leak_threshold_db(mut self, threshold: f64) -> Self {
+        self.leak_threshold_db = Some(threshold);
+        self
+    }
+
+    /// Validates and assembles the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero batch sizes / trial counts and unique-label
+    /// sampling on workloads with fewer classes than the batch size
+    /// (the linear attack needs one class per sample — use the
+    /// `imagenette100c` / `cifar100c` workloads).
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let attack = self.attack.unwrap_or(AttackSpec::Rtf { neurons: 512 });
+        let workload = self.workload.unwrap_or(WorkloadSpec::ImageNette);
+        let batch_size = self.batch_size.unwrap_or(8);
+        let sampling = self.sampling.unwrap_or(match attack {
+            AttackSpec::Linear => Sampling::UniqueLabels,
+            _ => Sampling::Uniform,
+        });
+        if batch_size == 0 {
+            return Err(ScenarioError::BadSpec("batch size must be positive".into()));
+        }
+        let trials = self.trials.unwrap_or_else(|| self.scale.trials());
+        if trials == 0 {
+            return Err(ScenarioError::BadSpec(
+                "trial count must be positive".into(),
+            ));
+        }
+        if sampling == Sampling::UniqueLabels {
+            let classes = workload.num_classes();
+            if classes < batch_size {
+                return Err(ScenarioError::BadSpec(format!(
+                    "unique-label batches of {batch_size} need ≥ {batch_size} classes but \
+                     workload `{workload}` has {classes}; use `{}`",
+                    workload.linear_variant()
+                )));
+            }
+        }
+        Ok(Scenario {
+            attack,
+            defense: self.defense.unwrap_or(DefenseSpec::None),
+            workload,
+            batch_size,
+            trials,
+            scale: self.scale,
+            seed: self.seed,
+            dataset_seed: self.dataset_seed.unwrap_or(self.seed),
+            dataset_capacity: self.dataset_capacity.unwrap_or(batch_size).max(batch_size),
+            calibration: self
+                .calibration
+                .unwrap_or_else(|| attack.default_calibration()),
+            sampling,
+            leak_threshold_db: self.leak_threshold_db.unwrap_or(60.0),
+        })
+    }
+}
+
+/// One attacked round's scored result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialReport {
+    /// Trial index.
+    pub trial: usize,
+    /// Seed the attacked round ran with.
+    pub attack_seed: u64,
+    /// PSNR of every matched reconstruction↔original pair (dB).
+    pub matched_psnrs: Vec<f64>,
+    /// Mean matched PSNR (dB).
+    pub mean_psnr: f64,
+    /// Fraction of originals leaked above the scenario threshold.
+    pub leak_rate: f64,
+    /// The client's training loss during the attacked round.
+    pub client_loss: f32,
+}
+
+/// Everything one scenario execution produced, with full provenance:
+/// serializing the report records the exact [`Scenario`] that made it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The scenario that produced these numbers.
+    pub scenario: Scenario,
+    /// Per-trial results.
+    pub trials: Vec<TrialReport>,
+    /// Summary over all trials' matched PSNRs (the paper's boxplots).
+    pub summary: Summary,
+    /// Mean per-trial leak rate at the scenario threshold.
+    pub leak_rate: f64,
+    /// Wall-clock of the run in milliseconds.
+    pub wall_clock_ms: f64,
+}
+
+impl ScenarioReport {
+    /// All matched PSNRs pooled across trials.
+    pub fn pooled_psnrs(&self) -> Vec<f64> {
+        self.trials
+            .iter()
+            .flat_map(|t| t.matched_psnrs.iter().copied())
+            .collect()
+    }
+
+    /// Mean matched PSNR — the single number of the grid figures.
+    pub fn mean_psnr(&self) -> f64 {
+        self.summary.mean
+    }
+
+    /// The canonical artifact filename for this report. Seeds and
+    /// trial count are part of the name so seed sweeps over one cell
+    /// do not overwrite each other.
+    pub fn file_name(&self) -> String {
+        let s = &self.scenario;
+        let mut raw = format!(
+            "scenario_{}_{}_{}_b{}_{}_t{}_s{}",
+            s.attack, s.defense, s.workload, s.batch_size, s.scale, s.trials, s.seed
+        );
+        if s.dataset_seed != s.seed {
+            raw.push_str(&format!("_ds{}", s.dataset_seed));
+        }
+        raw.push_str(".json");
+        raw.chars()
+            .map(|c| match c {
+                ':' | ',' | '+' => '-',
+                c => c,
+            })
+            .collect()
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Writes the report under the artifact directory (`out/`, or
+    /// `$OASIS_OUT_DIR` when set) and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save(&self) -> Result<PathBuf, ScenarioError> {
+        let path = out_path(&self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.scenario.spec_string())?;
+        writeln!(f, "  {}", self.summary)?;
+        write!(
+            f,
+            "  leak rate: {:.1} % (> {:.0} dB)   wall clock: {:.0} ms",
+            self.leak_rate * 100.0,
+            self.scenario.leak_threshold_db,
+            self.wall_clock_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario::builder()
+            .workload(WorkloadSpec::Cifar100)
+            .attack(AttackSpec::rtf(32))
+            .defense(DefenseSpec::None)
+            .batch_size(3)
+            .trials(2)
+            .scale(Scale::Quick)
+            .seed(11)
+            .calibration(32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_fills_defaults() {
+        let s = Scenario::builder().scale(Scale::Quick).build().unwrap();
+        assert_eq!(s.attack, AttackSpec::rtf(512));
+        assert_eq!(s.defense, DefenseSpec::None);
+        assert_eq!(s.workload, WorkloadSpec::ImageNette);
+        assert_eq!(s.trials, Scale::Quick.trials());
+        assert_eq!(s.dataset_seed, s.seed);
+        assert_eq!(s.calibration, 256);
+        assert_eq!(s.sampling, Sampling::Uniform);
+    }
+
+    #[test]
+    fn linear_defaults_to_unique_labels() {
+        let s = Scenario::builder()
+            .attack(AttackSpec::Linear)
+            .workload(WorkloadSpec::Cifar100c)
+            .batch_size(8)
+            .build()
+            .unwrap();
+        assert_eq!(s.sampling, Sampling::UniqueLabels);
+    }
+
+    #[test]
+    fn unique_labels_rejects_small_label_spaces() {
+        let err = Scenario::builder()
+            .attack(AttackSpec::Linear)
+            .workload(WorkloadSpec::ImageNette)
+            .batch_size(64)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("imagenette100c"), "{err}");
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        assert!(Scenario::builder().batch_size(0).build().is_err());
+        assert!(Scenario::builder().trials(0).build().is_err());
+    }
+
+    #[test]
+    fn run_produces_per_trial_reports() {
+        let report = tiny().run().unwrap();
+        assert_eq!(report.trials.len(), 2);
+        assert_eq!(report.summary.count, report.pooled_psnrs().len());
+        assert!(report.trials.iter().all(|t| !t.matched_psnrs.is_empty()));
+        assert!(report.wall_clock_ms >= 0.0);
+    }
+
+    #[test]
+    fn undefended_rtf_leaks_on_quick_scale() {
+        let report = tiny().run().unwrap();
+        assert!(
+            report.mean_psnr() > 60.0,
+            "undefended quick-scale RTF should reconstruct: {}",
+            report.summary
+        );
+    }
+
+    #[test]
+    fn defense_reduces_psnr() {
+        let undefended = tiny().run().unwrap();
+        let mut defended_scenario = tiny();
+        defended_scenario.defense = DefenseSpec::Oasis(oasis_augment::PolicyKind::MajorRotation);
+        let defended = defended_scenario.run().unwrap();
+        assert!(
+            defended.mean_psnr() < undefended.mean_psnr(),
+            "OASIS MR must reduce PSNR: {} vs {}",
+            defended.mean_psnr(),
+            undefended.mean_psnr()
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny().run().unwrap();
+        let json = report.to_json();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn spec_string_names_every_axis() {
+        let s = tiny().spec_string();
+        for needle in [
+            "attack=rtf:32",
+            "defense=none",
+            "workload=cifar100",
+            "batch=3",
+        ] {
+            assert!(s.contains(needle), "`{s}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn file_name_has_no_spec_punctuation() {
+        let report = tiny().run().unwrap();
+        let name = report.file_name();
+        assert!(
+            !name.contains(':') && !name.contains(',') && !name.contains('+'),
+            "{name}"
+        );
+        assert!(name.ends_with(".json"));
+    }
+}

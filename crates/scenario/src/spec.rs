@@ -1,0 +1,590 @@
+//! Spec strings: the declarative vocabulary naming every attack,
+//! defense, and workload of the evaluation grid.
+//!
+//! Every spec round-trips through [`std::fmt::Display`] /
+//! [`std::str::FromStr`], so a [`crate::ScenarioReport`] can record
+//! the exact provenance of the numbers it holds and any experiment
+//! can be reproduced from its printed spec alone.
+
+use oasis_attacks::{
+    ActiveAttack, AtsDefense, CahAttack, LinearModelAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET,
+};
+use oasis_augment::PolicyKind;
+use oasis_data::{synthetic_dataset, Dataset};
+use oasis_fl::{BatchPreprocessor, IdentityPreprocessor};
+use oasis_image::Image;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Scale, ScenarioError};
+
+/// Weight seed used when constructing CAH trap weights from a spec.
+///
+/// The figure binaries historically used this constant; keeping it in
+/// the registry makes `cah:N` specs reproduce those numbers.
+pub const CAH_WEIGHT_SEED: u64 = 0xCA11;
+
+/// An active reconstruction attack, as a value.
+///
+/// Spec grammar (round-tripping through `Display`):
+///
+/// * `rtf:N` — Robbing the Fed with `N` attacked neurons,
+/// * `cah:N` — Curious Abandon Honesty with `N` trap neurons at the
+///   default activation target, or `cah:N,G` for target `G`,
+/// * `linear` — gradient inversion on a single-layer softmax model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackSpec {
+    /// Robbing the Fed (Fowl et al.).
+    Rtf {
+        /// Attacked (imprint) neurons `n`.
+        neurons: usize,
+    },
+    /// Curious Abandon Honesty (Boenisch et al.).
+    Cah {
+        /// Trap neurons `n`.
+        neurons: usize,
+        /// Target activation probability γ.
+        gamma: f64,
+    },
+    /// Single-layer softmax gradient inversion (paper §IV-D).
+    Linear,
+}
+
+impl AttackSpec {
+    /// An RTF spec.
+    pub fn rtf(neurons: usize) -> Self {
+        AttackSpec::Rtf { neurons }
+    }
+
+    /// A CAH spec at the default activation target.
+    pub fn cah(neurons: usize) -> Self {
+        AttackSpec::Cah {
+            neurons,
+            gamma: DEFAULT_ACTIVATION_TARGET,
+        }
+    }
+
+    /// Short family name ("rtf", "cah", "linear").
+    pub fn family(&self) -> &'static str {
+        match self {
+            AttackSpec::Rtf { .. } => "rtf",
+            AttackSpec::Cah { .. } => "cah",
+            AttackSpec::Linear => "linear",
+        }
+    }
+
+    /// The same spec with a different neuron count (no-op for
+    /// `linear`, which has no neuron knob) — how grid sweeps vary one
+    /// axis of an attack.
+    pub fn with_neurons(&self, neurons: usize) -> Self {
+        match *self {
+            AttackSpec::Rtf { .. } => AttackSpec::Rtf { neurons },
+            AttackSpec::Cah { gamma, .. } => AttackSpec::Cah { neurons, gamma },
+            AttackSpec::Linear => AttackSpec::Linear,
+        }
+    }
+
+    /// How many calibration images the attack wants for its
+    /// measurement statistics (0 = needs none).
+    pub fn default_calibration(&self) -> usize {
+        match self {
+            AttackSpec::Rtf { .. } => 256,
+            AttackSpec::Cah { .. } => 384,
+            AttackSpec::Linear => 0,
+        }
+    }
+
+    /// Constructs the attack behind this spec.
+    ///
+    /// `calibration` holds the public images the dishonest server fits
+    /// its measurement statistics on; `classes` is the label-space
+    /// size of the attacked workload (used by `linear`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures (e.g. empty calibration for a
+    /// calibrated attack).
+    pub fn build(
+        &self,
+        calibration: &[Image],
+        classes: usize,
+    ) -> Result<Box<dyn ActiveAttack>, ScenarioError> {
+        match *self {
+            AttackSpec::Rtf { neurons } => {
+                let attack = RtfAttack::calibrated(neurons, calibration)?;
+                Ok(Box::new(attack))
+            }
+            AttackSpec::Cah { neurons, gamma } => {
+                let attack = CahAttack::calibrated(neurons, gamma, calibration, CAH_WEIGHT_SEED)?;
+                Ok(Box::new(attack))
+            }
+            AttackSpec::Linear => Ok(Box::new(LinearModelAttack::new(classes)?)),
+        }
+    }
+}
+
+impl fmt::Display for AttackSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AttackSpec::Rtf { neurons } => write!(f, "rtf:{neurons}"),
+            AttackSpec::Cah { neurons, gamma } => {
+                if gamma == DEFAULT_ACTIVATION_TARGET {
+                    write!(f, "cah:{neurons}")
+                } else {
+                    write!(f, "cah:{neurons},{gamma}")
+                }
+            }
+            AttackSpec::Linear => write!(f, "linear"),
+        }
+    }
+}
+
+impl FromStr for AttackSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (family, args) = split_spec(s);
+        match family {
+            "rtf" => {
+                let neurons = parse_field::<usize>("rtf", "neurons", args.ok_or_else(no_args)?)?;
+                Ok(AttackSpec::Rtf { neurons })
+            }
+            "cah" => {
+                let args = args.ok_or_else(no_args)?;
+                let (neurons_str, gamma_str) = match args.split_once(',') {
+                    Some((n, g)) => (n, Some(g)),
+                    None => (args, None),
+                };
+                let neurons = parse_field::<usize>("cah", "neurons", neurons_str)?;
+                let gamma = match gamma_str {
+                    Some(g) => parse_field::<f64>("cah", "gamma", g)?,
+                    None => DEFAULT_ACTIVATION_TARGET,
+                };
+                Ok(AttackSpec::Cah { neurons, gamma })
+            }
+            "linear" => {
+                if args.is_some() {
+                    return Err(ScenarioError::BadSpec("`linear` takes no arguments".into()));
+                }
+                Ok(AttackSpec::Linear)
+            }
+            other => Err(ScenarioError::BadSpec(format!(
+                "unknown attack `{other}` (expected rtf:N, cah:N[,G], or linear)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for AttackSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for AttackSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("attack spec", value))?;
+        s.parse()
+            .map_err(|e: ScenarioError| serde::Error::msg(e.to_string()))
+    }
+}
+
+/// A client-side defense (or its absence), as a value.
+///
+/// Spec grammar (round-tripping through `Display`):
+///
+/// * `none` — undefended baseline (also parses from `wo`, `without`),
+/// * `oasis:P` — the OASIS defense with policy abbreviation `P`
+///   (`MR`, `mR`, `SH`, `HFlip`, `VFlip`, `MR+SH`, `WO`),
+/// * `ats` — ATSPrivacy-style transform *replacement* baseline,
+/// * `dp:C,S` — DP-SGD with clip norm `C` and noise multiplier `S`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DefenseSpec {
+    /// No defense.
+    None,
+    /// OASIS augmentation with the given policy.
+    Oasis(PolicyKind),
+    /// ATSPrivacy-style transform replacement (Gao et al.).
+    Ats,
+    /// DP-SGD noisy updates.
+    Dp {
+        /// Per-sample gradient clip norm.
+        clip: f32,
+        /// Noise multiplier σ.
+        noise: f32,
+    },
+}
+
+impl DefenseSpec {
+    /// The `BatchPreprocessor` the client runs under this defense.
+    ///
+    /// DP-SGD does not preprocess the batch (it perturbs the update),
+    /// so `dp:` specs build the identity preprocessor and expose their
+    /// parameters via [`DefenseSpec::dp_params`].
+    pub fn build(&self) -> Box<dyn BatchPreprocessor> {
+        match *self {
+            DefenseSpec::None => Box::new(IdentityPreprocessor),
+            DefenseSpec::Oasis(kind) => {
+                Box::new(oasis::Oasis::new(oasis::OasisConfig::policy(kind)))
+            }
+            DefenseSpec::Ats => Box::new(AtsDefense::searched()),
+            DefenseSpec::Dp { .. } => Box::new(IdentityPreprocessor),
+        }
+    }
+
+    /// `(clip_norm, noise_multiplier)` when this defense is DP-SGD.
+    pub fn dp_params(&self) -> Option<(f32, f32)> {
+        match *self {
+            DefenseSpec::Dp { clip, noise } => Some((clip, noise)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DefenseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DefenseSpec::None => write!(f, "none"),
+            DefenseSpec::Oasis(kind) => write!(f, "oasis:{}", kind.abbrev()),
+            DefenseSpec::Ats => write!(f, "ats"),
+            DefenseSpec::Dp { clip, noise } => write!(f, "dp:{clip},{noise}"),
+        }
+    }
+}
+
+impl FromStr for DefenseSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (family, args) = split_spec(s);
+        match family {
+            "none" | "wo" | "without" => Ok(DefenseSpec::None),
+            "oasis" => {
+                let policy = args.ok_or_else(no_args)?;
+                let kind = policy
+                    .parse::<PolicyKind>()
+                    .map_err(|e| ScenarioError::BadSpec(e.to_string()))?;
+                Ok(DefenseSpec::Oasis(kind))
+            }
+            "ats" => Ok(DefenseSpec::Ats),
+            "dp" => {
+                let args = args.ok_or_else(no_args)?;
+                let (clip_str, noise_str) = args.split_once(',').ok_or_else(|| {
+                    ScenarioError::BadSpec("dp spec needs `dp:CLIP,NOISE`".into())
+                })?;
+                Ok(DefenseSpec::Dp {
+                    clip: parse_field::<f32>("dp", "clip", clip_str)?,
+                    noise: parse_field::<f32>("dp", "noise", noise_str)?,
+                })
+            }
+            other => Err(ScenarioError::BadSpec(format!(
+                "unknown defense `{other}` (expected none, oasis:P, ats, or dp:C,S)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for DefenseSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for DefenseSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("defense spec", value))?;
+        s.parse()
+            .map_err(|e: ScenarioError| serde::Error::msg(e.to_string()))
+    }
+}
+
+/// An evaluation workload, as a value.
+///
+/// Spec grammar: `imagenette`, `cifar100`, plus the 100-class
+/// synthetic variants `imagenette100c` / `cifar100c` used by the
+/// linear-model experiment, whose batches need ≥ 64 unique labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// The ImageNet (Imagenette subset) stand-in, 10 classes.
+    ImageNette,
+    /// The CIFAR100 stand-in, 100 classes.
+    Cifar100,
+    /// 100-class synthetic workload at ImageNette resolution.
+    ImageNette100c,
+    /// 100-class synthetic workload at CIFAR resolution.
+    Cifar100c,
+}
+
+impl WorkloadSpec {
+    /// Display name matching the paper's figure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::ImageNette => "ImageNet (ImageNette-like)",
+            WorkloadSpec::Cifar100 => "CIFAR100 (CIFAR100-like)",
+            WorkloadSpec::ImageNette100c => "ImageNet-like (100-class synthetic)",
+            WorkloadSpec::Cifar100c => "CIFAR100-like (100-class synthetic)",
+        }
+    }
+
+    /// Number of classes in the workload's label space.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            WorkloadSpec::ImageNette => 10,
+            WorkloadSpec::Cifar100 | WorkloadSpec::ImageNette100c | WorkloadSpec::Cifar100c => 100,
+        }
+    }
+
+    /// Image side at the given scale.
+    pub fn side(&self, scale: Scale) -> usize {
+        match self {
+            WorkloadSpec::ImageNette | WorkloadSpec::ImageNette100c => scale.imagenette_side(),
+            WorkloadSpec::Cifar100 | WorkloadSpec::Cifar100c => scale.cifar_side(),
+        }
+    }
+
+    /// Builds the dataset at the given scale with enough samples for
+    /// batches up to `max_batch`.
+    pub fn dataset(&self, scale: Scale, max_batch: usize, seed: u64) -> Dataset {
+        match self {
+            WorkloadSpec::ImageNette => {
+                let spc = (max_batch * 2).div_ceil(10).max(8);
+                oasis_data::imagenette_like_with(spc, scale.imagenette_side(), seed)
+            }
+            WorkloadSpec::Cifar100 => {
+                let spc = (max_batch * 2).div_ceil(100).max(2);
+                oasis_data::cifar100_like_at(spc, scale.cifar_side(), seed)
+            }
+            WorkloadSpec::ImageNette100c => synthetic_dataset(
+                "ImageNet-like-100c",
+                100,
+                (max_batch * 2).div_ceil(100).max(2),
+                scale.imagenette_side(),
+                seed,
+            ),
+            WorkloadSpec::Cifar100c => synthetic_dataset(
+                "CIFAR100-like",
+                100,
+                (max_batch * 2).div_ceil(100).max(2),
+                scale.cifar_side(),
+                seed,
+            ),
+        }
+    }
+
+    /// The 100-class variant of this workload at its resolution — the
+    /// label space the linear-model inversion needs (paper §IV-D).
+    pub fn linear_variant(&self) -> WorkloadSpec {
+        match self {
+            WorkloadSpec::ImageNette | WorkloadSpec::ImageNette100c => WorkloadSpec::ImageNette100c,
+            WorkloadSpec::Cifar100 | WorkloadSpec::Cifar100c => WorkloadSpec::Cifar100c,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WorkloadSpec::ImageNette => "imagenette",
+            WorkloadSpec::Cifar100 => "cifar100",
+            WorkloadSpec::ImageNette100c => "imagenette100c",
+            WorkloadSpec::Cifar100c => "cifar100c",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for WorkloadSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "imagenette" | "imagenet" => Ok(WorkloadSpec::ImageNette),
+            "cifar100" | "cifar" => Ok(WorkloadSpec::Cifar100),
+            "imagenette100c" => Ok(WorkloadSpec::ImageNette100c),
+            "cifar100c" => Ok(WorkloadSpec::Cifar100c),
+            other => Err(ScenarioError::BadSpec(format!(
+                "unknown workload `{other}` (expected imagenette, cifar100, imagenette100c, or cifar100c)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for WorkloadSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("workload spec", value))?;
+        s.parse()
+            .map_err(|e: ScenarioError| serde::Error::msg(e.to_string()))
+    }
+}
+
+/// Splits `family:args` into its two halves.
+fn split_spec(s: &str) -> (&str, Option<&str>) {
+    match s.split_once(':') {
+        Some((family, args)) => (family, Some(args)),
+        None => (s, None),
+    }
+}
+
+fn no_args() -> ScenarioError {
+    ScenarioError::BadSpec("missing `:` arguments".into())
+}
+
+fn parse_field<T: FromStr>(family: &str, field: &str, value: &str) -> Result<T, ScenarioError> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| ScenarioError::BadSpec(format!("bad {field} `{value}` in `{family}:` spec")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_specs_round_trip() {
+        for spec in [
+            AttackSpec::rtf(512),
+            AttackSpec::cah(700),
+            AttackSpec::Cah {
+                neurons: 64,
+                gamma: 0.004,
+            },
+            AttackSpec::Linear,
+        ] {
+            assert_eq!(spec.to_string().parse::<AttackSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn defense_specs_round_trip() {
+        let mut specs = vec![
+            DefenseSpec::None,
+            DefenseSpec::Ats,
+            DefenseSpec::Dp {
+                clip: 1.0,
+                noise: 0.5,
+            },
+        ];
+        specs.extend(PolicyKind::all().map(DefenseSpec::Oasis));
+        for spec in specs {
+            assert_eq!(spec.to_string().parse::<DefenseSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn workload_specs_round_trip() {
+        for spec in [
+            WorkloadSpec::ImageNette,
+            WorkloadSpec::Cifar100,
+            WorkloadSpec::ImageNette100c,
+            WorkloadSpec::Cifar100c,
+        ] {
+            assert_eq!(spec.to_string().parse::<WorkloadSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for bad in ["rtf", "rtf:abc", "cah:12,xyz", "linear:3", "warp:9"] {
+            assert!(
+                bad.parse::<AttackSpec>().is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+        for bad in ["oasis", "oasis:XX", "dp:1", "dp:a,b", "dropout"] {
+            assert!(
+                bad.parse::<DefenseSpec>().is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+        assert!("mnist".parse::<WorkloadSpec>().is_err());
+    }
+
+    #[test]
+    fn default_gamma_is_elided() {
+        assert_eq!(AttackSpec::cah(700).to_string(), "cah:700");
+        let custom = AttackSpec::Cah {
+            neurons: 700,
+            gamma: 0.25,
+        };
+        assert!(custom.to_string().starts_with("cah:700,"));
+    }
+
+    #[test]
+    fn with_neurons_varies_only_that_axis() {
+        assert_eq!(AttackSpec::rtf(100).with_neurons(900), AttackSpec::rtf(900));
+        let cah = AttackSpec::Cah {
+            neurons: 100,
+            gamma: 0.1,
+        };
+        assert_eq!(
+            cah.with_neurons(300),
+            AttackSpec::Cah {
+                neurons: 300,
+                gamma: 0.1
+            }
+        );
+        assert_eq!(AttackSpec::Linear.with_neurons(5), AttackSpec::Linear);
+    }
+
+    #[test]
+    fn workload_datasets_have_expected_classes() {
+        assert_eq!(
+            WorkloadSpec::ImageNette
+                .dataset(Scale::Quick, 8, 1)
+                .num_classes(),
+            10
+        );
+        assert_eq!(
+            WorkloadSpec::Cifar100
+                .dataset(Scale::Quick, 8, 1)
+                .num_classes(),
+            100
+        );
+        assert_eq!(
+            WorkloadSpec::ImageNette100c
+                .dataset(Scale::Quick, 8, 1)
+                .num_classes(),
+            100
+        );
+        assert_eq!(
+            WorkloadSpec::Cifar100c
+                .dataset(Scale::Quick, 8, 1)
+                .num_classes(),
+            100
+        );
+    }
+
+    #[test]
+    fn linear_variant_is_idempotent_and_100_class() {
+        for w in [WorkloadSpec::ImageNette, WorkloadSpec::Cifar100] {
+            let lv = w.linear_variant();
+            assert_eq!(lv, lv.linear_variant());
+            assert_eq!(lv.dataset(Scale::Quick, 64, 0).num_classes(), 100);
+        }
+    }
+
+    #[test]
+    fn dp_defense_exposes_params_and_identity_preprocessor() {
+        let dp = DefenseSpec::Dp {
+            clip: 2.0,
+            noise: 0.1,
+        };
+        assert_eq!(dp.dp_params(), Some((2.0, 0.1)));
+        assert_eq!(DefenseSpec::None.dp_params(), None);
+        assert_eq!(dp.build().name(), IdentityPreprocessor.name());
+    }
+}

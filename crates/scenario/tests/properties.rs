@@ -1,0 +1,178 @@
+//! Property tests for the scenario spec vocabulary and engine:
+//! `FromStr` ⇄ `Display` round-trips over the whole spec space, and
+//! run-level determinism.
+
+use oasis_augment::PolicyKind;
+use oasis_scenario::{AttackSpec, DefenseSpec, Sampling, Scale, Scenario, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Strategy: any attack spec (neuron counts across the paper's grid,
+/// gammas across CAH's plausible range).
+fn any_attack() -> BoxedStrategy<AttackSpec> {
+    prop_oneof![
+        (1usize..2000).prop_map(AttackSpec::rtf).boxed(),
+        (1usize..2000).prop_map(AttackSpec::cah).boxed(),
+        (1usize..2000, 0.0005f64..0.5)
+            .prop_map(|(neurons, gamma)| AttackSpec::Cah { neurons, gamma })
+            .boxed(),
+        (0usize..1).prop_map(|_| AttackSpec::Linear).boxed(),
+    ]
+    .boxed()
+}
+
+/// Strategy: any defense spec.
+fn any_defense() -> BoxedStrategy<DefenseSpec> {
+    prop_oneof![
+        (0usize..1).prop_map(|_| DefenseSpec::None).boxed(),
+        (0usize..7)
+            .prop_map(|i| DefenseSpec::Oasis(PolicyKind::all()[i]))
+            .boxed(),
+        (0usize..1).prop_map(|_| DefenseSpec::Ats).boxed(),
+        (0.01f32..10.0, 0.0f32..40.0)
+            .prop_map(|(clip, noise)| DefenseSpec::Dp { clip, noise })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn any_workload() -> BoxedStrategy<WorkloadSpec> {
+    (0usize..4)
+        .prop_map(|i| {
+            [
+                WorkloadSpec::ImageNette,
+                WorkloadSpec::Cifar100,
+                WorkloadSpec::ImageNette100c,
+                WorkloadSpec::Cifar100c,
+            ][i]
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn attack_specs_round_trip(spec in any_attack()) {
+        let printed = spec.to_string();
+        let parsed: AttackSpec = printed.parse().expect("printed spec parses");
+        prop_assert_eq!(parsed, spec, "`{}` did not round-trip", printed);
+    }
+
+    #[test]
+    fn defense_specs_round_trip(spec in any_defense()) {
+        let printed = spec.to_string();
+        let parsed: DefenseSpec = printed.parse().expect("printed spec parses");
+        prop_assert_eq!(parsed, spec, "`{}` did not round-trip", printed);
+    }
+
+    #[test]
+    fn workload_specs_round_trip(spec in any_workload()) {
+        let printed = spec.to_string();
+        let parsed: WorkloadSpec = printed.parse().expect("printed spec parses");
+        prop_assert_eq!(parsed, spec, "`{}` did not round-trip", printed);
+    }
+
+    #[test]
+    fn spec_strings_have_no_whitespace(
+        attack in any_attack(),
+        defense in any_defense(),
+        workload in any_workload(),
+    ) {
+        // Spec strings embed in `key=value` provenance lines and CLI
+        // comma lists; whitespace would break both.
+        for s in [attack.to_string(), defense.to_string(), workload.to_string()] {
+            prop_assert!(!s.contains(char::is_whitespace), "`{s}` contains whitespace");
+        }
+    }
+
+    #[test]
+    fn scenarios_serialize_and_parse_back(
+        attack in any_attack(),
+        defense in any_defense(),
+        workload in any_workload(),
+        batch in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let built = Scenario::builder()
+            .attack(attack)
+            .defense(defense)
+            .workload(workload.linear_variant()) // 100-class: valid for every attack
+            .batch_size(batch)
+            .trials(1)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        let json = serde_json::to_string(&built).expect("serialize");
+        let back: Scenario = serde_json::from_str(&json).expect("parse back");
+        prop_assert_eq!(back, built);
+    }
+}
+
+/// `Scenario::run` with a fixed seed reproduces identical
+/// `ScenarioReport` PSNRs across two runs — including across the
+/// thread-pool execution of trials.
+#[test]
+fn scenario_runs_are_deterministic() {
+    let scenario = Scenario::builder()
+        .workload(WorkloadSpec::Cifar100)
+        .attack(AttackSpec::rtf(48))
+        .defense(DefenseSpec::Oasis(PolicyKind::MajorRotation))
+        .batch_size(4)
+        .trials(3)
+        .scale(Scale::Quick)
+        .seed(0xDE7E12)
+        .calibration(48)
+        .build()
+        .unwrap();
+    let a = scenario.run().unwrap();
+    let b = scenario.run().unwrap();
+    assert_eq!(a.trials.len(), b.trials.len());
+    for (ta, tb) in a.trials.iter().zip(&b.trials) {
+        assert_eq!(
+            ta.matched_psnrs, tb.matched_psnrs,
+            "trial {} diverged",
+            ta.trial
+        );
+    }
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.leak_rate, b.leak_rate);
+}
+
+/// The DP path is deterministic too (noise comes from the trial seed).
+#[test]
+fn dp_scenario_runs_are_deterministic() {
+    let scenario = Scenario::builder()
+        .workload(WorkloadSpec::Cifar100)
+        .attack(AttackSpec::rtf(32))
+        .defense(DefenseSpec::Dp {
+            clip: 1.0,
+            noise: 0.5,
+        })
+        .batch_size(4)
+        .trials(2)
+        .scale(Scale::Quick)
+        .seed(77)
+        .calibration(32)
+        .build()
+        .unwrap();
+    let a = scenario.run().unwrap();
+    let b = scenario.run().unwrap();
+    assert_eq!(a.trials[0].matched_psnrs, b.trials[0].matched_psnrs);
+    assert_eq!(a.summary, b.summary);
+}
+
+/// Different master seeds must actually change the drawn batches.
+#[test]
+fn different_seeds_draw_different_batches() {
+    let base = Scenario::builder()
+        .workload(WorkloadSpec::Cifar100)
+        .attack(AttackSpec::rtf(32))
+        .batch_size(4)
+        .trials(1)
+        .scale(Scale::Quick)
+        .calibration(32);
+    let a = base.clone().seed(1).build().unwrap().run().unwrap();
+    let b = base.seed(2).build().unwrap().run().unwrap();
+    assert_ne!(
+        a.trials[0].matched_psnrs, b.trials[0].matched_psnrs,
+        "independent seeds produced identical PSNRs"
+    );
+}

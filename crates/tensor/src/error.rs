@@ -52,12 +52,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { len, expected } => {
-                write!(f, "buffer of length {len} does not match shape with {expected} elements")
+                write!(
+                    f,
+                    "buffer of length {len} does not match shape with {expected} elements"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op} requires rank {expected}, got rank {actual}")
             }
             TensorError::AxisOutOfRange { axis, rank } => {
@@ -80,9 +87,20 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_informative() {
         let errs: Vec<TensorError> = vec![
-            TensorError::LengthMismatch { len: 3, expected: 4 },
-            TensorError::ShapeMismatch { op: "add", lhs: vec![2], rhs: vec![3] },
-            TensorError::RankMismatch { op: "matmul", expected: 2, actual: 1 },
+            TensorError::LengthMismatch {
+                len: 3,
+                expected: 4,
+            },
+            TensorError::ShapeMismatch {
+                op: "add",
+                lhs: vec![2],
+                rhs: vec![3],
+            },
+            TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: 1,
+            },
             TensorError::AxisOutOfRange { axis: 5, rank: 2 },
             TensorError::IndexOutOfRange { index: 9, bound: 4 },
             TensorError::EmptyTensor,

@@ -165,7 +165,11 @@ impl Tensor {
 
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { op, expected: 2, actual: t.rank() });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
     }
     Ok((t.dims()[0], t.dims()[1]))
 }
@@ -231,8 +235,11 @@ mod tests {
     fn large_matmul_uses_parallel_path_consistently() {
         // Exercise both code paths and check they agree.
         let n = 300; // 300*300 = 90_000 > threshold
-        let a = Tensor::from_vec((0..n * n).map(|i| (i % 17) as f32 * 0.25).collect(), &[n, n])
-            .unwrap();
+        let a = Tensor::from_vec(
+            (0..n * n).map(|i| (i % 17) as f32 * 0.25).collect(),
+            &[n, n],
+        )
+        .unwrap();
         let i = Tensor::eye(n);
         let c = a.matmul(&i).unwrap();
         assert_eq!(c, a);

@@ -305,7 +305,10 @@ mod tests {
 
     #[test]
     fn clamp_bounds_values() {
-        assert_eq!(t(&[-2.0, 0.5, 9.0]).clamp(0.0, 1.0).data(), &[0.0, 0.5, 1.0]);
+        assert_eq!(
+            t(&[-2.0, 0.5, 9.0]).clamp(0.0, 1.0).data(),
+            &[0.0, 0.5, 1.0]
+        );
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//! Minimal data-parallel helpers built on std scoped threads.
 //!
 //! The workspace deliberately avoids a full task-scheduling runtime;
 //! the only parallel patterns needed are "split a flat output buffer
 //! into row blocks" (matmul, conv) and "run one closure per item"
 //! (federated clients). Both are provided here.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Returns the number of worker threads to use.
 ///
@@ -34,8 +34,15 @@ where
     if data.is_empty() {
         return;
     }
-    assert!(row_len > 0, "row_len must be positive for a non-empty buffer");
-    assert_eq!(data.len() % row_len, 0, "buffer must be a whole number of rows");
+    assert!(
+        row_len > 0,
+        "row_len must be positive for a non-empty buffer"
+    );
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer must be a whole number of rows"
+    );
     let rows = data.len() / row_len;
     let workers = num_threads().min(rows);
     if workers <= 1 {
@@ -43,7 +50,7 @@ where
         return;
     }
     let rows_per_block = rows.div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = data;
         let mut row0 = 0usize;
         while !rest.is_empty() {
@@ -51,12 +58,11 @@ where
             let (block, tail) = rest.split_at_mut(take);
             let kernel = &kernel;
             let start = row0;
-            scope.spawn(move |_| kernel(start, block));
+            scope.spawn(move || kernel(start, block));
             row0 += take / row_len;
             rest = tail;
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Runs `f(index, &items[index])` for every item on worker threads and
@@ -79,11 +85,11 @@ where
     }
     let next = Mutex::new(0usize);
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().expect("queue lock poisoned");
                     let i = *guard;
                     if i >= n {
                         return;
@@ -92,14 +98,17 @@ where
                     i
                 };
                 let r = f(i, &items[i]);
-                *results[i].lock() = Some(r);
+                *results[i].lock().expect("result lock poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every index was processed"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock poisoned")
+                .expect("every index was processed")
+        })
         .collect()
 }
 
@@ -125,7 +134,10 @@ mod tests {
             }
         });
         for (i, row) in buf.chunks(cols).enumerate() {
-            assert!(row.iter().all(|&v| v == i as f32), "row {i} incorrect: {row:?}");
+            assert!(
+                row.iter().all(|&v| v == i as f32),
+                "row {i} incorrect: {row:?}"
+            );
         }
     }
 

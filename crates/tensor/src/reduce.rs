@@ -29,7 +29,9 @@ impl Tensor {
         self.data()
             .iter()
             .copied()
-            .fold(None, |acc: Option<f32>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
             .ok_or(TensorError::EmptyTensor)
     }
 
@@ -42,7 +44,9 @@ impl Tensor {
         self.data()
             .iter()
             .copied()
-            .fold(None, |acc: Option<f32>, v| Some(acc.map_or(v, |a| a.min(v))))
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
             .ok_or(TensorError::EmptyTensor)
     }
 

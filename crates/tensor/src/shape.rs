@@ -25,7 +25,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from axis lengths.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The number of axes.
@@ -47,7 +49,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Total number of elements (product of dims; 1 for a scalar shape).

@@ -41,7 +41,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.numel() {
-            return Err(TensorError::LengthMismatch { len: data.len(), expected: shape.numel() });
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                expected: shape.numel(),
+            });
         }
         Ok(Tensor { data, shape })
     }
@@ -49,7 +52,10 @@ impl Tensor {
     /// Creates an all-zero tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates an all-one tensor.
@@ -60,7 +66,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates the `n`×`n` identity matrix.
@@ -74,12 +83,18 @@ impl Tensor {
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(values: &[f32]) -> Self {
-        Tensor { data: values.to_vec(), shape: Shape::new(&[values.len()]) }
+        Tensor {
+            data: values.to_vec(),
+            shape: Shape::new(&[values.len()]),
+        }
     }
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::new(&[]) }
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -151,11 +166,18 @@ impl Tensor {
     /// bounds.
     pub fn row(&self, i: usize) -> Result<&[f32]> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "row", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         if i >= rows {
-            return Err(TensorError::IndexOutOfRange { index: i, bound: rows });
+            return Err(TensorError::IndexOutOfRange {
+                index: i,
+                bound: rows,
+            });
         }
         Ok(&self.data[i * cols..(i + 1) * cols])
     }
@@ -175,7 +197,10 @@ impl Tensor {
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         if i >= rows {
-            return Err(TensorError::IndexOutOfRange { index: i, bound: rows });
+            return Err(TensorError::IndexOutOfRange {
+                index: i,
+                bound: rows,
+            });
         }
         Ok(&mut self.data[i * cols..(i + 1) * cols])
     }
@@ -193,9 +218,15 @@ impl Tensor {
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
         let shape = Shape::new(dims);
         if shape.numel() != self.numel() {
-            return Err(TensorError::LengthMismatch { len: self.numel(), expected: shape.numel() });
+            return Err(TensorError::LengthMismatch {
+                len: self.numel(),
+                expected: shape.numel(),
+            });
         }
-        Ok(Tensor { data: self.data.clone(), shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
     }
 
     /// In-place reshape (metadata only).
@@ -207,7 +238,10 @@ impl Tensor {
     pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<()> {
         let shape = Shape::new(dims);
         if shape.numel() != self.numel() {
-            return Err(TensorError::LengthMismatch { len: self.numel(), expected: shape.numel() });
+            return Err(TensorError::LengthMismatch {
+                len: self.numel(),
+                expected: shape.numel(),
+            });
         }
         self.shape = shape;
         Ok(())
@@ -251,7 +285,10 @@ impl Tensor {
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         if start > end || end > rows {
-            return Err(TensorError::IndexOutOfRange { index: end, bound: rows });
+            return Err(TensorError::IndexOutOfRange {
+                index: end,
+                bound: rows,
+            });
         }
         Ok(Tensor {
             data: self.data[start * cols..end * cols].to_vec(),

@@ -12,9 +12,7 @@
 //! Run with: `cargo run --release --example adaptive_attacker`
 
 use oasis::{activation_set_analysis, Oasis, OasisConfig};
-use oasis_attacks::{
-    run_attack, ActiveAttack, CahAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET,
-};
+use oasis_attacks::{run_attack, ActiveAttack, CahAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET};
 use oasis_augment::PolicyKind;
 use oasis_data::imagenette_like_with;
 use oasis_nn::Linear;
@@ -29,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
     println!("client policy fixed at MR+SH; attacker adapts:\n");
-    println!("{:>6} {:>8} {:>12} {:>10}", "attack", "neurons", "mean PSNR", "leak rate");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10}",
+        "attack", "neurons", "mean PSNR", "leak rate"
+    );
 
     let mut worst_case: f64 = 0.0;
     for neurons in [64usize, 128, 256, 512] {
@@ -47,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("\nworst-case leak rate across the sweep: {:.0}%", worst_case * 100.0);
+    println!(
+        "\nworst-case leak rate across the sweep: {:.0}%",
+        worst_case * 100.0
+    );
 
     // The client-side audit: Proposition 1 protection against the
     // strongest RTF layer the attacker tried.

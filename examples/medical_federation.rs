@@ -40,10 +40,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Phase 1: honest training across four hospitals ---------------
     let mut rng = StdRng::seed_from_u64(5);
     let hospitals = partition_iid(&scans, 4, Arc::new(IdentityPreprocessor), &mut rng);
-    let cfg = FlConfig { learning_rate: 0.1, local_batch_size: 12, clients_per_round: 0 };
+    let cfg = FlConfig {
+        learning_rate: 0.1,
+        local_batch_size: 12,
+        clients_per_round: 0,
+    };
     let mut server = FlServer::new(Arc::clone(&factory), cfg.clone())?;
     let reports = server.run(&hospitals, 150, 99)?;
-    println!("honest federation: loss {:.3} -> {:.3} over {} rounds", reports[0].mean_loss, reports.last().unwrap().mean_loss, reports.len());
+    println!(
+        "honest federation: loss {:.3} -> {:.3} over {} rounds",
+        reports[0].mean_loss,
+        reports.last().unwrap().mean_loss,
+        reports.len()
+    );
 
     // --- Phase 2: the coordinator turns dishonest (CAH) ---------------
     let calibration: Vec<_> = scans.items().iter().map(|it| it.image.clone()).collect();
@@ -53,13 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let undefended = run_attack(&attack, &victim_batch, &IdentityPreprocessor, classes, 3)?;
     println!("\nCAH against an undefended hospital:");
-    println!("  scans leaked (>60 dB): {:.0}%", undefended.leak_rate(60.0) * 100.0);
+    println!(
+        "  scans leaked (>60 dB): {:.0}%",
+        undefended.leak_rate(60.0) * 100.0
+    );
     println!("  mean matched PSNR:     {:.1} dB", undefended.mean_psnr());
 
     let defense = oasis::Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
     let defended = run_attack(&attack, &victim_batch, &defense, classes, 3)?;
     println!("CAH against an OASIS(MR+SH) hospital:");
-    println!("  scans leaked (>60 dB): {:.0}%", defended.leak_rate(60.0) * 100.0);
+    println!(
+        "  scans leaked (>60 dB): {:.0}%",
+        defended.leak_rate(60.0) * 100.0
+    );
     println!("  mean matched PSNR:     {:.1} dB", defended.mean_psnr());
 
     // --- Phase 3: defended hospitals still learn -----------------------
@@ -71,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(i, c)| {
             let data = c.data().clone();
             if i % 2 == 0 {
-                defended_client(i, data, OasisConfig::policy(PolicyKind::MajorRotationShearing))
+                defended_client(
+                    i,
+                    data,
+                    OasisConfig::policy(PolicyKind::MajorRotationShearing),
+                )
             } else {
                 undefended_client(i, data)
             }

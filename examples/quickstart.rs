@@ -1,4 +1,4 @@
-//! Quickstart: the paper's headline result in ~60 lines.
+//! Quickstart: the paper's headline result via the scenario engine.
 //!
 //! A dishonest federated-learning server plants the Robbing-the-Fed
 //! imprint layer, a victim client computes one gradient update, and
@@ -6,58 +6,76 @@
 //! bit-perfect; with OASIS major rotation the inversion only yields
 //! unrecognizable linear combinations.
 //!
+//! Each experiment is one declarative [`oasis_scenario::Scenario`]
+//! value — the same engine behind every figure binary and the
+//! `scenario` CLI (`cargo run -p oasis-bench --bin scenario -- --help`).
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use oasis::{Oasis, OasisConfig};
-use oasis_attacks::{run_attack, RtfAttack};
-use oasis_augment::PolicyKind;
-use oasis_data::imagenette_like_with;
-use oasis_fl::IdentityPreprocessor;
+use oasis_scenario::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The victim's private batch: 8 structured images (ImageNet
-    // stand-in at 32 px) sampled across classes.
-    use rand::{rngs::StdRng, SeedableRng};
-    let dataset = imagenette_like_with(8, 32, 42);
-    let batch = dataset.sample_batch(8, &mut StdRng::seed_from_u64(1));
-
-    // The dishonest server knows coarse data statistics (it can fit
-    // the measurement distribution from any public sample of the
-    // domain) and plants 512 attacked neurons.
-    let public_sample: Vec<_> = imagenette_like_with(16, 32, 7)
-        .items()
-        .iter()
-        .map(|it| it.image.clone())
-        .collect();
-    let attack = RtfAttack::calibrated(512, &public_sample)?;
+    // The victim trains on 8 ImageNet-stand-in images; the dishonest
+    // server knows coarse data statistics and plants 512 attacked
+    // neurons. `defense` is the only axis that changes.
+    let base = |defense: &str| -> Result<Scenario, Box<dyn std::error::Error>> {
+        Ok(Scenario::builder()
+            .workload("imagenette".parse()?)
+            .attack("rtf:512".parse()?)
+            .defense(defense.parse()?)
+            .batch_size(8)
+            .trials(1)
+            .seed(1)
+            .dataset_seed(42)
+            .build()?)
+    };
 
     // --- Without OASIS -------------------------------------------------
-    let undefended = run_attack(&attack, &batch, &IdentityPreprocessor, 10, 1)?;
+    let (undefended, undefended_outcomes) = base("none")?.run_detailed()?;
     println!("RTF without OASIS:");
-    println!("  mean matched PSNR : {:>7.2} dB   (≈130–150 dB = verbatim copies)", undefended.mean_psnr());
-    println!("  samples leaked    : {:>6.0} %", undefended.leak_rate(60.0) * 100.0);
+    println!(
+        "  mean matched PSNR : {:>7.2} dB   (≈130–150 dB = verbatim copies)",
+        undefended.mean_psnr()
+    );
+    println!(
+        "  samples leaked    : {:>6.0} %",
+        undefended.leak_rate * 100.0
+    );
 
     // --- With OASIS (major rotation) -----------------------------------
-    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
-    let defended = run_attack(&attack, &batch, &defense, 10, 1)?;
+    let (defended, defended_outcomes) = base("oasis:MR")?.run_detailed()?;
     println!("RTF with OASIS (MR):");
-    println!("  mean matched PSNR : {:>7.2} dB   (≈15–25 dB = unrecognizable)", defended.mean_psnr());
-    println!("  samples leaked    : {:>6.0} %", defended.leak_rate(60.0) * 100.0);
+    println!(
+        "  mean matched PSNR : {:>7.2} dB   (≈15–25 dB = unrecognizable)",
+        defended.mean_psnr()
+    );
+    println!(
+        "  samples leaked    : {:>6.0} %",
+        defended.leak_rate * 100.0
+    );
 
     // Write a before/after panel for the first sample.
-    std::fs::create_dir_all("out")?;
-    oasis_image::io::write_ppm("out/quickstart_original.ppm", &batch.images[0])?;
-    if let Some(m) = undefended.matches.iter().find(|m| m.original_idx == 0) {
-        oasis_image::io::write_ppm(
-            "out/quickstart_reconstruction_undefended.ppm",
-            &undefended.reconstructions[m.recon_idx],
-        )?;
-    }
-    if let Some(m) = defended.matches.iter().find(|m| m.original_idx == 0) {
-        oasis_image::io::write_ppm(
-            "out/quickstart_reconstruction_defended.ppm",
-            &defended.reconstructions[m.recon_idx],
-        )?;
+    let original = &undefended_outcomes[0];
+    oasis_image::io::write_ppm(
+        oasis_scenario::out_path("quickstart_original.ppm"),
+        &original.processed_images[0],
+    )?;
+    for (outcome, file) in [
+        (
+            &undefended_outcomes[0],
+            "quickstart_reconstruction_undefended.ppm",
+        ),
+        (
+            &defended_outcomes[0],
+            "quickstart_reconstruction_defended.ppm",
+        ),
+    ] {
+        if let Some(m) = outcome.matches.iter().find(|m| m.original_idx == 0) {
+            oasis_image::io::write_ppm(
+                oasis_scenario::out_path(file),
+                &outcome.reconstructions[m.recon_idx],
+            )?;
+        }
     }
     println!("\nwrote out/quickstart_*.ppm — compare the three images.");
     Ok(())

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("linear-model inversion on a UAV update (B = 8, unique labels):");
     let undefended = run_attack(&attack, &batch, &IdentityPreprocessor, classes, 2)?;
-    println!("  without OASIS : mean PSNR {:>6.2} dB", undefended.mean_psnr());
+    println!(
+        "  without OASIS : mean PSNR {:>6.2} dB",
+        undefended.mean_psnr()
+    );
 
     for kind in [
         PolicyKind::MajorRotation,

@@ -43,3 +43,35 @@ fn different_seeds_differ() {
     let b = run_attack(&cah_b, &batch, &IdentityPreprocessor, 10, 3).unwrap();
     assert_ne!(a.matched_psnrs, b.matched_psnrs);
 }
+
+#[test]
+fn scenario_reports_are_reproducible() {
+    use oasis_scenario::{Scale, Scenario};
+
+    let scenario = Scenario::builder()
+        .workload("imagenette".parse().unwrap())
+        .attack("rtf:48".parse().unwrap())
+        .defense("oasis:MR".parse().unwrap())
+        .batch_size(4)
+        .trials(2)
+        .scale(Scale::Quick)
+        .seed(0x5EED)
+        .calibration(32)
+        .build()
+        .unwrap();
+    let a = scenario.run().unwrap();
+    let b = scenario.run().unwrap();
+    for (ta, tb) in a.trials.iter().zip(&b.trials) {
+        assert_eq!(
+            ta.matched_psnrs, tb.matched_psnrs,
+            "trial {} diverged",
+            ta.trial
+        );
+    }
+    assert_eq!(a.summary, b.summary);
+    // The serialized report (minus wall clock) is reproducible too.
+    assert_eq!(
+        serde_json::to_string(&a.trials).unwrap(),
+        serde_json::to_string(&b.trials).unwrap()
+    );
+}

@@ -32,11 +32,19 @@ fn defended_federation_converges() {
             defended_client(i, a, OasisConfig::policy(PolicyKind::MajorRotation))
         })
         .collect();
-    let cfg = FlConfig { learning_rate: 0.5, local_batch_size: 6, clients_per_round: 0 };
+    let cfg = FlConfig {
+        learning_rate: 0.5,
+        local_batch_size: 6,
+        clients_per_round: 0,
+    };
     let mut server = FlServer::new(factory(d, 4), cfg).unwrap();
     let reports = server.run(&shards, 25, 1).unwrap();
     let first: f32 = reports[..3].iter().map(|r| r.mean_loss).sum::<f32>() / 3.0;
-    let last: f32 = reports[reports.len() - 3..].iter().map(|r| r.mean_loss).sum::<f32>() / 3.0;
+    let last: f32 = reports[reports.len() - 3..]
+        .iter()
+        .map(|r| r.mean_loss)
+        .sum::<f32>()
+        / 3.0;
     assert!(last < first, "defended FL did not learn: {first} -> {last}");
 }
 
@@ -53,7 +61,9 @@ fn mixed_federation_round_reports_all_participants() {
         undefended_client(1, b),
     ];
     let mut server = FlServer::new(factory(d, 3), FlConfig::default()).unwrap();
-    let report = server.run_round(&clients, &mut StdRng::seed_from_u64(9)).unwrap();
+    let report = server
+        .run_round(&clients, &mut StdRng::seed_from_u64(9))
+        .unwrap();
     assert_eq!(report.participants, 2);
     assert!(report.mean_loss.is_finite());
 }

@@ -17,7 +17,9 @@ fn prop1_protection_implies_no_rtf_leakage() {
     let mut rng = StdRng::seed_from_u64(8);
     let batch = ds.sample_batch(6, &mut rng);
 
-    let model = attack.build_model(batch.images[0].dims(), 10, 2).expect("model");
+    let model = attack
+        .build_model(batch.images[0].dims(), 10, 2)
+        .expect("model");
     let layer = model.layer_as::<Linear>(0).expect("malicious layer");
 
     for kind in [
@@ -58,11 +60,16 @@ fn without_policy_is_predicted_and_measured_unprotected() {
     let mut rng = StdRng::seed_from_u64(9);
     let batch = ds.sample_batch(6, &mut rng);
 
-    let model = attack.build_model(batch.images[0].dims(), 10, 2).expect("model");
+    let model = attack
+        .build_model(batch.images[0].dims(), 10, 2)
+        .expect("model");
     let layer = model.layer_as::<Linear>(0).expect("malicious layer");
     let defense = Oasis::new(OasisConfig::policy(PolicyKind::Without));
     let analysis = activation_set_analysis(layer, &batch, &defense);
     let outcome = run_attack(&attack, &batch, &defense, 10, 2).expect("run");
-    assert!(analysis.protection_rate < 0.5, "WO should not be predicted protected");
+    assert!(
+        analysis.protection_rate < 0.5,
+        "WO should not be predicted protected"
+    );
     assert!(outcome.leak_rate(60.0) > 0.5, "WO should measurably leak");
 }

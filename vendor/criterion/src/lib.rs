@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the source-level API of criterion 0.5 that the `benches/`
+//! files use — groups, `BenchmarkId`, `Bencher::iter` /
+//! `iter_batched`, the `criterion_group!` / `criterion_main!` macros —
+//! but with a deliberately small measurement procedure: a short
+//! warm-up, then a fixed number of timed samples whose median is
+//! printed as one line per benchmark. No statistics, plots, or saved
+//! baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is sized (accepted for API compatibility;
+/// the measurement procedure does not differentiate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    median: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            median: Duration::ZERO,
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: aim for samples of ≥ ~1 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                // Sub-nanosecond routines truncate to zero under
+                // Duration division; floor at 1 ns per iteration.
+                let per_iter = (start.elapsed().as_nanos() / u128::from(iters)).max(1);
+                Duration::from_nanos(per_iter as u64)
+            })
+            .collect();
+        times.sort_unstable();
+        self.median = times[times.len() / 2];
+        self.iters_per_sample = iters;
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.median = times[times.len() / 2];
+        self.iters_per_sample = 1;
+    }
+}
+
+fn print_result(label: &str, bencher: &Bencher) {
+    println!(
+        "{label:<52} median {:>12?}  ({} samples × {} iters)",
+        bencher.median, bencher.samples, bencher.iters_per_sample
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R)
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        print_result(&format!("{}/{}", self.name, id), &bencher);
+    }
+
+    /// Benchmarks a routine with no explicit input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut routine: R) {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        print_result(&format!("{}/{}", self.name, id), &bencher);
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 11 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: R) {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        print_result(name, &bencher);
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// Declares a group function running each benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| (0..black_box(10_000u64)).sum::<u64>());
+        assert!(b.median > Duration::ZERO);
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut b = Bencher::new(3);
+        let mut produced = 0u32;
+        b.iter_batched(
+            || {
+                produced += 1;
+                vec![1u8; 64]
+            },
+            |v| v.iter().map(|&x| x as u32).sum::<u32>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(produced, 3);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
