@@ -148,7 +148,7 @@ fn trap_weights(rows: usize, d: usize, gamma: f32, seed: u64) -> Tensor {
         indices.shuffle(&mut rng);
         let row = w.row_mut(r).expect("row in bounds");
         for &i in indices.iter().take(d / 2) {
-            row[i] = -gamma * row[i];
+            row[i] *= -gamma;
         }
     }
     // Normalize rows so pre-activations stay O(1) for unit images.
@@ -244,13 +244,13 @@ mod tests {
         let w = trap_weights(32, d, attack.gamma(), 7);
         let biases = attack.biases.as_ref().unwrap();
         let mut rates = Vec::new();
-        for r in 0..32 {
+        for (r, &bias) in biases.iter().enumerate().take(32) {
             let row = w.row(r).unwrap();
             let active = fresh
                 .iter()
                 .filter(|img| {
                     let z: f32 = row.iter().zip(img.data()).map(|(&a, &b)| a * b).sum();
-                    z + biases[r] > 0.0
+                    z + bias > 0.0
                 })
                 .count();
             rates.push(active as f64 / fresh.len() as f64);

@@ -105,12 +105,10 @@ pub fn train_linear_with_dp(
             oasis_nn::load_params(&mut model, &params)?;
         }
     }
-    Ok(
-        oasis_fl::evaluate_accuracy(&mut model, test, config.batch_size).map_err(|e| match e {
-            oasis_fl::FlError::Nn(nn) => crate::AttackError::Nn(nn),
-            other => crate::AttackError::BadConfig(other.to_string()),
-        })?,
-    )
+    oasis_fl::evaluate_accuracy(&mut model, test, config.batch_size).map_err(|e| match e {
+        oasis_fl::FlError::Nn(nn) => crate::AttackError::Nn(nn),
+        other => crate::AttackError::BadConfig(other.to_string()),
+    })
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@ pub enum AttackError {
     BadConfig(String),
     /// Calibration could not fit the requested statistic.
     Calibration(String),
+    /// The update could not cross the wire (codec failure).
+    Wire(oasis_wire::WireError),
 }
 
 impl fmt::Display for AttackError {
@@ -24,6 +26,7 @@ impl fmt::Display for AttackError {
             AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
             AttackError::BadConfig(msg) => write!(f, "bad attack configuration: {msg}"),
             AttackError::Calibration(msg) => write!(f, "calibration failed: {msg}"),
+            AttackError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
 }
@@ -33,8 +36,15 @@ impl std::error::Error for AttackError {
         match self {
             AttackError::Nn(e) => Some(e),
             AttackError::Tensor(e) => Some(e),
+            AttackError::Wire(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<oasis_wire::WireError> for AttackError {
+    fn from(e: oasis_wire::WireError) -> Self {
+        AttackError::Wire(e)
     }
 }
 

@@ -6,8 +6,11 @@ use oasis_data::Batch;
 use oasis_fl::BatchPreprocessor;
 use oasis_image::Image;
 use oasis_metrics::{best_psnr_per_original, match_greedy_coarse, ReconstructionMatch, Summary};
-use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode, Sequential};
+use oasis_nn::{
+    flatten_grads, load_grads, param_count, softmax_cross_entropy, Layer, Linear, Mode, Sequential,
+};
 use oasis_tensor::Tensor;
+use oasis_wire::UpdateCodec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +51,30 @@ pub trait ActiveAttack: Send + Sync {
     ) -> Vec<Image>;
 }
 
+/// What the client's update looked like on the wire during an
+/// attacked round (present when the round ran over a codec).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTrace {
+    /// Spec string of the codec the update crossed.
+    pub codec: String,
+    /// Uncompressed update size (`4·n` for the full model update).
+    pub raw_bytes: usize,
+    /// Encoded update size actually on the wire.
+    pub encoded_bytes: usize,
+    /// Malicious-model broadcast size (downlink).
+    pub broadcast_bytes: usize,
+}
+
+impl WireTrace {
+    /// `raw / encoded` — > 1 means the codec compresses.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.encoded_bytes as f64
+    }
+}
+
 /// Everything the figures need from one attack execution.
 #[derive(Debug, Clone)]
 pub struct AttackOutcome {
@@ -66,6 +93,9 @@ pub struct AttackOutcome {
     pub processed_images: Vec<Image>,
     /// The client's loss during the attacked round (diagnostic).
     pub client_loss: f32,
+    /// Wire provenance of the attacked update (None when the round
+    /// ran in-process, without a codec).
+    pub wire: Option<WireTrace>,
 }
 
 impl AttackOutcome {
@@ -113,7 +143,31 @@ pub fn run_attack(
     classes: usize,
     seed: u64,
 ) -> Result<AttackOutcome> {
-    run_attack_inner(attack, batch, defense, classes, seed, None)
+    run_attack_inner(attack, batch, defense, classes, seed, None, None)
+}
+
+/// Like [`run_attack`] (or [`run_attack_with_dp`] when `dp` is set),
+/// but the client's update crosses the wire: the full flat update is
+/// encoded with `codec`, decoded server-side, and the attacker
+/// inverts what the *decoded* gradients say — lossy codecs therefore
+/// degrade reconstruction, a new result surface. The outcome's
+/// [`AttackOutcome::wire`] records codec provenance and exact bytes
+/// on the wire. With the lossless `raw` codec this reproduces the
+/// in-process numbers bit-exactly.
+///
+/// # Errors
+///
+/// Propagates model-construction, execution, and codec failures.
+pub fn run_attack_over_wire(
+    attack: &dyn ActiveAttack,
+    batch: &Batch,
+    defense: &dyn BatchPreprocessor,
+    classes: usize,
+    seed: u64,
+    dp: Option<(f32, f32)>,
+    codec: &dyn UpdateCodec,
+) -> Result<AttackOutcome> {
+    run_attack_inner(attack, batch, defense, classes, seed, dp, Some(codec))
 }
 
 /// Like [`run_attack`], but the client applies DP-SGD to its update:
@@ -141,14 +195,17 @@ pub fn run_attack_with_dp(
         classes,
         seed,
         Some((clip_norm, noise_std)),
+        None,
     )
 }
 
-/// The shared attacked-round harness behind [`run_attack`] and
-/// [`run_attack_with_dp`]: build the malicious model, let the client
-/// preprocess its batch, compute the uploaded gradients (exact, or
-/// clipped-and-noised when `dp = Some((clip_norm, noise_std))`),
-/// invert, and score.
+/// The shared attacked-round harness behind [`run_attack`],
+/// [`run_attack_with_dp`], and [`run_attack_over_wire`]: build the
+/// malicious model, let the client preprocess its batch, compute the
+/// uploaded gradients (exact, or clipped-and-noised when
+/// `dp = Some((clip_norm, noise_std))`), optionally round-trip the
+/// update through a wire codec, invert, and score.
+#[allow(clippy::too_many_arguments)]
 fn run_attack_inner(
     attack: &dyn ActiveAttack,
     batch: &Batch,
@@ -156,6 +213,7 @@ fn run_attack_inner(
     classes: usize,
     seed: u64,
     dp: Option<(f32, f32)>,
+    codec: Option<&dyn UpdateCodec>,
 ) -> Result<AttackOutcome> {
     let geometry = batch
         .images
@@ -163,8 +221,29 @@ fn run_attack_inner(
         .ok_or_else(|| AttackError::BadConfig("empty batch".into()))?
         .dims();
     let mut model = attack.build_model(geometry, classes, seed)?;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEF3_17);
+    let broadcast_bytes = param_count(&mut model) * 4;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00DE_F317);
     let processed = defense.process(batch, &mut rng);
+    let mut wire: Option<WireTrace> = None;
+    // The server reconstructs from what it *receives*: when a codec
+    // is installed, the client's full flat update crosses the wire
+    // (encode → decode) before the attacker reads the malicious
+    // layer's gradients out of it.
+    let mut transmit = |update: Vec<f32>| -> Result<Vec<f32>> {
+        match codec {
+            None => Ok(update),
+            Some(codec) => {
+                let encoded = codec.encode(&update)?;
+                wire = Some(WireTrace {
+                    codec: encoded.codec.clone(),
+                    raw_bytes: encoded.raw_byte_size(),
+                    encoded_bytes: encoded.byte_size(),
+                    broadcast_bytes,
+                });
+                Ok(codec.decode(&encoded)?)
+            }
+        }
+    };
 
     let (recons, loss) = match dp {
         None => {
@@ -174,6 +253,8 @@ fn run_attack_inner(
             let logits = model.forward(&x, Mode::Train)?;
             let out = softmax_cross_entropy(&logits, &processed.labels)?;
             model.backward(&out.grad)?;
+            let received = transmit(flatten_grads(&mut model))?;
+            load_grads(&mut model, &received)?;
             let lin = malicious_layer(&model)?;
             (
                 attack.reconstruct(lin.grad_weight(), lin.grad_bias(), geometry),
@@ -218,14 +299,18 @@ fn run_attack_inner(
             let noise_b = Tensor::randn_scaled(&[n], 0.0, sigma, &mut rng);
             sum_gw.add_assign(&noise_w)?;
             sum_gb.add_assign(&noise_b)?;
-            (
-                attack.reconstruct(&sum_gw, &sum_gb, geometry),
-                total_loss * inv_b,
-            )
+            // DP-SGD uploads only the (noised) malicious-layer update;
+            // that is what crosses the wire.
+            let mut update = sum_gw.data().to_vec();
+            update.extend_from_slice(sum_gb.data());
+            let received = transmit(update)?;
+            let gw = Tensor::from_vec(received[..n * d].to_vec(), &[n, d])?;
+            let gb = Tensor::from_vec(received[n * d..].to_vec(), &[n])?;
+            (attack.reconstruct(&gw, &gb, geometry), total_loss * inv_b)
         }
     };
 
-    Ok(score(recons, batch, &processed, loss))
+    Ok(score(recons, batch, &processed, loss, wire))
 }
 
 /// The attacked first layer the adversary reads gradients from.
@@ -235,7 +320,13 @@ fn malicious_layer(model: &Sequential) -> Result<&Linear> {
         .ok_or_else(|| AttackError::BadConfig("malicious layer missing".into()))
 }
 
-fn score(recons: Vec<Image>, batch: &Batch, processed: &Batch, client_loss: f32) -> AttackOutcome {
+fn score(
+    recons: Vec<Image>,
+    batch: &Batch,
+    processed: &Batch,
+    client_loss: f32,
+    wire: Option<WireTrace>,
+) -> AttackOutcome {
     // Clamp reconstructions into the displayable range before scoring,
     // mirroring how reconstructed images are rendered and compared.
     let recons: Vec<Image> = recons.into_iter().map(|r| r.clamp01()).collect();
@@ -251,6 +342,7 @@ fn score(recons: Vec<Image>, batch: &Batch, processed: &Batch, client_loss: f32)
         reconstructions: recons,
         processed_images: processed.images.clone(),
         client_loss,
+        wire,
     }
 }
 
@@ -303,6 +395,57 @@ mod tests {
             noisy.mean_psnr(),
             clean.mean_psnr()
         );
+    }
+
+    #[test]
+    fn raw_wire_reproduces_in_process_numbers_exactly() {
+        let calib = batch_of(64, 10, 1);
+        let attack = RtfAttack::calibrated(64, &calib.images).unwrap();
+        let batch = batch_of(4, 10, 2);
+        let in_process = run_attack(&attack, &batch, &IdentityPreprocessor, 4, 3).unwrap();
+        let codec = oasis_wire::CodecSpec::Raw.build();
+        let over_wire = run_attack_over_wire(
+            &attack,
+            &batch,
+            &IdentityPreprocessor,
+            4,
+            3,
+            None,
+            codec.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(over_wire.matched_psnrs, in_process.matched_psnrs);
+        let trace = over_wire.wire.expect("wire trace recorded");
+        assert_eq!(trace.codec, "raw");
+        assert!(trace.encoded_bytes > trace.raw_bytes, "header overhead");
+        assert!(trace.broadcast_bytes > 0);
+        assert!(in_process.wire.is_none());
+    }
+
+    #[test]
+    fn lossy_wire_degrades_reconstruction() {
+        let calib = batch_of(64, 10, 1);
+        let attack = RtfAttack::calibrated(64, &calib.images).unwrap();
+        let batch = batch_of(4, 10, 2);
+        let clean = run_attack(&attack, &batch, &IdentityPreprocessor, 4, 3).unwrap();
+        let sign = oasis_wire::CodecSpec::Sign.build();
+        let noisy = run_attack_over_wire(
+            &attack,
+            &batch,
+            &IdentityPreprocessor,
+            4,
+            3,
+            None,
+            sign.as_ref(),
+        )
+        .unwrap();
+        assert!(
+            noisy.mean_psnr() < clean.mean_psnr(),
+            "1-bit updates should not reconstruct verbatim: {:.1} vs {:.1}",
+            noisy.mean_psnr(),
+            clean.mean_psnr()
+        );
+        assert!(noisy.wire.unwrap().compression_ratio() > 10.0);
     }
 
     #[test]

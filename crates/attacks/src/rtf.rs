@@ -159,7 +159,6 @@ mod tests {
     use super::*;
     use oasis_metrics::{match_greedy, PSNR_CAP};
     use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode};
-    use rand::{rngs::StdRng, SeedableRng};
 
     fn structured_images(count: usize, side: usize, seed: u64) -> Vec<Image> {
         let ds = oasis_data::cifar_like_with(count, 1, side, seed);

@@ -10,7 +10,7 @@ proptest! {
     #[test]
     fn single_sample_inversion_is_exact(
         x in proptest::collection::vec(0.0f32..1.0, 4..32),
-        g in prop_oneof![(-5.0f32..-0.01), (0.01f32..5.0)],
+        g in prop_oneof![-5.0f32..-0.01, 0.01f32..5.0],
     ) {
         let grad_w: Vec<f32> = x.iter().map(|&v| g * v).collect();
         let rec = invert_neuron(&grad_w, g).expect("nonzero signal");
@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn bin_difference_isolates_sample(
         n in 4usize..16,
-        g_t in prop_oneof![(-2.0f32..-0.05), (0.05f32..2.0)],
+        g_t in prop_oneof![-2.0f32..-0.05, 0.05f32..2.0],
         g_other in -2.0f32..2.0,
         seed in 0u64..1000,
     ) {

@@ -1,0 +1,63 @@
+//! Criterion: wire codec throughput — encode and decode MB/s per
+//! codec over a ResNet-scale flat parameter vector. The uplink codec
+//! runs on every client every round, so this is a hot path of any
+//! large federation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_wire::{CodecSpec, UpdateCodec};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Flat update of ~2.8M parameters (~11 MB of f32) — the order of a
+/// ResNet-20/32 family model, large enough that per-element cost
+/// dominates framing overhead.
+const RESNET_SCALE: usize = 2_800_000;
+
+fn update() -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    (0..RESNET_SCALE)
+        .map(|_| rng.gen_range(-0.05f32..0.05))
+        .collect()
+}
+
+fn codecs() -> Vec<(&'static str, Box<dyn UpdateCodec>)> {
+    vec![
+        ("raw", CodecSpec::Raw.build()),
+        ("q8", CodecSpec::Q8.build()),
+        (
+            "topk_1pct",
+            CodecSpec::TopK {
+                k: RESNET_SCALE / 100,
+            }
+            .build(),
+        ),
+        ("sign", CodecSpec::Sign.build()),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let x = update();
+    let mut group = c.benchmark_group("wire_encode_2p8m_params");
+    group.sample_size(10);
+    for (label, codec) in codecs() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &x, |b, x| {
+            b.iter(|| codec.encode(x).unwrap().byte_size());
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let x = update();
+    let mut group = c.benchmark_group("wire_decode_2p8m_params");
+    group.sample_size(10);
+    for (label, codec) in codecs() {
+        let encoded = codec.encode(&x).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &encoded, |b, enc| {
+            b.iter(|| codec.decode(enc).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

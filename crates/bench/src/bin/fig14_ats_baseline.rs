@@ -56,14 +56,7 @@ fn main() {
         // Montage: top originals, middle what the client trained on
         // (first 8), bottom matched reconstructions.
         let mut tiles: Vec<Image> = batch.images.clone();
-        tiles.extend(
-            outcome
-                .processed_images
-                .iter()
-                .take(8)
-                .cloned()
-                .map(|i| i.clamp01()),
-        );
+        tiles.extend(outcome.processed_images.iter().take(8).map(|i| i.clamp01()));
         let geom = outcome.processed_images[0].dims();
         for i in 0..8usize.min(outcome.processed_images.len()) {
             let matched = vs_processed

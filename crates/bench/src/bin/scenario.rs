@@ -16,7 +16,8 @@
 //! Unknown flags are errors, not silently ignored.
 
 use oasis_bench::{
-    AttackSpec, DefenseSpec, Sampling, Scale, Scenario, ScenarioError, ScenarioReport, WorkloadSpec,
+    AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario, ScenarioError,
+    ScenarioReport, WorkloadSpec,
 };
 use std::process::ExitCode;
 
@@ -32,6 +33,10 @@ FLAGS (comma-separated lists sweep the grid):
                         (P ∈ WO, MR, mR, SH, HFlip, VFlip, MR+SH)
     --workload SPECS    imagenette | cifar100 |
                         imagenette100c | cifar100c        [default: imagenette]
+    --codec SPECS       raw | q8 | topk:K | sign          [default: raw]
+    --net SPECS         ideal | sim:LAT,BW,DROP[,DL]      [default: ideal]
+                        (latency ms, bandwidth Mbit/s, drop
+                        probability, straggler deadline ms)
     --batch SIZES       client batch size(s) B            [default: 8]
     --trials N          attacked rounds pooled per cell   [default: per scale]
     --seed N            master seed                       [default: 0]
@@ -50,6 +55,8 @@ struct Args {
     attacks: Vec<AttackSpec>,
     defenses: Vec<DefenseSpec>,
     workloads: Vec<WorkloadSpec>,
+    codecs: Vec<CodecSpec>,
+    nets: Vec<NetSpec>,
     batches: Vec<usize>,
     trials: Option<usize>,
     seed: u64,
@@ -75,8 +82,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let cells =
-        args.attacks.len() * args.defenses.len() * args.workloads.len() * args.batches.len();
+    let cells = args.attacks.len()
+        * args.defenses.len()
+        * args.workloads.len()
+        * args.codecs.len()
+        * args.nets.len()
+        * args.batches.len();
     if cells > 1 {
         println!("sweep: {cells} scenarios");
     }
@@ -84,27 +95,34 @@ fn main() -> ExitCode {
     for &workload in &args.workloads {
         for &attack in &args.attacks {
             for &defense in &args.defenses {
-                for &batch in &args.batches {
-                    match run_cell(&args, workload, attack, defense, batch) {
-                        Ok(report) => {
-                            println!("{report}");
-                            if args.save {
-                                match report.save() {
-                                    Ok(path) => println!("  report -> {}", path.display()),
-                                    Err(e) => {
-                                        eprintln!("error: saving report failed: {e}");
-                                        failures += 1;
+                for &codec in &args.codecs {
+                    for &net in &args.nets {
+                        for &batch in &args.batches {
+                            match run_cell(&args, workload, attack, defense, codec, net, batch) {
+                                Ok(report) => {
+                                    println!("{report}");
+                                    if args.save {
+                                        match report.save() {
+                                            Ok(path) => {
+                                                println!("  report -> {}", path.display());
+                                            }
+                                            Err(e) => {
+                                                eprintln!("error: saving report failed: {e}");
+                                                failures += 1;
+                                            }
+                                        }
                                     }
+                                    println!();
+                                }
+                                Err(e) => {
+                                    eprintln!(
+                                        "error: scenario attack={attack} defense={defense} \
+                                         workload={workload} codec={codec} net={net} \
+                                         batch={batch} failed: {e}"
+                                    );
+                                    failures += 1;
                                 }
                             }
-                            println!();
-                        }
-                        Err(e) => {
-                            eprintln!(
-                                "error: scenario attack={attack} defense={defense} \
-                                 workload={workload} batch={batch} failed: {e}"
-                            );
-                            failures += 1;
                         }
                     }
                 }
@@ -123,12 +141,16 @@ fn run_cell(
     workload: WorkloadSpec,
     attack: AttackSpec,
     defense: DefenseSpec,
+    codec: CodecSpec,
+    net: NetSpec,
     batch: usize,
 ) -> Result<ScenarioReport, ScenarioError> {
     let mut builder = Scenario::builder()
         .workload(workload)
         .attack(attack)
         .defense(defense)
+        .codec(codec)
+        .net(net)
         .batch_size(batch)
         .scale(args.scale)
         .seed(args.seed);
@@ -155,6 +177,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         attacks: vec![AttackSpec::rtf(512)],
         defenses: vec![DefenseSpec::None],
         workloads: vec![WorkloadSpec::ImageNette],
+        codecs: vec![CodecSpec::Raw],
+        nets: vec![NetSpec::Ideal],
         batches: vec![8],
         trials: None,
         seed: 0,
@@ -176,6 +200,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--attack" => args.attacks = parse_list(value("--attack")?, "attack")?,
             "--defense" => args.defenses = parse_list(value("--defense")?, "defense")?,
             "--workload" => args.workloads = parse_list(value("--workload")?, "workload")?,
+            "--codec" => args.codecs = parse_list(value("--codec")?, "codec")?,
+            "--net" => args.nets = parse_list(value("--net")?, "net")?,
             "--batch" => {
                 args.batches = parse_list(value("--batch")?, "batch size")?;
             }

@@ -33,8 +33,8 @@ pub use oasis_attacks::{
     RtfAttack, DEFAULT_ACTIVATION_TARGET,
 };
 pub use oasis_scenario::{
-    out_path, AttackSpec, DefenseSpec, Sampling, Scale, Scenario, ScenarioError, ScenarioReport,
-    WorkloadSpec,
+    out_path, AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario,
+    ScenarioError, ScenarioReport, WorkloadSpec,
 };
 
 /// The two evaluation workloads of the paper (alias of

@@ -19,6 +19,8 @@ pub enum FlError {
     },
     /// No clients were selected for a round.
     NoClients,
+    /// Encoding or decoding an update on the wire failed.
+    Wire(oasis_wire::WireError),
 }
 
 impl fmt::Display for FlError {
@@ -30,6 +32,7 @@ impl fmt::Display for FlError {
                 write!(f, "client update of length {len}, expected {expected}")
             }
             FlError::NoClients => write!(f, "round executed with no clients"),
+            FlError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
 }
@@ -38,6 +41,7 @@ impl std::error::Error for FlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FlError::Nn(e) => Some(e),
+            FlError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -46,6 +50,12 @@ impl std::error::Error for FlError {
 impl From<NnError> for FlError {
     fn from(e: NnError) -> Self {
         FlError::Nn(e)
+    }
+}
+
+impl From<oasis_wire::WireError> for FlError {
+    fn from(e: oasis_wire::WireError) -> Self {
+        FlError::Wire(e)
     }
 }
 

@@ -19,6 +19,14 @@
 //!   training batch *before* computing gradients (how the OASIS
 //!   defense augments `D` into `D′`).
 //!
+//! Updates travel over a real wire: each round every selected client
+//! encodes its update with the server's [`WireConfig`] codec
+//! (`oasis_wire`), a deterministic simulated transport delivers,
+//! delays, or drops it, and the server aggregates **only what
+//! arrived**, weighted by the examples each client contributed. The
+//! default wire (raw codec, ideal network) reproduces the in-process
+//! protocol bit-exactly.
+//!
 //! ```
 //! use oasis_fl::{FlConfig, FlServer, partition_iid, IdentityPreprocessor};
 //! use oasis_data::cifar_like_with;
@@ -59,7 +67,7 @@ pub use aggregate::{fedavg, fedavg_weighted};
 pub use client::{ClientUpdate, FlClient, ModelFactory};
 pub use config::FlConfig;
 pub use error::FlError;
-pub use server::{FlServer, RoundReport};
+pub use server::{FlServer, RoundReport, WireConfig};
 pub use tamper::{HonestServer, ModelTamper};
 pub use training::{
     evaluate_accuracy, partition_dirichlet, partition_iid, train_centralized, BatchPreprocessor,

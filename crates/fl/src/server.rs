@@ -6,34 +6,93 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use oasis_nn::{flatten_params, load_params, param_count, Sequential};
+use oasis_wire::{CodecSpec, DeliveryStatus, EncodedUpdate, NetSpec, Submission, UpdateCodec};
 
-use crate::{fedavg, FlClient, FlConfig, FlError, ModelFactory, Result};
+use crate::{fedavg_weighted, ClientUpdate, FlClient, FlConfig, FlError, ModelFactory, Result};
+
+/// How updates travel between clients and the server: the update
+/// codec plus the simulated network condition.
+///
+/// The default — lossless [`CodecSpec::Raw`] over [`NetSpec::Ideal`]
+/// — reproduces the in-process protocol bit-exactly while still
+/// exercising the full encode → transport → decode path, so bytes on
+/// the wire are always measured.
+pub struct WireConfig {
+    codec_spec: CodecSpec,
+    codec: Box<dyn UpdateCodec>,
+    /// The simulated network the round runs over.
+    pub net: NetSpec,
+}
+
+impl WireConfig {
+    /// Builds the wire from a codec and a network spec.
+    pub fn new(codec: CodecSpec, net: NetSpec) -> Self {
+        WireConfig {
+            codec_spec: codec,
+            codec: codec.build(),
+            net,
+        }
+    }
+
+    /// The codec spec in use.
+    pub fn codec(&self) -> CodecSpec {
+        self.codec_spec
+    }
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig::new(CodecSpec::Raw, NetSpec::Ideal)
+    }
+}
+
+impl std::fmt::Debug for WireConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WireConfig(codec={}, net={})", self.codec_spec, self.net)
+    }
+}
 
 /// Outcome of one protocol round.
 #[derive(Debug, Clone)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: usize,
-    /// How many clients contributed.
+    /// How many clients' updates were aggregated (delivered in time).
     pub participants: usize,
-    /// Mean client loss.
+    /// How many clients were selected to participate.
+    pub selected: usize,
+    /// How many selected clients' updates were lost or cut off.
+    pub dropped: usize,
+    /// Mean loss over the delivered clients (0 when none arrived).
     pub mean_loss: f32,
-    /// L2 norm of the aggregated update.
+    /// L2 norm of the aggregated update (0 when none arrived).
     pub update_norm: f32,
+    /// Encoded update bytes sent uplink (including lost updates).
+    pub bytes_up: u64,
+    /// Broadcast model bytes sent downlink.
+    pub bytes_down: u64,
+    /// Simulated wall-clock of the round in milliseconds (0 on the
+    /// ideal network).
+    pub sim_ms: f64,
 }
 
 /// The FL coordinator of paper Eq. 1, with an optional dishonest
-/// tamper hook.
+/// tamper hook. Updates travel through a [`WireConfig`]: encoded by
+/// an [`UpdateCodec`], moved by a simulated [`NetSpec`] transport,
+/// and only the updates that actually arrive are aggregated —
+/// weighted by the examples each client contributed.
 pub struct FlServer {
     factory: ModelFactory,
     model: Sequential,
     config: FlConfig,
     tamper: Option<Box<dyn crate::ModelTamper>>,
+    wire: WireConfig,
     round: usize,
 }
 
 impl FlServer {
-    /// Creates a server with a freshly initialized global model.
+    /// Creates a server with a freshly initialized global model on the
+    /// default wire (raw codec, ideal network).
     ///
     /// # Errors
     ///
@@ -49,6 +108,7 @@ impl FlServer {
             model,
             config,
             tamper: None,
+            wire: WireConfig::default(),
             round: 0,
         })
     }
@@ -57,6 +117,17 @@ impl FlServer {
     /// reconstruction attack).
     pub fn set_tamper(&mut self, tamper: Box<dyn crate::ModelTamper>) {
         self.tamper = Some(tamper);
+    }
+
+    /// Replaces the wire (codec + simulated network) the rounds run
+    /// over.
+    pub fn set_wire(&mut self, wire: WireConfig) {
+        self.wire = wire;
+    }
+
+    /// The wire currently in use.
+    pub fn wire(&self) -> &WireConfig {
+        &self.wire
     }
 
     /// The global model (e.g. for evaluation).
@@ -69,6 +140,43 @@ impl FlServer {
         self.round
     }
 
+    /// Overrides the round counter — used when resuming from a
+    /// checkpoint.
+    pub fn set_round(&mut self, round: usize) {
+        self.round = round;
+    }
+
+    /// Loads flat global weights (e.g. from a reloaded checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns a model error when the length disagrees with the
+    /// architecture.
+    pub fn load_weights(&mut self, params: &[f32]) -> Result<()> {
+        load_params(&mut self.model, params)?;
+        Ok(())
+    }
+
+    /// Writes the global model as a wire-format checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and filesystem failures.
+    pub fn save_checkpoint(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        oasis_wire::checkpoint::save_model(path, &mut self.model)?;
+        Ok(())
+    }
+
+    /// Restores the global model from a wire-format checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures and architecture mismatches.
+    pub fn restore_checkpoint(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        oasis_wire::checkpoint::load_model(path, &mut self.model)?;
+        Ok(())
+    }
+
     /// The flattened global weights `w_t` as broadcast this round
     /// (after tampering, if a tamper hook is installed).
     pub fn broadcast_weights(&mut self) -> Vec<f32> {
@@ -79,12 +187,18 @@ impl FlServer {
     }
 
     /// Runs one round: tamper (if dishonest) → broadcast → parallel
-    /// client updates → FedAvg → server SGD step.
+    /// client updates → encode → simulated transport → decode →
+    /// sample-weighted FedAvg over the updates that arrived → server
+    /// SGD step.
+    ///
+    /// Partial participation is expected, not an error: lost or
+    /// straggling updates are simply excluded from aggregation, and a
+    /// round where nothing arrives leaves the model untouched.
     ///
     /// # Errors
     ///
-    /// Returns [`FlError::NoClients`] when `clients` is empty, or any
-    /// client-side model error.
+    /// Returns [`FlError::NoClients`] when `clients` is empty, any
+    /// client-side model error, or a wire encode/decode failure.
     pub fn run_round(&mut self, clients: &[FlClient], rng: &mut StdRng) -> Result<RoundReport> {
         if clients.is_empty() {
             return Err(FlError::NoClients);
@@ -101,32 +215,75 @@ impl FlServer {
         let selected = &order[..m];
 
         let global = self.broadcast_weights();
+        let bytes_down_each = global.len() * 4;
         let round_seed: u64 = rng.gen();
         let batch = self.config.local_batch_size;
-        let results = parallel::map_indexed(selected, |_, client| {
-            client.compute_update(&self.factory, &global, batch, round_seed)
-        });
-        let mut updates = Vec::with_capacity(results.len());
+        let codec = &self.wire.codec;
+        let results: Vec<Result<(ClientUpdate, EncodedUpdate)>> =
+            parallel::map_indexed(selected, |_, client| {
+                let update = client.compute_update(&self.factory, &global, batch, round_seed)?;
+                let encoded = codec.encode(&update.grads)?;
+                Ok((update, encoded))
+            });
+        let mut sent = Vec::with_capacity(results.len());
         for r in results {
-            updates.push(r?);
+            sent.push(r?);
         }
-        let agg = fedavg(&updates)?;
-        let mean_loss = updates.iter().map(|u| u.loss).sum::<f32>() / updates.len() as f32;
-        let update_norm = agg.iter().map(|g| g * g).sum::<f32>().sqrt();
 
-        // w_{t+1} = w_t − η Ḡ
-        let lr = self.config.learning_rate;
-        let mut new_params = flatten_params(&mut self.model);
-        for (w, &g) in new_params.iter_mut().zip(&agg) {
-            *w -= lr * g;
+        let submissions: Vec<Submission> = sent
+            .iter()
+            .map(|(u, e)| Submission {
+                client_id: u.client_id,
+                bytes_up: e.byte_size(),
+                bytes_down: bytes_down_each,
+            })
+            .collect();
+        let traffic = self
+            .wire
+            .net
+            .deliver(round_seed, self.round as u64, &submissions);
+
+        // The server aggregates only what actually arrived, decoding
+        // each update from its wire frame.
+        let mut delivered = Vec::with_capacity(traffic.delivered);
+        for ((update, encoded), delivery) in sent.iter().zip(&traffic.deliveries) {
+            if delivery.status == DeliveryStatus::Delivered {
+                delivered.push(ClientUpdate {
+                    client_id: update.client_id,
+                    grads: codec.decode(encoded)?,
+                    loss: update.loss,
+                    samples: update.samples,
+                });
+            }
         }
-        load_params(&mut self.model, &new_params)?;
+
+        let (mean_loss, update_norm) = if delivered.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let agg = fedavg_weighted(&delivered)?;
+            let mean_loss = delivered.iter().map(|u| u.loss).sum::<f32>() / delivered.len() as f32;
+            let update_norm = agg.iter().map(|g| g * g).sum::<f32>().sqrt();
+
+            // w_{t+1} = w_t − η Ḡ
+            let lr = self.config.learning_rate;
+            let mut new_params = flatten_params(&mut self.model);
+            for (w, &g) in new_params.iter_mut().zip(&agg) {
+                *w -= lr * g;
+            }
+            load_params(&mut self.model, &new_params)?;
+            (mean_loss, update_norm)
+        };
 
         let report = RoundReport {
             round: self.round,
-            participants: updates.len(),
+            participants: delivered.len(),
+            selected: m,
+            dropped: traffic.dropped,
             mean_loss,
             update_norm,
+            bytes_up: traffic.bytes_up,
+            bytes_down: traffic.bytes_down,
+            sim_ms: traffic.round_ms,
         };
         self.round += 1;
         Ok(report)
@@ -154,9 +311,10 @@ impl std::fmt::Debug for FlServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "FlServer(round={}, tamper={})",
+            "FlServer(round={}, tamper={}, wire={:?})",
             self.round,
-            self.tamper.as_ref().map(|t| t.name()).unwrap_or("none")
+            self.tamper.as_ref().map(|t| t.name()).unwrap_or("none"),
+            self.wire,
         )
     }
 }
@@ -197,7 +355,24 @@ mod tests {
             .run_round(&clients, &mut StdRng::seed_from_u64(0))
             .unwrap();
         assert_eq!(report.participants, 4);
+        assert_eq!(report.selected, 4);
+        assert_eq!(report.dropped, 0);
         assert!(report.update_norm > 0.0);
+    }
+
+    #[test]
+    fn ideal_wire_reports_traffic() {
+        let (factory, clients) = setup(3);
+        let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
+        let report = server
+            .run_round(&clients, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        // Raw codec: every update is slightly larger than 4·n bytes
+        // (wire header), broadcast is exactly 4·n per client.
+        let n = 8 * 8 * 3 * 24 + 24 + 24 * 3 + 3;
+        assert_eq!(report.bytes_down, 4 * (4 * n as u64));
+        assert!(report.bytes_up > 4 * (4 * n as u64));
+        assert_eq!(report.sim_ms, 0.0);
     }
 
     #[test]
@@ -234,6 +409,78 @@ mod tests {
     }
 
     #[test]
+    fn training_survives_a_lossy_wire() {
+        let (factory, clients) = setup(3);
+        let cfg = FlConfig {
+            learning_rate: 0.5,
+            local_batch_size: 8,
+            clients_per_round: 0,
+        };
+        let mut server = FlServer::new(factory, cfg).unwrap();
+        server.set_wire(WireConfig::new(
+            CodecSpec::Q8,
+            "sim:5,10,0.2".parse().unwrap(),
+        ));
+        let reports = server.run(&clients, 30, 42).unwrap();
+        let delivered: usize = reports.iter().map(|r| r.participants).sum();
+        let dropped: usize = reports.iter().map(|r| r.dropped).sum();
+        assert!(dropped > 0, "20% loss should drop something over 30 rounds");
+        assert!(delivered > dropped, "most updates should still arrive");
+        assert!(reports.iter().all(|r| r.sim_ms > 0.0));
+        let first: f32 = reports[..3].iter().map(|r| r.mean_loss).sum::<f32>() / 3.0;
+        let last: f32 = reports[reports.len() - 3..]
+            .iter()
+            .map(|r| r.mean_loss)
+            .sum::<f32>()
+            / 3.0;
+        assert!(
+            last < first,
+            "lossy-wire FL did not learn: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn q8_wire_compresses_uplink() {
+        let (factory, clients) = setup(3);
+        let mut raw = FlServer::new(Arc::clone(&factory), FlConfig::default()).unwrap();
+        let raw_report = raw
+            .run_round(&clients, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let mut q8 = FlServer::new(factory, FlConfig::default()).unwrap();
+        q8.set_wire(WireConfig::new(CodecSpec::Q8, NetSpec::Ideal));
+        let q8_report = q8
+            .run_round(&clients, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert!(
+            q8_report.bytes_up * 3 < raw_report.bytes_up,
+            "q8 uplink {} should be well under raw {}",
+            q8_report.bytes_up,
+            raw_report.bytes_up
+        );
+    }
+
+    #[test]
+    fn round_with_nothing_delivered_is_a_noop() {
+        let (factory, clients) = setup(2);
+        let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
+        // A deadline no update can meet: everything is a straggler.
+        server.set_wire(WireConfig::new(
+            CodecSpec::Raw,
+            "sim:1000,1,0,1".parse().unwrap(),
+        ));
+        let before = flatten_params(server.model_mut());
+        let report = server
+            .run_round(&clients, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(report.participants, 0);
+        assert_eq!(report.dropped, report.selected);
+        assert_eq!(report.update_norm, 0.0);
+        assert_eq!(flatten_params(server.model_mut()), before);
+        // The round still advances — the protocol does not wedge.
+        assert_eq!(server.round(), 1);
+    }
+
+    #[test]
     fn empty_client_set_errors() {
         let (factory, _) = setup(2);
         let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
@@ -252,5 +499,25 @@ mod tests {
             .run_round(&clients, &mut StdRng::seed_from_u64(0))
             .unwrap();
         assert_eq!(server.round(), 1);
+    }
+
+    #[test]
+    fn checkpoint_restores_weights() {
+        let (factory, clients) = setup(2);
+        let mut server = FlServer::new(Arc::clone(&factory), FlConfig::default()).unwrap();
+        server.run(&clients, 2, 9).unwrap();
+        let trained = flatten_params(server.model_mut());
+        let dir = std::env::temp_dir().join(format!("oasis_fl_ckpt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("global.oasis");
+        server.save_checkpoint(&path).unwrap();
+
+        let mut fresh = FlServer::new(factory, FlConfig::default()).unwrap();
+        assert_ne!(flatten_params(fresh.model_mut()), trained);
+        fresh.restore_checkpoint(&path).unwrap();
+        fresh.set_round(server.round());
+        assert_eq!(flatten_params(fresh.model_mut()), trained);
+        assert_eq!(fresh.round(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -127,7 +127,7 @@ impl Image {
             let v = color.component(ch);
             for y in 0..h {
                 for x in 0..w {
-                    if ((y / cell) + (x / cell)) % 2 == 0 {
+                    if ((y / cell) + (x / cell)).is_multiple_of(2) {
                         self.set(ch, y, x, v).expect("in bounds");
                     }
                 }

@@ -50,7 +50,7 @@ impl BatchNorm {
     }
 
     fn check_input(&self, input: &Tensor) -> Result<usize> {
-        if input.rank() != 2 || input.dims()[1] % self.channels != 0 {
+        if input.rank() != 2 || !input.dims()[1].is_multiple_of(self.channels) {
             return Err(NnError::BadInput {
                 layer: "batchnorm",
                 expected: format!("[batch, {}·P]", self.channels),

@@ -95,12 +95,11 @@ pub fn check_layer(
 
     // --- Parameter coordinates ---
     let mut param_errs = Vec::new();
-    let n_params = param_grads.len();
-    for pi in 0..n_params {
-        let count = param_grads[pi].numel();
+    for (pi, param_grad) in param_grads.iter().enumerate() {
+        let count = param_grad.numel();
         let stride = (count / max_coords.max(1)).max(1);
         for i in (0..count).step_by(stride) {
-            let analytic = param_grads[pi].data()[i];
+            let analytic = param_grad.data()[i];
             // Perturb parameter pi[i] in place via the visitor.
             let perturb = |layer: &mut dyn Layer, delta: f32| {
                 let mut k = 0usize;

@@ -108,6 +108,31 @@ pub fn load_params(layer: &mut dyn Layer, flat: &[f32]) -> Result<()> {
     Ok(())
 }
 
+/// Loads a flat gradient vector produced by [`flatten_grads`] — how a
+/// server materializes a client update received over the wire back
+/// into a model's gradient slots.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::ParamLength`] if `flat` has the wrong
+/// length.
+pub fn load_grads(layer: &mut dyn Layer, flat: &[f32]) -> Result<()> {
+    let expected = param_count(layer);
+    if flat.len() != expected {
+        return Err(crate::NnError::ParamLength {
+            len: flat.len(),
+            expected,
+        });
+    }
+    let mut offset = 0usize;
+    layer.visit_params(&mut |_, g| {
+        let n = g.numel();
+        g.data_mut().copy_from_slice(&flat[offset..offset + n]);
+        offset += n;
+    });
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +156,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut a = Linear::new(3, 2, &mut rng);
         assert!(load_params(&mut a, &[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn load_grads_round_trips_flatten_grads() {
+        use crate::Mode;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        l.backward(&Tensor::ones(y.dims())).unwrap();
+        let grads = flatten_grads(&mut l);
+        l.zero_grad();
+        load_grads(&mut l, &grads).unwrap();
+        assert_eq!(flatten_grads(&mut l), grads);
+        assert!(load_grads(&mut l, &[0.0; 3]).is_err());
     }
 
     #[test]

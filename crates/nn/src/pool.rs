@@ -25,7 +25,7 @@ impl MaxPool2 {
     /// Panics if `h` or `w` is odd.
     pub fn new(channels: usize, h: usize, w: usize) -> Self {
         assert!(
-            h % 2 == 0 && w % 2 == 0,
+            h.is_multiple_of(2) && w.is_multiple_of(2),
             "MaxPool2 requires even spatial dims"
         );
         MaxPool2 {
@@ -140,7 +140,7 @@ impl AvgPoolAll {
 
 impl Layer for AvgPoolAll {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        if input.rank() != 2 || input.dims()[1] % self.channels != 0 {
+        if input.rank() != 2 || !input.dims()[1].is_multiple_of(self.channels) {
             return Err(NnError::BadInput {
                 layer: "avgpool_all",
                 expected: format!("[batch, {}·P]", self.channels),

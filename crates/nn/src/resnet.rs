@@ -251,7 +251,7 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..8 {
             let v = if i % 2 == 0 { 0.9 } else { 0.1 };
-            data.extend(std::iter::repeat(v).take(64));
+            data.extend(std::iter::repeat_n(v, 64));
             labels.push(i % 2);
         }
         let x = Tensor::from_vec(data, &[8, 64]).unwrap();

@@ -49,6 +49,10 @@ pub use scale::Scale;
 pub use scenario::{Sampling, Scenario, ScenarioBuilder, ScenarioReport, TrialReport};
 pub use spec::{AttackSpec, DefenseSpec, WorkloadSpec, CAH_WEIGHT_SEED};
 
+// The wire dimensions of a scenario — re-exported so spec consumers
+// need only this crate.
+pub use oasis_wire::{CodecSpec, NetSpec};
+
 use std::fmt;
 use std::path::PathBuf;
 
@@ -59,6 +63,8 @@ pub enum ScenarioError {
     BadSpec(String),
     /// An attacked round failed.
     Attack(oasis_attacks::AttackError),
+    /// The wire layer rejected a codec or net configuration.
+    Wire(oasis_wire::WireError),
     /// Writing an artifact failed.
     Io(std::io::Error),
 }
@@ -68,6 +74,7 @@ impl fmt::Display for ScenarioError {
         match self {
             ScenarioError::BadSpec(msg) => write!(f, "bad scenario spec: {msg}"),
             ScenarioError::Attack(e) => write!(f, "attack execution failed: {e}"),
+            ScenarioError::Wire(e) => write!(f, "wire layer failed: {e}"),
             ScenarioError::Io(e) => write!(f, "artifact I/O failed: {e}"),
         }
     }
@@ -76,6 +83,12 @@ impl fmt::Display for ScenarioError {
 impl From<oasis_attacks::AttackError> for ScenarioError {
     fn from(e: oasis_attacks::AttackError) -> Self {
         ScenarioError::Attack(e)
+    }
+}
+
+impl From<oasis_wire::WireError> for ScenarioError {
+    fn from(e: oasis_wire::WireError) -> Self {
+        ScenarioError::Wire(e)
     }
 }
 
@@ -90,6 +103,7 @@ impl std::error::Error for ScenarioError {
         match self {
             ScenarioError::BadSpec(_) => None,
             ScenarioError::Attack(e) => Some(e),
+            ScenarioError::Wire(e) => Some(e),
             ScenarioError::Io(e) => Some(e),
         }
     }

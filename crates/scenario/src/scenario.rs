@@ -2,10 +2,11 @@
 //! attack × defense × workload experiment, a parallel runner, and a
 //! serializable report.
 
-use oasis_attacks::{run_attack, run_attack_with_dp, AttackOutcome};
+use oasis_attacks::{run_attack_over_wire, AttackOutcome};
 use oasis_data::{Batch, Dataset};
 use oasis_image::Image;
 use oasis_metrics::Summary;
+use oasis_wire::{CodecSpec, NetSpec, Submission};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -118,6 +119,14 @@ pub struct Scenario {
     pub sampling: Sampling,
     /// PSNR threshold (dB) above which a sample counts as leaked.
     pub leak_threshold_db: f64,
+    /// Update codec the victim's upload crosses (default `raw`, which
+    /// reproduces the in-process numbers bit-exactly).
+    #[serde(default)]
+    pub codec: CodecSpec,
+    /// Simulated network between the victim and the dishonest server
+    /// (default `ideal`: no latency, no loss).
+    #[serde(default)]
+    pub net: NetSpec,
 }
 
 /// Seed of the calibration split — disjoint from every experiment
@@ -163,6 +172,12 @@ impl Scenario {
         };
         if self.sampling != default_sampling {
             s.push_str(&format!(" sampling={}", self.sampling));
+        }
+        if self.codec != CodecSpec::default() {
+            s.push_str(&format!(" codec={}", self.codec));
+        }
+        if self.net != NetSpec::default() {
+            s.push_str(&format!(" net={}", self.net));
         }
         s
     }
@@ -211,6 +226,12 @@ impl Scenario {
     /// [`oasis_tensor::parallel`]; results are deterministic for a
     /// fixed scenario regardless of thread interleaving.
     ///
+    /// Every trial's update crosses the scenario's wire: it is
+    /// encoded with the [`CodecSpec`] codec, carried by the
+    /// [`NetSpec`] simulated network, and the attacker reconstructs
+    /// from the decoded bytes — trials whose upload is lost or
+    /// straggles contribute no reconstructions (and no leaks).
+    ///
     /// # Errors
     ///
     /// Returns an error if the spec cannot be constructed (bad
@@ -235,6 +256,7 @@ impl Scenario {
         let attack = self.attack.build(&calibration, classes)?;
         let defense = self.defense.build();
         let dp = self.defense.dp_params();
+        let codec = self.codec.build();
 
         // Batches are drawn sequentially from one rng (so trial `i`
         // sees the same batch however many workers run), then the
@@ -244,40 +266,66 @@ impl Scenario {
         let outcomes: Vec<Result<AttackOutcome, ScenarioError>> =
             oasis_tensor::parallel::map_indexed(&batches, |i, batch| {
                 let trial_seed = self.seed ^ i as u64;
-                let outcome = match dp {
-                    Some((clip, noise)) => run_attack_with_dp(
-                        attack.as_ref(),
-                        batch,
-                        defense.as_ref(),
-                        classes,
-                        trial_seed,
-                        clip,
-                        noise,
-                    ),
-                    None => run_attack(
-                        attack.as_ref(),
-                        batch,
-                        defense.as_ref(),
-                        classes,
-                        trial_seed,
-                    ),
-                };
-                outcome.map_err(ScenarioError::from)
+                run_attack_over_wire(
+                    attack.as_ref(),
+                    batch,
+                    defense.as_ref(),
+                    classes,
+                    trial_seed,
+                    dp,
+                    codec.as_ref(),
+                )
+                .map_err(ScenarioError::from)
             });
 
         let mut trials = Vec::with_capacity(outcomes.len());
         let mut detailed = Vec::with_capacity(outcomes.len());
         let mut pooled = Vec::new();
+        let mut bytes_on_wire = 0u64;
+        let mut ratio_sum = 0.0f64;
         for (i, outcome) in outcomes.into_iter().enumerate() {
             let outcome = outcome?;
-            pooled.extend_from_slice(&outcome.matched_psnrs);
+            let trace = outcome
+                .wire
+                .clone()
+                .expect("attacked rounds over a codec always record a wire trace");
+
+            // Trial i is FL round i of the simulated deployment: does
+            // this victim's upload actually reach the server?
+            let traffic = self.net.deliver(
+                self.seed,
+                i as u64,
+                &[Submission {
+                    client_id: i,
+                    bytes_up: trace.encoded_bytes,
+                    bytes_down: trace.broadcast_bytes,
+                }],
+            );
+            let delivered = traffic.delivered == 1;
+            bytes_on_wire += traffic.bytes_up;
+            ratio_sum += trace.compression_ratio();
+
+            if delivered {
+                pooled.extend_from_slice(&outcome.matched_psnrs);
+            }
             trials.push(TrialReport {
                 trial: i,
                 attack_seed: self.seed ^ i as u64,
-                matched_psnrs: outcome.matched_psnrs.clone(),
-                mean_psnr: outcome.mean_psnr(),
-                leak_rate: outcome.leak_rate(self.leak_threshold_db),
+                matched_psnrs: if delivered {
+                    outcome.matched_psnrs.clone()
+                } else {
+                    Vec::new()
+                },
+                mean_psnr: if delivered { outcome.mean_psnr() } else { 0.0 },
+                leak_rate: if delivered {
+                    outcome.leak_rate(self.leak_threshold_db)
+                } else {
+                    0.0
+                },
                 client_loss: outcome.client_loss,
+                dropped: !delivered,
+                bytes_on_wire: trace.encoded_bytes,
+                sim_ms: traffic.round_ms,
             });
             detailed.push(outcome);
         }
@@ -288,8 +336,16 @@ impl Scenario {
         } else {
             trials.iter().map(|t| t.leak_rate).sum::<f64>() / trials.len() as f64
         };
+        let dropped_trials = trials.iter().filter(|t| t.dropped).count();
         let report = ScenarioReport {
             scenario: self.clone(),
+            dropped_trials,
+            bytes_on_wire,
+            compression_ratio: if trials.is_empty() {
+                1.0
+            } else {
+                ratio_sum / trials.len() as f64
+            },
             trials,
             summary,
             leak_rate,
@@ -314,6 +370,8 @@ pub struct ScenarioBuilder {
     calibration: Option<usize>,
     sampling: Option<Sampling>,
     leak_threshold_db: Option<f64>,
+    codec: CodecSpec,
+    net: NetSpec,
 }
 
 impl ScenarioBuilder {
@@ -392,6 +450,19 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the update codec the victim's upload crosses (default
+    /// `raw`).
+    pub fn codec(mut self, codec: CodecSpec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the simulated network condition (default `ideal`).
+    pub fn net(mut self, net: NetSpec) -> Self {
+        self.net = net;
+        self
+    }
+
     /// Validates and assembles the scenario.
     ///
     /// # Errors
@@ -442,6 +513,8 @@ impl ScenarioBuilder {
                 .unwrap_or_else(|| attack.default_calibration()),
             sampling,
             leak_threshold_db: self.leak_threshold_db.unwrap_or(60.0),
+            codec: self.codec,
+            net: self.net,
         })
     }
 }
@@ -461,6 +534,18 @@ pub struct TrialReport {
     pub leak_rate: f64,
     /// The client's training loss during the attacked round.
     pub client_loss: f32,
+    /// Whether the victim's upload was lost or cut off (dropped
+    /// trials contribute no reconstructions). Inverted so that
+    /// pre-wire artifacts, where the field is absent, correctly read
+    /// back as delivered.
+    #[serde(default)]
+    pub dropped: bool,
+    /// Encoded update bytes this trial put on the wire.
+    #[serde(default)]
+    pub bytes_on_wire: usize,
+    /// Simulated round wall-clock in milliseconds (0 on `ideal`).
+    #[serde(default)]
+    pub sim_ms: f64,
 }
 
 /// Everything one scenario execution produced, with full provenance:
@@ -471,15 +556,37 @@ pub struct ScenarioReport {
     pub scenario: Scenario,
     /// Per-trial results.
     pub trials: Vec<TrialReport>,
-    /// Summary over all trials' matched PSNRs (the paper's boxplots).
+    /// Summary over the delivered trials' matched PSNRs (the paper's
+    /// boxplots).
     pub summary: Summary,
-    /// Mean per-trial leak rate at the scenario threshold.
+    /// Mean per-trial leak rate at the scenario threshold (lost
+    /// trials leak nothing and count as 0).
     pub leak_rate: f64,
+    /// Trials whose upload was lost or cut off (0 for pre-wire
+    /// artifacts, which predate loss — see
+    /// [`ScenarioReport::delivered_trials`]).
+    #[serde(default)]
+    pub dropped_trials: usize,
+    /// Total encoded update bytes across all trials.
+    #[serde(default)]
+    pub bytes_on_wire: u64,
+    /// Mean `raw / encoded` ratio of the scenario's codec (> 1 means
+    /// the updates were compressed; 0 marks a pre-wire artifact that
+    /// recorded no ratio).
+    #[serde(default)]
+    pub compression_ratio: f64,
     /// Wall-clock of the run in milliseconds.
     pub wall_clock_ms: f64,
 }
 
 impl ScenarioReport {
+    /// Trials whose upload reached the server. Derived (rather than
+    /// stored) so pre-wire artifacts, which carry no delivery fields,
+    /// read back as fully delivered.
+    pub fn delivered_trials(&self) -> usize {
+        self.trials.len() - self.dropped_trials
+    }
+
     /// All matched PSNRs pooled across trials.
     pub fn pooled_psnrs(&self) -> Vec<f64> {
         self.trials
@@ -504,6 +611,12 @@ impl ScenarioReport {
         );
         if s.dataset_seed != s.seed {
             raw.push_str(&format!("_ds{}", s.dataset_seed));
+        }
+        if s.codec != CodecSpec::default() {
+            raw.push_str(&format!("_c{}", s.codec));
+        }
+        if s.net != NetSpec::default() {
+            raw.push_str(&format!("_n{}", s.net));
         }
         raw.push_str(".json");
         raw.chars()
@@ -542,7 +655,20 @@ impl fmt::Display for ScenarioReport {
             self.leak_rate * 100.0,
             self.scenario.leak_threshold_db,
             self.wall_clock_ms
-        )
+        )?;
+        if self.scenario.codec != CodecSpec::default() || self.scenario.net != NetSpec::default() {
+            write!(
+                f,
+                "\n  wire: codec={} ({:.1}x) net={}   {} B up   delivered {}/{}",
+                self.scenario.codec,
+                self.compression_ratio,
+                self.scenario.net,
+                self.bytes_on_wire,
+                self.delivered_trials(),
+                self.trials.len(),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -574,6 +700,86 @@ mod tests {
         assert_eq!(s.dataset_seed, s.seed);
         assert_eq!(s.calibration, 256);
         assert_eq!(s.sampling, Sampling::Uniform);
+        assert_eq!(s.codec, CodecSpec::Raw);
+        assert_eq!(s.net, NetSpec::Ideal);
+    }
+
+    #[test]
+    fn raw_ideal_wire_reproduces_in_process_numbers_exactly() {
+        // The acceptance bar: running through the full
+        // encode → transport → decode path with the lossless codec and
+        // the ideal network must yield the same PSNRs as calling the
+        // attack harness in-process.
+        let scenario = tiny();
+        let report = scenario.run().unwrap();
+        let attack = scenario
+            .attack
+            .build(&scenario.calibration_images(), 100)
+            .unwrap();
+        let defense = scenario.defense.build();
+        for (i, batch) in scenario.trial_batches().iter().enumerate() {
+            let outcome = oasis_attacks::run_attack(
+                attack.as_ref(),
+                batch,
+                defense.as_ref(),
+                100,
+                scenario.seed ^ i as u64,
+            )
+            .unwrap();
+            assert_eq!(report.trials[i].matched_psnrs, outcome.matched_psnrs);
+        }
+        assert_eq!(report.delivered_trials(), report.trials.len());
+        assert_eq!(report.dropped_trials, 0);
+        assert!(report.bytes_on_wire > 0);
+        assert!(report.trials.iter().all(|t| !t.dropped && t.sim_ms == 0.0));
+    }
+
+    #[test]
+    fn lossy_codec_degrades_reconstruction() {
+        let clean = tiny().run().unwrap();
+        let mut lossy_scenario = tiny();
+        lossy_scenario.codec = CodecSpec::Sign;
+        let lossy = lossy_scenario.run().unwrap();
+        assert!(
+            lossy.mean_psnr() < clean.mean_psnr(),
+            "sign codec should degrade the attack: {} vs {}",
+            lossy.mean_psnr(),
+            clean.mean_psnr()
+        );
+        assert!(
+            lossy.compression_ratio > 10.0,
+            "{}",
+            lossy.compression_ratio
+        );
+        assert!(lossy.bytes_on_wire < clean.bytes_on_wire);
+    }
+
+    #[test]
+    fn lossy_net_drops_trials_and_their_leaks() {
+        let mut scenario = tiny();
+        scenario.trials = 8;
+        scenario.net = "sim:10,100,0.6".parse().unwrap();
+        let report = scenario.run().unwrap();
+        assert_eq!(report.delivered_trials() + report.dropped_trials, 8);
+        assert!(report.dropped_trials > 0, "p=0.6 over 8 trials");
+        for t in &report.trials {
+            assert!(t.bytes_on_wire > 0);
+            if !t.dropped {
+                assert!(t.sim_ms > 0.0, "delivered trials take simulated time");
+            } else {
+                assert!(t.matched_psnrs.is_empty());
+                assert_eq!(t.leak_rate, 0.0);
+            }
+        }
+        assert_eq!(
+            report.summary.count,
+            report
+                .trials
+                .iter()
+                .filter(|t| !t.dropped)
+                .map(|t| t.matched_psnrs.len())
+                .sum::<usize>()
+        );
     }
 
     #[test]
@@ -656,16 +862,33 @@ mod tests {
         ] {
             assert!(s.contains(needle), "`{s}` missing `{needle}`");
         }
+        // Default wire axes are elided...
+        assert!(!s.contains("codec="), "{s}");
+        assert!(!s.contains("net="), "{s}");
+        // ...and named once set.
+        let mut wired = tiny();
+        wired.codec = CodecSpec::TopK { k: 64 };
+        wired.net = "sim:10,1,0.1".parse().unwrap();
+        let s = wired.spec_string();
+        assert!(s.contains("codec=topk:64"), "{s}");
+        assert!(s.contains("net=sim:10,1,0.1"), "{s}");
     }
 
     #[test]
     fn file_name_has_no_spec_punctuation() {
-        let report = tiny().run().unwrap();
+        let mut scenario = tiny();
+        scenario.codec = CodecSpec::TopK { k: 64 };
+        scenario.net = "sim:10,1,0.1".parse().unwrap();
+        let report = scenario.run().unwrap();
         let name = report.file_name();
         assert!(
             !name.contains(':') && !name.contains(',') && !name.contains('+'),
             "{name}"
         );
+        assert!(name.contains("topk-64"), "{name}");
         assert!(name.ends_with(".json"));
+        // Default-wire file names keep their pre-wire form so old
+        // artifacts are overwritten in place, not duplicated.
+        assert!(!tiny().run().unwrap().file_name().contains("_craw"));
     }
 }

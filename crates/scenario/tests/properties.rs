@@ -3,7 +3,7 @@
 //! run-level determinism.
 
 use oasis_augment::PolicyKind;
-use oasis_scenario::{AttackSpec, DefenseSpec, Sampling, Scale, Scenario, WorkloadSpec};
+use oasis_scenario::{AttackSpec, DefenseSpec, Scale, Scenario, WorkloadSpec};
 use proptest::prelude::*;
 
 /// Strategy: any attack spec (neuron counts across the paper's grid,

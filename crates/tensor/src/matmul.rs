@@ -155,9 +155,9 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data()[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
+            *o = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
         }
         Tensor::from_vec(out, &[m])
     }

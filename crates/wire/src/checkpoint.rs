@@ -1,0 +1,176 @@
+//! Whole-model checkpointing in the wire tensor format: save the
+//! global model at round *k*, reload it later (or on another host),
+//! and continue training with a bit-identical trajectory.
+
+use std::path::Path;
+
+use oasis_nn::Sequential;
+
+use crate::format::{WireBuilder, WireView};
+use crate::WireError;
+
+/// The model's parameter tensors as `(name, dims, data)` in visit
+/// order — the single source of the checkpoint naming scheme
+/// (`"{layer:03}.{layer_name}.{param}"`), shared by save and load so
+/// the two can never diverge.
+fn param_entries(model: &mut Sequential) -> Vec<(String, Vec<usize>, Vec<f32>)> {
+    let mut entries = Vec::new();
+    for li in 0..model.len() {
+        let layer = model.layer_mut(li).expect("index in range");
+        let name = layer.name();
+        let mut pi = 0usize;
+        layer.visit_params(&mut |p, _| {
+            entries.push((
+                format!("{li:03}.{name}.{pi}"),
+                p.dims().to_vec(),
+                p.data().to_vec(),
+            ));
+            pi += 1;
+        });
+    }
+    entries
+}
+
+/// Serializes every parameter tensor of `model` into a wire buffer.
+/// Tensor names are `"{layer:03}.{layer_name}.{param}"` in visit
+/// order, so the buffer is self-describing and order-stable.
+pub fn model_to_bytes(model: &mut Sequential) -> Result<Vec<u8>, WireError> {
+    let mut builder = WireBuilder::new();
+    for (tensor_name, shape, data) in param_entries(model) {
+        builder.push_f32(&tensor_name, &shape, &data)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Loads a checkpoint produced by [`model_to_bytes`] into `model`.
+/// Strict: the architecture must match — same tensor names, same
+/// shapes, no extras, no omissions.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed buffers or any
+/// name/shape/count mismatch with `model`.
+pub fn load_model_bytes(model: &mut Sequential, bytes: &[u8]) -> Result<(), WireError> {
+    let view = WireView::parse(bytes)?;
+
+    // Pass 1: collect the model's expected tensor names and shapes,
+    // and validate the whole checkpoint before mutating anything.
+    let expected: Vec<(String, Vec<usize>)> = param_entries(model)
+        .into_iter()
+        .map(|(name, dims, _)| (name, dims))
+        .collect();
+    if expected.len() != view.len() {
+        return Err(WireError::Header(format!(
+            "checkpoint holds {} tensors, model expects {}",
+            view.len(),
+            expected.len()
+        )));
+    }
+    let mut loads: Vec<Vec<f32>> = Vec::with_capacity(expected.len());
+    for (tensor_name, dims) in &expected {
+        let t = view.require(tensor_name)?;
+        if &t.meta().shape != dims {
+            return Err(WireError::Header(format!(
+                "checkpoint tensor `{tensor_name}` has shape {:?}, model expects {:?}",
+                t.meta().shape,
+                dims
+            )));
+        }
+        loads.push(t.to_f32_vec()?);
+    }
+
+    // Pass 2: copy into the model, in the same visit order.
+    let mut idx = 0usize;
+    for li in 0..model.len() {
+        let layer = model.layer_mut(li).expect("index in range");
+        layer.visit_params(&mut |p, _| {
+            p.data_mut().copy_from_slice(&loads[idx]);
+            idx += 1;
+        });
+    }
+    Ok(())
+}
+
+/// Writes `model` as a wire-format checkpoint file.
+///
+/// # Errors
+///
+/// Propagates serialization and filesystem failures.
+pub fn save_model(path: impl AsRef<Path>, model: &mut Sequential) -> Result<(), WireError> {
+    let bytes = model_to_bytes(model)?;
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Loads a checkpoint file written by [`save_model`] into `model`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures and the strict checks of
+/// [`load_model_bytes`].
+pub fn load_model(path: impl AsRef<Path>, model: &mut Sequential) -> Result<(), WireError> {
+    let bytes = std::fs::read(path)?;
+    load_model_bytes(model, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_nn::{flatten_params, Linear, Relu};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new();
+        m.push(Linear::new(6, 4, &mut rng));
+        m.push(Relu::new());
+        m.push(Linear::new(4, 3, &mut rng));
+        m
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_exact() {
+        let mut a = model(1);
+        let bytes = model_to_bytes(&mut a).unwrap();
+        let mut b = model(2);
+        assert_ne!(flatten_params(&mut a), flatten_params(&mut b));
+        load_model_bytes(&mut b, &bytes).unwrap();
+        let pa = flatten_params(&mut a);
+        let pb = flatten_params(&mut b);
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(&pb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let mut a = model(1);
+        let bytes = model_to_bytes(&mut a).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut narrow = Sequential::new();
+        narrow.push(Linear::new(6, 2, &mut rng));
+        assert!(load_model_bytes(&mut narrow, &bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let mut a = model(1);
+        let mut bytes = model_to_bytes(&mut a).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        assert!(load_model_bytes(&mut a, &bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("oasis_wire_ckpt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.oasis");
+        let mut a = model(7);
+        save_model(&path, &mut a).unwrap();
+        let mut b = model(8);
+        load_model(&path, &mut b).unwrap();
+        assert_eq!(flatten_params(&mut a), flatten_params(&mut b));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,581 @@
+//! Pluggable update codecs: how a client's flat update vector becomes
+//! bytes on the wire.
+//!
+//! Every codec frames its payload in the wire tensor format of
+//! [`crate::format`], so an encoded update is self-describing and the
+//! strict format validation guards every decode. Each
+//! [`EncodedUpdate`] reports its exact byte size, making compression
+//! ratio a first-class metric of the FL loop.
+//!
+//! | spec      | scheme                                   | error bound |
+//! |-----------|------------------------------------------|-------------|
+//! | `raw`     | lossless little-endian `f32`             | bit-exact |
+//! | `q8`      | per-tensor affine int8 quantization      | ≤ `(max−min)/255 · ½` per element |
+//! | `topk:K`  | K largest-magnitude entries, rest zeroed | kept entries bit-exact, dropped entries read 0 |
+//! | `sign`    | 1-bit sign + shared mean magnitude       | sign preserved for non-zero entries |
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::format::{WireBuilder, WireView};
+use crate::WireError;
+
+/// A client update after encoding: codec provenance, the original
+/// element count, and the framed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedUpdate {
+    /// Spec string of the codec that produced the payload.
+    pub codec: String,
+    /// Element count of the original update vector.
+    pub n: usize,
+    /// Wire-format payload (see [`crate::format`]).
+    pub payload: Vec<u8>,
+}
+
+impl EncodedUpdate {
+    /// Bytes this update occupies on the wire.
+    pub fn byte_size(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Bytes the update would occupy uncompressed (`4·n`).
+    pub fn raw_byte_size(&self) -> usize {
+        self.n * 4
+    }
+
+    /// `raw / encoded` — > 1 means the codec compresses.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.payload.is_empty() {
+            return 1.0;
+        }
+        self.raw_byte_size() as f64 / self.payload.len() as f64
+    }
+}
+
+/// Encodes and decodes flat update vectors (the `G_j` of paper Eq. 1)
+/// for transmission.
+pub trait UpdateCodec: Send + Sync {
+    /// The spec this codec implements.
+    fn spec(&self) -> CodecSpec;
+
+    /// Encodes a flat update vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Codec`] when the input cannot be encoded
+    /// (e.g. non-finite values in a quantizing codec).
+    fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError>;
+
+    /// Decodes an encoded update back into a flat vector of the
+    /// original length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed payloads — never panics.
+    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError>;
+}
+
+/// A codec choice, as a value. Spec grammar (round-tripping through
+/// `Display` / `FromStr`): `raw` · `q8` · `topk:K` · `sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecSpec {
+    /// Lossless `f32` (the default; reproduces the in-process loop
+    /// bit-exactly).
+    #[default]
+    Raw,
+    /// Per-tensor affine int8 quantization.
+    Q8,
+    /// Magnitude sparsification keeping the `k` largest entries.
+    TopK {
+        /// How many entries survive.
+        k: usize,
+    },
+    /// 1-bit sign-SGD style compression.
+    Sign,
+}
+
+impl CodecSpec {
+    /// Constructs the codec behind this spec.
+    pub fn build(&self) -> Box<dyn UpdateCodec> {
+        match *self {
+            CodecSpec::Raw => Box::new(RawCodec),
+            CodecSpec::Q8 => Box::new(Q8Codec),
+            CodecSpec::TopK { k } => Box::new(TopKCodec { k }),
+            CodecSpec::Sign => Box::new(SignCodec),
+        }
+    }
+
+    /// Whether decode(encode(x)) == x for every finite input.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, CodecSpec::Raw)
+    }
+}
+
+impl fmt::Display for CodecSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecSpec::Raw => f.write_str("raw"),
+            CodecSpec::Q8 => f.write_str("q8"),
+            CodecSpec::TopK { k } => write!(f, "topk:{k}"),
+            CodecSpec::Sign => f.write_str("sign"),
+        }
+    }
+}
+
+impl FromStr for CodecSpec {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once(':') {
+            None => match s {
+                "raw" => Ok(CodecSpec::Raw),
+                "q8" => Ok(CodecSpec::Q8),
+                "sign" => Ok(CodecSpec::Sign),
+                other => Err(WireError::Codec(format!(
+                    "unknown codec `{other}` (expected raw, q8, topk:K, or sign)"
+                ))),
+            },
+            Some(("topk", k)) => {
+                let k: usize = k
+                    .trim()
+                    .parse()
+                    .map_err(|_| WireError::Codec(format!("bad K `{k}` in `topk:` codec")))?;
+                if k == 0 {
+                    return Err(WireError::Codec("topk needs K ≥ 1".into()));
+                }
+                Ok(CodecSpec::TopK { k })
+            }
+            Some((other, _)) => Err(WireError::Codec(format!(
+                "unknown codec `{other}` (expected raw, q8, topk:K, or sign)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for CodecSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for CodecSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("codec spec", value))?;
+        s.parse()
+            .map_err(|e: WireError| serde::Error::msg(e.to_string()))
+    }
+}
+
+fn parse_payload(encoded: &EncodedUpdate) -> Result<WireView<'_>, WireError> {
+    WireView::parse(&encoded.payload)
+}
+
+// ---------------------------------------------------------------------
+// raw
+// ---------------------------------------------------------------------
+
+/// Lossless `f32` transport: `decode ∘ encode` is bit-exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawCodec;
+
+impl UpdateCodec for RawCodec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::Raw
+    }
+
+    fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        let mut b = WireBuilder::new();
+        b.push_f32("update", &[update.len()], update)?;
+        Ok(EncodedUpdate {
+            codec: self.spec().to_string(),
+            n: update.len(),
+            payload: b.finish(),
+        })
+    }
+
+    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+        let view = parse_payload(encoded)?;
+        let values = view.require("update")?.to_f32_vec()?;
+        check_len(&values, encoded.n)?;
+        Ok(values)
+    }
+}
+
+// ---------------------------------------------------------------------
+// q8
+// ---------------------------------------------------------------------
+
+/// Per-tensor affine int8 quantization: the update range `[min, max]`
+/// is split into 255 levels; each element becomes one byte plus a
+/// shared `(min, scale)` pair. Worst-case error per element is half a
+/// level, `(max − min)/255 · ½`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Q8Codec;
+
+impl UpdateCodec for Q8Codec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::Q8
+    }
+
+    fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        if update.iter().any(|v| !v.is_finite()) {
+            return Err(WireError::Codec("q8 requires finite values".into()));
+        }
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in update {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if update.is_empty() {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        // The range arithmetic runs in f64: `hi − lo` can overflow
+        // f32 (e.g. MAX..−MAX), which would poison every level with
+        // inf/NaN while the finite-input guard still passes.
+        let range = f64::from(hi) - f64::from(lo);
+        let scale = if range > 0.0 { range / 255.0 } else { 0.0 };
+        let q: Vec<u8> = update
+            .iter()
+            .map(|&v| {
+                if scale == 0.0 {
+                    0
+                } else {
+                    (((f64::from(v) - f64::from(lo)) / scale).round() as i32).clamp(0, 255) as u8
+                }
+            })
+            .collect();
+        let mut b = WireBuilder::new();
+        b.push("q", crate::Dtype::U8, &[q.len()], &q)?;
+        b.push_f32("affine", &[2], &[lo, scale as f32])?;
+        Ok(EncodedUpdate {
+            codec: self.spec().to_string(),
+            n: update.len(),
+            payload: b.finish(),
+        })
+    }
+
+    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+        let view = parse_payload(encoded)?;
+        let affine = view.require("affine")?.to_f32_vec()?;
+        let [lo, scale] = affine[..] else {
+            return Err(WireError::Codec(format!(
+                "q8 affine tensor has {} values, expected 2",
+                affine.len()
+            )));
+        };
+        // Dequantize in f64 and clamp into f32's finite range: for
+        // extreme updates `lo + 255·scale` can land one rounding step
+        // past f32::MAX, and the decoder must never emit inf/NaN.
+        let values: Vec<f32> = view
+            .require("q")?
+            .to_u8_slice()?
+            .iter()
+            .map(|&q| {
+                let v = f64::from(lo) + f64::from(scale) * f64::from(q);
+                v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32
+            })
+            .collect();
+        check_len(&values, encoded.n)?;
+        Ok(values)
+    }
+}
+
+// ---------------------------------------------------------------------
+// topk
+// ---------------------------------------------------------------------
+
+/// Magnitude sparsification: only the `k` largest-|·| entries travel
+/// (as `(u32 index, f32 value)` pairs); the decoder reads zeros
+/// elsewhere. Kept entries are bit-exact.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKCodec {
+    /// How many entries survive (clamped to the update length).
+    pub k: usize,
+}
+
+impl UpdateCodec for TopKCodec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::TopK { k: self.k }
+    }
+
+    fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        let k = self.k.min(update.len());
+        // Linear-time selection of the k largest magnitudes (with a
+        // deterministic index tiebreak) instead of a full O(n log n)
+        // sort — this runs on every client every round.
+        let magnitude_desc = |&a: &usize, &b: &usize| {
+            f32::total_cmp(&update[b].abs(), &update[a].abs()).then(a.cmp(&b))
+        };
+        let mut kept: Vec<usize> = (0..update.len()).collect();
+        if k < kept.len() {
+            kept.select_nth_unstable_by(k, magnitude_desc);
+            kept.truncate(k);
+        }
+        kept.sort_unstable();
+        let indices: Vec<u32> = kept
+            .iter()
+            .map(|&i| {
+                u32::try_from(i)
+                    .map_err(|_| WireError::Codec(format!("index {i} exceeds u32 (topk)")))
+            })
+            .collect::<Result<_, _>>()?;
+        let values: Vec<f32> = kept.iter().map(|&i| update[i]).collect();
+        let mut b = WireBuilder::new();
+        b.push_u32("idx", &[k], &indices)?;
+        b.push_f32("val", &[k], &values)?;
+        Ok(EncodedUpdate {
+            codec: self.spec().to_string(),
+            n: update.len(),
+            payload: b.finish(),
+        })
+    }
+
+    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+        let view = parse_payload(encoded)?;
+        let indices = view.require("idx")?.to_u32_vec()?;
+        let values = view.require("val")?.to_f32_vec()?;
+        if indices.len() != values.len() {
+            return Err(WireError::Codec(format!(
+                "topk payload has {} indices but {} values",
+                indices.len(),
+                values.len()
+            )));
+        }
+        let mut out = vec![0.0f32; encoded.n];
+        for (&i, &v) in indices.iter().zip(&values) {
+            let slot = out.get_mut(i as usize).ok_or_else(|| {
+                WireError::Codec(format!("topk index {i} out of range for n={}", encoded.n))
+            })?;
+            *slot = v;
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// sign
+// ---------------------------------------------------------------------
+
+/// 1-bit sign-SGD style compression: one sign bit per element plus a
+/// single shared magnitude (the mean |·| of the update). Decoded
+/// entries are `±magnitude` with the original sign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignCodec;
+
+impl UpdateCodec for SignCodec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::Sign
+    }
+
+    fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        if update.iter().any(|v| !v.is_finite()) {
+            return Err(WireError::Codec("sign requires finite values".into()));
+        }
+        let mut bits = vec![0u8; update.len().div_ceil(8)];
+        for (i, &v) in update.iter().enumerate() {
+            if v.is_sign_positive() {
+                bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        // f64 accumulation keeps the shared magnitude deterministic
+        // and accurate for long updates.
+        let mag = if update.is_empty() {
+            0.0
+        } else {
+            (update.iter().map(|&v| f64::from(v.abs())).sum::<f64>() / update.len() as f64) as f32
+        };
+        let mut b = WireBuilder::new();
+        b.push("bits", crate::Dtype::U8, &[bits.len()], &bits)?;
+        b.push_f32("mag", &[1], &[mag])?;
+        Ok(EncodedUpdate {
+            codec: self.spec().to_string(),
+            n: update.len(),
+            payload: b.finish(),
+        })
+    }
+
+    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+        let view = parse_payload(encoded)?;
+        let bits_tensor = view.require("bits")?;
+        let bits = bits_tensor.to_u8_slice()?;
+        let mag_tensor = view.require("mag")?.to_f32_vec()?;
+        let [mag] = mag_tensor[..] else {
+            return Err(WireError::Codec(format!(
+                "sign magnitude tensor has {} values, expected 1",
+                mag_tensor.len()
+            )));
+        };
+        if bits.len() < encoded.n.div_ceil(8) {
+            return Err(WireError::Codec(format!(
+                "sign payload has {} bit-bytes, n={} needs {}",
+                bits.len(),
+                encoded.n,
+                encoded.n.div_ceil(8)
+            )));
+        }
+        Ok((0..encoded.n)
+            .map(|i| {
+                if bits[i / 8] & (1 << (i % 8)) != 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect())
+    }
+}
+
+fn check_len(values: &[f32], n: usize) -> Result<(), WireError> {
+    if values.len() != n {
+        return Err(WireError::Codec(format!(
+            "decoded {} elements, update frame says {n}",
+            values.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f32> {
+        vec![0.5, -1.25, 3.0, 0.0, -0.125, 2.75, -3.5, 0.03125]
+    }
+
+    #[test]
+    fn raw_is_bit_exact() {
+        let x = sample();
+        let enc = RawCodec.encode(&x).unwrap();
+        assert_eq!(enc.raw_byte_size(), x.len() * 4);
+        assert!(
+            enc.byte_size() > enc.raw_byte_size(),
+            "header adds overhead"
+        );
+        let back = RawCodec.decode(&enc).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn q8_error_within_half_level() {
+        let x = sample();
+        let enc = Q8Codec.encode(&x).unwrap();
+        let back = Q8Codec.decode(&enc).unwrap();
+        let (lo, hi) = (-3.5f32, 3.0f32);
+        let bound = (hi - lo) / 255.0 * 0.5 + 1e-6;
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn q8_constant_vector_is_exact() {
+        let x = vec![2.5f32; 10];
+        let back = Q8Codec.decode(&Q8Codec.encode(&x).unwrap()).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn q8_extreme_range_stays_finite() {
+        // hi − lo overflows f32 here; the round trip must stay finite
+        // (not NaN-poison downstream aggregation) and keep ordering.
+        let x = vec![f32::MAX, -f32::MAX, 0.0];
+        let back = Q8Codec.decode(&Q8Codec.encode(&x).unwrap()).unwrap();
+        assert!(back.iter().all(|v| v.is_finite()), "{back:?}");
+        assert!(back[0] > back[2] && back[2] > back[1], "{back:?}");
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes_exactly() {
+        let x = sample();
+        let codec = TopKCodec { k: 3 };
+        let back = codec.decode(&codec.encode(&x).unwrap()).unwrap();
+        assert_eq!(back, vec![0.0, 0.0, 3.0, 0.0, 0.0, 2.75, -3.5, 0.0]);
+    }
+
+    #[test]
+    fn topk_compresses() {
+        let x = vec![1.0f32; 1000];
+        let enc = TopKCodec { k: 10 }.encode(&x).unwrap();
+        assert!(
+            enc.compression_ratio() > 10.0,
+            "{}",
+            enc.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn sign_preserves_signs_with_shared_magnitude() {
+        let x = sample();
+        let enc = SignCodec.encode(&x).unwrap();
+        let back = SignCodec.decode(&enc).unwrap();
+        let mag = x.iter().map(|v| v.abs()).sum::<f32>() / x.len() as f32;
+        for (a, b) in x.iter().zip(&back) {
+            assert!((b.abs() - mag).abs() < 1e-5);
+            if *a != 0.0 {
+                assert_eq!(a.is_sign_positive(), b.is_sign_positive(), "{a} vs {b}");
+            }
+        }
+        // On a long update the 1-bit encoding approaches 32× compression.
+        let long: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
+        let enc = SignCodec.encode(&long).unwrap();
+        assert!(
+            enc.compression_ratio() > 20.0,
+            "{}",
+            enc.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        for spec in [
+            CodecSpec::Raw,
+            CodecSpec::Q8,
+            CodecSpec::TopK { k: 128 },
+            CodecSpec::Sign,
+        ] {
+            assert_eq!(spec.to_string().parse::<CodecSpec>().unwrap(), spec);
+        }
+        for bad in ["gzip", "topk", "topk:0", "topk:x", "q8:1"] {
+            assert!(
+                bad.parse::<CodecSpec>().is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn decoding_foreign_payload_errors_not_panics() {
+        let enc = RawCodec.encode(&sample()).unwrap();
+        // Feed the raw payload to the wrong decoders.
+        assert!(Q8Codec.decode(&enc).is_err());
+        assert!(SignCodec.decode(&enc).is_err());
+        // Truncate the payload.
+        let cut = EncodedUpdate {
+            payload: enc.payload[..enc.payload.len() - 3].to_vec(),
+            ..enc.clone()
+        };
+        assert!(RawCodec.decode(&cut).is_err());
+    }
+
+    #[test]
+    fn empty_updates_round_trip() {
+        for spec in [
+            CodecSpec::Raw,
+            CodecSpec::Q8,
+            CodecSpec::TopK { k: 4 },
+            CodecSpec::Sign,
+        ] {
+            let codec = spec.build();
+            let enc = codec.encode(&[]).unwrap();
+            assert_eq!(codec.decode(&enc).unwrap(), Vec::<f32>::new());
+        }
+    }
+}

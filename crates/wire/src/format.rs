@@ -1,0 +1,547 @@
+//! The wire tensor format: a safetensors-inspired binary layout for
+//! named tensors.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [ u64: header byte length N ][ N bytes: JSON header ][ payload bytes ]
+//! ```
+//!
+//! The JSON header lists every tensor in payload order — name, dtype,
+//! shape, and `[start, end)` byte offsets into the payload. Parsing is
+//! **strict**: offsets must be contiguous from zero and cover the
+//! payload exactly, shapes must match their byte extents, names must
+//! be unique, and every violation is a [`WireError`] — never a panic.
+//! Parsing is also **zero-copy**: a [`WireView`] only borrows the
+//! buffer; tensor bytes are sliced, not copied, until a typed
+//! conversion such as [`TensorView::to_f32_vec`] is requested.
+
+use serde::{Deserialize, Serialize};
+
+use crate::WireError;
+
+/// Element type of a wire tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dtype {
+    /// 32-bit IEEE-754 float, little-endian.
+    F32,
+    /// Unsigned byte.
+    U8,
+    /// 32-bit unsigned integer, little-endian.
+    U32,
+}
+
+impl Dtype {
+    /// Bytes per element.
+    pub fn size(&self) -> usize {
+        match self {
+            Dtype::F32 | Dtype::U32 => 4,
+            Dtype::U8 => 1,
+        }
+    }
+
+    /// The header tag ("f32", "u8", "u32").
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::U8 => "u8",
+            Dtype::U32 => "u32",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, WireError> {
+        match s {
+            "f32" => Ok(Dtype::F32),
+            "u8" => Ok(Dtype::U8),
+            "u32" => Ok(Dtype::U32),
+            other => Err(WireError::Header(format!("unknown dtype `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Dtype {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for Dtype {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("dtype string", value))?;
+        Dtype::parse(s).map_err(|e| serde::Error::msg(e.to_string()))
+    }
+}
+
+/// One tensor's header entry: name, dtype, shape, and its `[start,
+/// end)` byte extent within the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorMeta {
+    /// Unique tensor name.
+    pub name: String,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Dimensions (empty = scalar).
+    pub shape: Vec<usize>,
+    /// `[start, end)` byte offsets into the payload.
+    pub offsets: (usize, usize),
+}
+
+impl TensorMeta {
+    /// Number of elements (product of the shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] on arithmetic overflow.
+    pub fn numel(&self) -> Result<usize, WireError> {
+        self.shape.iter().try_fold(1usize, |acc, &d| {
+            acc.checked_mul(d)
+                .ok_or_else(|| WireError::Header(format!("shape overflow in `{}`", self.name)))
+        })
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    version: u32,
+    tensors: Vec<TensorMeta>,
+}
+
+/// Format version written by this crate.
+const WIRE_VERSION: u32 = 1;
+
+/// Hard cap on the JSON header size: a malformed length prefix must
+/// not drive a huge allocation.
+const MAX_HEADER_BYTES: usize = 16 << 20;
+
+/// Incrementally assembles a wire buffer (header + payload).
+///
+/// ```
+/// use oasis_wire::{Dtype, WireBuilder, WireView};
+///
+/// let mut b = WireBuilder::new();
+/// b.push_f32("update", &[3], &[1.0, -2.0, 0.5]).unwrap();
+/// let bytes = b.finish();
+/// let view = WireView::parse(&bytes).unwrap();
+/// assert_eq!(view.tensor("update").unwrap().to_f32_vec().unwrap(), vec![1.0, -2.0, 0.5]);
+/// ```
+#[derive(Debug, Default)]
+pub struct WireBuilder {
+    tensors: Vec<TensorMeta>,
+    payload: Vec<u8>,
+}
+
+impl WireBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        WireBuilder::default()
+    }
+
+    /// Appends a tensor of raw `bytes` with the given dtype and shape.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names and byte lengths that disagree with
+    /// `shape × dtype`.
+    pub fn push(
+        &mut self,
+        name: &str,
+        dtype: Dtype,
+        shape: &[usize],
+        bytes: &[u8],
+    ) -> Result<&mut Self, WireError> {
+        if self.tensors.iter().any(|t| t.name == name) {
+            return Err(WireError::Header(format!("duplicate tensor name `{name}`")));
+        }
+        let meta = TensorMeta {
+            name: name.to_owned(),
+            dtype,
+            shape: shape.to_vec(),
+            offsets: (0, 0),
+        };
+        let expected = meta
+            .numel()?
+            .checked_mul(dtype.size())
+            .ok_or_else(|| WireError::Header(format!("byte-size overflow in `{name}`")))?;
+        if bytes.len() != expected {
+            return Err(WireError::Header(format!(
+                "tensor `{name}` has {} bytes, shape {:?} ({}) needs {expected}",
+                bytes.len(),
+                shape,
+                dtype.as_str(),
+            )));
+        }
+        let start = self.payload.len();
+        self.payload.extend_from_slice(bytes);
+        self.tensors.push(TensorMeta {
+            offsets: (start, self.payload.len()),
+            ..meta
+        });
+        Ok(self)
+    }
+
+    /// Appends an `f32` tensor, encoding little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WireBuilder::push`].
+    pub fn push_f32(
+        &mut self,
+        name: &str,
+        shape: &[usize],
+        values: &[f32],
+    ) -> Result<&mut Self, WireError> {
+        self.push(name, Dtype::F32, shape, &f32s_to_le_bytes(values))
+    }
+
+    /// Appends a `u32` tensor, encoding little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WireBuilder::push`].
+    pub fn push_u32(
+        &mut self,
+        name: &str,
+        shape: &[usize],
+        values: &[u32],
+    ) -> Result<&mut Self, WireError> {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push(name, Dtype::U32, shape, &bytes)
+    }
+
+    /// Serializes the header + payload into the final buffer.
+    pub fn finish(self) -> Vec<u8> {
+        let header = Header {
+            version: WIRE_VERSION,
+            tensors: self.tensors,
+        };
+        let json = serde_json::to_string(&header).expect("header serialization is infallible");
+        let mut out = Vec::with_capacity(8 + json.len() + self.payload.len());
+        out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        out.extend_from_slice(json.as_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// A zero-copy view over a parsed wire buffer.
+#[derive(Debug)]
+pub struct WireView<'a> {
+    tensors: Vec<TensorMeta>,
+    payload: &'a [u8],
+}
+
+impl<'a> WireView<'a> {
+    /// Parses and strictly validates a wire buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] for any malformed header
+    /// (truncated length prefix, non-UTF-8 or non-JSON header, unknown
+    /// dtype, duplicate names, non-contiguous or out-of-bounds
+    /// offsets, shape/extent mismatch) and [`WireError::Payload`] when
+    /// the payload does not match the header's extents.
+    pub fn parse(buffer: &'a [u8]) -> Result<Self, WireError> {
+        if buffer.len() < 8 {
+            return Err(WireError::Header(format!(
+                "buffer of {} bytes is shorter than the 8-byte length prefix",
+                buffer.len()
+            )));
+        }
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&buffer[..8]);
+        let header_len = u64::from_le_bytes(len_bytes);
+        let header_len = usize::try_from(header_len)
+            .ok()
+            .filter(|&n| n <= MAX_HEADER_BYTES)
+            .ok_or_else(|| WireError::Header(format!("header length {header_len} out of range")))?;
+        let body = &buffer[8..];
+        if body.len() < header_len {
+            return Err(WireError::Header(format!(
+                "header claims {header_len} bytes but only {} remain",
+                body.len()
+            )));
+        }
+        let json = std::str::from_utf8(&body[..header_len])
+            .map_err(|_| WireError::Header("header is not valid UTF-8".into()))?;
+        let header: Header = serde_json::from_str(json)
+            .map_err(|e| WireError::Header(format!("header is not a valid wire header: {e}")))?;
+        if header.version != WIRE_VERSION {
+            return Err(WireError::Header(format!(
+                "unsupported wire version {} (this build reads {WIRE_VERSION})",
+                header.version
+            )));
+        }
+        let payload = &body[header_len..];
+
+        // Strict layout validation: tensors tile the payload exactly,
+        // in order, with extents matching their shapes.
+        let mut cursor = 0usize;
+        for meta in &header.tensors {
+            let (start, end) = meta.offsets;
+            if start != cursor {
+                return Err(WireError::Header(format!(
+                    "tensor `{}` starts at {start}, expected {cursor} (offsets must be contiguous)",
+                    meta.name
+                )));
+            }
+            if end < start || end > payload.len() {
+                return Err(WireError::Payload(format!(
+                    "tensor `{}` extent [{start}, {end}) exceeds payload of {} bytes",
+                    meta.name,
+                    payload.len()
+                )));
+            }
+            let expected = meta
+                .numel()?
+                .checked_mul(meta.dtype.size())
+                .ok_or_else(|| {
+                    WireError::Header(format!("byte-size overflow in `{}`", meta.name))
+                })?;
+            if end - start != expected {
+                return Err(WireError::Header(format!(
+                    "tensor `{}` occupies {} bytes but shape {:?} ({}) needs {expected}",
+                    meta.name,
+                    end - start,
+                    meta.shape,
+                    meta.dtype.as_str(),
+                )));
+            }
+            if header
+                .tensors
+                .iter()
+                .filter(|t| t.name == meta.name)
+                .count()
+                > 1
+            {
+                return Err(WireError::Header(format!(
+                    "duplicate tensor name `{}`",
+                    meta.name
+                )));
+            }
+            cursor = end;
+        }
+        if cursor != payload.len() {
+            return Err(WireError::Payload(format!(
+                "payload has {} bytes but tensors cover {cursor} (trailing bytes rejected)",
+                payload.len()
+            )));
+        }
+        Ok(WireView {
+            tensors: header.tensors,
+            payload,
+        })
+    }
+
+    /// Number of tensors in the buffer.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the buffer holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// All tensors in payload order.
+    pub fn tensors(&self) -> impl Iterator<Item = TensorView<'a, '_>> {
+        self.tensors.iter().map(|meta| TensorView {
+            meta,
+            bytes: &self.payload[meta.offsets.0..meta.offsets.1],
+        })
+    }
+
+    /// Looks a tensor up by name.
+    pub fn tensor(&self, name: &str) -> Option<TensorView<'a, '_>> {
+        self.tensors
+            .iter()
+            .find(|t| t.name == name)
+            .map(|meta| TensorView {
+                meta,
+                bytes: &self.payload[meta.offsets.0..meta.offsets.1],
+            })
+    }
+
+    /// Like [`WireView::tensor`] but a missing name is a
+    /// [`WireError::Header`] — for decoders that require the entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] when `name` is absent.
+    pub fn require(&self, name: &str) -> Result<TensorView<'a, '_>, WireError> {
+        self.tensor(name)
+            .ok_or_else(|| WireError::Header(format!("missing tensor `{name}`")))
+    }
+}
+
+/// A borrowed view of one tensor's metadata and payload bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorView<'a, 'm> {
+    meta: &'m TensorMeta,
+    bytes: &'a [u8],
+}
+
+impl TensorView<'_, '_> {
+    /// The tensor's header entry.
+    pub fn meta(&self) -> &TensorMeta {
+        self.meta
+    }
+
+    /// The raw payload bytes (zero-copy slice of the parsed buffer).
+    pub fn bytes(&self) -> &[u8] {
+        self.bytes
+    }
+
+    /// Decodes the payload as little-endian `f32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] when the dtype is not `f32`.
+    pub fn to_f32_vec(&self) -> Result<Vec<f32>, WireError> {
+        self.expect_dtype(Dtype::F32)?;
+        Ok(le_bytes_to_f32s(self.bytes))
+    }
+
+    /// Decodes the payload as little-endian `u32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] when the dtype is not `u32`.
+    pub fn to_u32_vec(&self) -> Result<Vec<u32>, WireError> {
+        self.expect_dtype(Dtype::U32)?;
+        Ok(self
+            .bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// The payload as bytes, checked to be dtype `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] when the dtype is not `u8`.
+    pub fn to_u8_slice(&self) -> Result<&[u8], WireError> {
+        self.expect_dtype(Dtype::U8)?;
+        Ok(self.bytes)
+    }
+
+    fn expect_dtype(&self, want: Dtype) -> Result<(), WireError> {
+        if self.meta.dtype != want {
+            return Err(WireError::Header(format!(
+                "tensor `{}` is {}, expected {}",
+                self.meta.name,
+                self.meta.dtype.as_str(),
+                want.as_str()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes `f32`s as contiguous little-endian bytes.
+pub fn f32s_to_le_bytes(values: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+/// Decodes contiguous little-endian bytes into `f32`s (bit-exact
+/// inverse of [`f32s_to_le_bytes`]).
+pub fn le_bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_tensor_buffer() -> Vec<u8> {
+        let mut b = WireBuilder::new();
+        b.push_f32("w", &[2, 2], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        b.push("mask", Dtype::U8, &[3], &[0, 1, 255]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_tensors() {
+        let bytes = one_tensor_buffer();
+        let view = WireView::parse(&bytes).unwrap();
+        assert_eq!(view.len(), 2);
+        let w = view.tensor("w").unwrap();
+        assert_eq!(w.meta().shape, vec![2, 2]);
+        assert_eq!(w.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            view.tensor("mask").unwrap().to_u8_slice().unwrap(),
+            &[0, 1, 255]
+        );
+        assert!(view.tensor("absent").is_none());
+    }
+
+    #[test]
+    fn f32_bytes_are_bit_exact() {
+        let values = [0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::MAX, -123.456];
+        let back = le_bytes_to_f32s(&f32s_to_le_bytes(&values));
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let bytes = one_tensor_buffer();
+        for cut in [0, 4, 9, bytes.len() - 1] {
+            assert!(WireView::parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = one_tensor_buffer();
+        bytes.push(0);
+        assert!(matches!(
+            WireView::parse(&bytes),
+            Err(WireError::Payload(_))
+        ));
+    }
+
+    #[test]
+    fn huge_header_length_is_rejected_without_allocating() {
+        let mut bytes = u64::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"xxxx");
+        assert!(matches!(WireView::parse(&bytes), Err(WireError::Header(_))));
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        let json = b"not json at all";
+        let mut bytes = (json.len() as u64).to_le_bytes().to_vec();
+        bytes.extend_from_slice(json);
+        assert!(matches!(WireView::parse(&bytes), Err(WireError::Header(_))));
+    }
+
+    #[test]
+    fn builder_rejects_shape_mismatch_and_duplicates() {
+        let mut b = WireBuilder::new();
+        assert!(b.push_f32("w", &[3], &[1.0]).is_err());
+        b.push_f32("w", &[1], &[1.0]).unwrap();
+        assert!(b.push_f32("w", &[1], &[2.0]).is_err());
+    }
+
+    #[test]
+    fn wrong_dtype_reads_error() {
+        let bytes = one_tensor_buffer();
+        let view = WireView::parse(&bytes).unwrap();
+        assert!(view.tensor("w").unwrap().to_u8_slice().is_err());
+        assert!(view.tensor("mask").unwrap().to_f32_vec().is_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! * [`oasis`] — the defense (the paper's contribution)
 //! * [`oasis_attacks`] — RTF / CAH / linear-model attacks and baselines
 //! * [`oasis_fl`] — the federated-learning protocol substrate
+//! * [`oasis_wire`] — serialization, update codecs, simulated transport
 //! * [`oasis_nn`] — manual-backprop neural networks
 //! * [`oasis_tensor`], [`oasis_image`], [`oasis_augment`],
 //!   [`oasis_data`], [`oasis_metrics`] — supporting substrates
@@ -23,3 +24,4 @@ pub use oasis_image;
 pub use oasis_metrics;
 pub use oasis_nn;
 pub use oasis_tensor;
+pub use oasis_wire;

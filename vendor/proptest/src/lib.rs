@@ -334,7 +334,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_picks_only_given_ranges(x in prop_oneof![(-5.0f32..-1.0), (1.0f32..5.0)]) {
+        fn oneof_picks_only_given_ranges(x in prop_oneof![-5.0f32..-1.0, 1.0f32..5.0]) {
             prop_assert!((-5.0..-1.0).contains(&x) || (1.0..5.0).contains(&x));
         }
 
