@@ -1,0 +1,106 @@
+//! `bench_compare` — the CI regression gate over `BENCH_*.json`.
+//!
+//! Diffs a current perf run against the committed baseline:
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--warn PCT] [--fail PCT]
+//! ```
+//!
+//! Exit status: 0 when every bench is within the warn threshold (or
+//! faster), 0 with warnings printed between warn and fail, 1 when any
+//! bench regressed past the fail threshold or disappeared from the
+//! suite. `tools/bench_compare` wraps this binary for CI.
+
+use std::process::ExitCode;
+
+use oasis_bench::perf::{self, BenchSuite, DeltaClass};
+
+fn load(path: &str) -> Result<BenchSuite, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut positional = Vec::new();
+    let mut warn_pct = perf::WARN_PCT;
+    let mut fail_pct = perf::FAIL_PCT;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--warn" => {
+                warn_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--warn needs a percentage")?;
+            }
+            "--fail" => {
+                fail_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--fail needs a percentage")?;
+            }
+            "--help" | "-h" => {
+                println!("bench_compare <baseline.json> <current.json> [--warn PCT] [--fail PCT]");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` (see --help)"));
+            }
+            path => positional.push(path.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err("expected exactly two files: <baseline.json> <current.json>".into());
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    if baseline.quick != current.quick || baseline.threads != current.threads {
+        println!(
+            "note: run conditions differ (baseline quick={} threads={}, \
+             current quick={} threads={}) — deltas may be noisy",
+            baseline.quick, baseline.threads, current.quick, current.threads
+        );
+    }
+    let report = perf::compare_suites(&baseline, &current, warn_pct, fail_pct)?;
+    println!(
+        "suite `{}`: {} benches vs baseline (warn >{warn_pct}%, fail >{fail_pct}%)",
+        baseline.suite,
+        report.deltas.len()
+    );
+    for d in &report.deltas {
+        match d.class {
+            DeltaClass::Missing => {
+                println!("  FAIL  {:<22} missing from current run", d.name);
+            }
+            DeltaClass::New => {
+                println!("  new   {:<22} {} ns (no baseline)", d.name, d.cur_ns);
+            }
+            class => {
+                let tag = match class {
+                    DeltaClass::Fail => "FAIL",
+                    DeltaClass::Warn => "warn",
+                    _ => "ok",
+                };
+                println!(
+                    "  {tag:<5} {:<22} {:>12} -> {:>12} ns  ({:+.1}%)",
+                    d.name, d.base_ns, d.cur_ns, d.pct
+                );
+            }
+        }
+    }
+    Ok(report.failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("bench_compare: performance regression past the fail threshold");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

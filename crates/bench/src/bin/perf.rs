@@ -1,0 +1,117 @@
+//! `perf` — the machine-readable performance record.
+//!
+//! Runs the fixed macro-benchmark suites of [`oasis_bench::perf`] and
+//! serializes one versioned `BENCH_<suite>.json` per suite (committed
+//! at the repo root as the CI regression baseline; see
+//! `tools/bench_compare`).
+//!
+//! ```text
+//! perf [--quick] [--suite core|fl|all] [--filter SUBSTR]
+//!      [--out-dir DIR] [--list]
+//! ```
+//!
+//! Set `OASIS_THREADS=1` for timings comparable across machines.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oasis_bench::perf;
+
+struct Args {
+    quick: bool,
+    suites: Vec<String>,
+    filter: Option<String>,
+    out_dir: PathBuf,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        suites: perf::SUITE_NAMES.iter().map(|s| s.to_string()).collect(),
+        filter: None,
+        out_dir: PathBuf::from("."),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--list" => args.list = true,
+            "--suite" => {
+                let v = it.next().ok_or("--suite needs a value (core|fl|all)")?;
+                if v == "all" {
+                    args.suites = perf::SUITE_NAMES.iter().map(|s| s.to_string()).collect();
+                } else if perf::suite(&v).is_some() {
+                    args.suites = vec![v];
+                } else {
+                    return Err(format!("unknown suite `{v}` (expected core, fl, or all)"));
+                }
+            }
+            "--filter" => {
+                args.filter = Some(it.next().ok_or("--filter needs a substring")?);
+            }
+            "--out-dir" => {
+                args.out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "perf [--quick] [--suite core|fl|all] [--filter SUBSTR] \
+                     [--out-dir DIR] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("perf: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for name in &args.suites {
+            let mut benches = perf::suite(name).expect("validated suite name");
+            if let Some(f) = &args.filter {
+                benches = perf::apply_filter(benches, f);
+            }
+            for b in benches {
+                println!("{name}::{}", b.name);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for name in &args.suites {
+        eprintln!(
+            "suite `{name}` (threads={}, {}):",
+            oasis_tensor::parallel::num_threads(),
+            if args.quick { "quick" } else { "full budget" },
+        );
+        let suite = perf::run_suite(name, args.filter.as_deref(), args.quick)
+            .expect("validated suite name");
+        if suite.results.is_empty() {
+            eprintln!("  (filter matched nothing — no JSON written)");
+            continue;
+        }
+        let json = serde_json::to_string_pretty(&suite).expect("schema serializes");
+        if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+            eprintln!("perf: cannot create {}: {e}", args.out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = args.out_dir.join(format!("BENCH_{name}.json"));
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("perf: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("{}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use oasis_augment::PolicyKind;
 use oasis_data::Batch;
 use oasis_fl::BatchPreprocessor;

@@ -1,0 +1,831 @@
+//! The `perf` macro-benchmark harness: a fixed, deterministic suite
+//! of hot-path measurements serialized as versioned `BENCH_<suite>.json`
+//! records that CI compares across commits.
+//!
+//! Unlike the criterion micro-benches under `benches/` (exploratory,
+//! human-read), this harness is the machine-readable performance
+//! record: every bench has a stable name, a fixed workload shape, and
+//! a self-calibrated iteration count, and the output schema
+//! round-trips through serde so `tools/bench_compare` can diff any
+//! two runs. Thread count is pinned via `OASIS_THREADS` for
+//! cross-machine comparability (the JSON records what was used).
+//!
+//! Two suites:
+//!
+//! * `core` — tensor/nn kernels: matmul / matmul_nt / matmul_tn at
+//!   model-relevant shapes, Conv2d forward+backward.
+//! * `fl` — protocol macro paths: a full [`FlServer::run_round`]
+//!   (raw and q8 wire), codec encode/decode, one RTF inversion step.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oasis_attacks::{ActiveAttack, RtfAttack};
+use oasis_data::cifar_like_with;
+use oasis_fl::{FlConfig, FlServer, ModelFactory, WireConfig};
+use oasis_nn::{Conv2d, Layer, Linear, Mode, Relu, Sequential};
+use oasis_tensor::{parallel, Tensor};
+use oasis_wire::{CodecSpec, NetSpec, Q8Codec, RawCodec, UpdateCodec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Version of the `BENCH_*.json` schema. Bump on breaking changes;
+/// `bench_compare` refuses to diff mismatched versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Stable bench name (the comparison key).
+    pub name: String,
+    /// Iterations actually timed (after self-calibration).
+    pub iters: u64,
+    /// Median wall-clock per iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Work rate derived from the median (`None` when the bench has
+    /// no natural unit).
+    pub throughput: Option<f64>,
+    /// Unit of [`BenchRecord::throughput`] (e.g. `flop/s`, `B/s`).
+    pub throughput_unit: Option<String>,
+}
+
+/// A whole suite run, as serialized to `BENCH_<suite>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSuite {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Suite name (`core` or `fl`).
+    pub suite: String,
+    /// Worker threads the run used (see `OASIS_THREADS`).
+    pub threads: usize,
+    /// Whether the run used the reduced `--quick` calibration budget.
+    pub quick: bool,
+    /// Per-bench results, in suite order.
+    pub results: Vec<BenchRecord>,
+}
+
+impl BenchSuite {
+    /// Looks up a result by bench name.
+    pub fn get(&self, name: &str) -> Option<&BenchRecord> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+/// A benchmark ready to run: an optional throughput denomination
+/// (items of `unit` completed per iteration) plus the timed closure.
+pub struct PreparedBench {
+    /// `(items_per_iter, unit)` for throughput derivation.
+    pub throughput: Option<(f64, &'static str)>,
+    /// The routine timed per iteration.
+    pub run: Box<dyn FnMut()>,
+}
+
+/// A named benchmark definition: construction is deferred so listing
+/// a suite costs nothing.
+pub struct BenchDef {
+    /// Stable name (the comparison key across commits).
+    pub name: &'static str,
+    build: fn() -> PreparedBench,
+}
+
+// ---------------------------------------------------------------------
+// Suite definitions
+// ---------------------------------------------------------------------
+
+/// The `core` suite: tensor and nn kernels at model-relevant shapes.
+///
+/// Order is fixed; names are stable comparison keys.
+pub fn core_suite() -> Vec<BenchDef> {
+    vec![
+        BenchDef {
+            name: "matmul_256",
+            build: bench_matmul_256,
+        },
+        BenchDef {
+            name: "matmul_conv_fwd",
+            build: bench_matmul_conv_fwd,
+        },
+        BenchDef {
+            name: "matmul_nt_conv_gw",
+            build: bench_matmul_nt_conv_gw,
+        },
+        BenchDef {
+            name: "matmul_tn_conv_gx",
+            build: bench_matmul_tn_conv_gx,
+        },
+        BenchDef {
+            name: "matmul_nt_linear",
+            build: bench_matmul_nt_linear,
+        },
+        BenchDef {
+            name: "conv2d_forward_b8",
+            build: bench_conv_forward_b8,
+        },
+        BenchDef {
+            name: "conv2d_backward_b8",
+            build: bench_conv_backward_b8,
+        },
+        BenchDef {
+            name: "conv2d_forward_b32",
+            build: bench_conv_forward_b32,
+        },
+    ]
+}
+
+/// The `fl` suite: protocol round, codecs, and one attack step.
+///
+/// Order is fixed; names are stable comparison keys.
+pub fn fl_suite() -> Vec<BenchDef> {
+    vec![
+        BenchDef {
+            name: "fl_round_raw",
+            build: bench_fl_round_raw,
+        },
+        BenchDef {
+            name: "fl_round_q8",
+            build: bench_fl_round_q8,
+        },
+        BenchDef {
+            name: "codec_raw_encode",
+            build: bench_codec_raw_encode,
+        },
+        BenchDef {
+            name: "codec_raw_decode",
+            build: bench_codec_raw_decode,
+        },
+        BenchDef {
+            name: "codec_q8_encode",
+            build: bench_codec_q8_encode,
+        },
+        BenchDef {
+            name: "codec_q8_decode",
+            build: bench_codec_q8_decode,
+        },
+        BenchDef {
+            name: "rtf_invert_128",
+            build: bench_rtf_invert,
+        },
+    ]
+}
+
+/// All suite names, in run order.
+pub const SUITE_NAMES: [&str; 2] = ["core", "fl"];
+
+/// The benches of the named suite (`core` or `fl`).
+pub fn suite(name: &str) -> Option<Vec<BenchDef>> {
+    match name {
+        "core" => Some(core_suite()),
+        "fl" => Some(fl_suite()),
+        _ => None,
+    }
+}
+
+/// Retains only the benches whose name contains `filter`.
+pub fn apply_filter(benches: Vec<BenchDef>, filter: &str) -> Vec<BenchDef> {
+    benches
+        .into_iter()
+        .filter(|b| b.name.contains(filter))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Self-calibrates the iteration count and times `prepared`.
+///
+/// One warmup iteration estimates the per-iter cost; the measured
+/// loop then sizes itself to roughly the time budget (`--quick`
+/// shrinks the budget, never the workload shapes, so medians stay
+/// comparable across modes — just noisier).
+pub fn run_prepared(name: &str, mut prepared: PreparedBench, quick: bool) -> BenchRecord {
+    let budget_ns: u128 = if quick { 60_000_000 } else { 400_000_000 };
+    let warmup = Instant::now();
+    (prepared.run)();
+    let est = warmup.elapsed().as_nanos().max(1);
+    let iters = (budget_ns / est).clamp(3, 1000) as u64;
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        (prepared.run)();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let median_ns = samples[samples.len() / 2].max(1);
+    let min_ns = samples[0].max(1);
+    let (throughput, throughput_unit) = match prepared.throughput {
+        Some((items, unit)) => (Some(items * 1e9 / median_ns as f64), Some(unit.to_string())),
+        None => (None, None),
+    };
+    BenchRecord {
+        name: name.to_string(),
+        iters,
+        median_ns,
+        min_ns,
+        throughput,
+        throughput_unit,
+    }
+}
+
+/// Runs a suite (optionally filtered) and collects the records.
+pub fn run_suite(name: &str, filter: Option<&str>, quick: bool) -> Option<BenchSuite> {
+    let mut benches = suite(name)?;
+    if let Some(f) = filter {
+        benches = apply_filter(benches, f);
+    }
+    let results = benches
+        .into_iter()
+        .map(|b| {
+            let rec = run_prepared(b.name, (b.build)(), quick);
+            eprintln!("  {}", format_record(&rec));
+            rec
+        })
+        .collect();
+    Some(BenchSuite {
+        schema_version: SCHEMA_VERSION,
+        suite: name.to_string(),
+        threads: parallel::num_threads(),
+        quick,
+        results,
+    })
+}
+
+/// One human-readable line per record (the JSON is the machine
+/// record).
+pub fn format_record(r: &BenchRecord) -> String {
+    let tp = match (&r.throughput, &r.throughput_unit) {
+        (Some(t), Some(u)) => format!("  {:>10.3e} {u}", t),
+        _ => String::new(),
+    };
+    format!(
+        "{:<22} median {:>12} ns  min {:>12} ns  ({} iters){tp}",
+        r.name, r.median_ns, r.min_ns, r.iters
+    )
+}
+
+// ---------------------------------------------------------------------
+// Comparison (the CI regression gate)
+// ---------------------------------------------------------------------
+
+/// Default warn threshold: median slower by more than this percent.
+pub const WARN_PCT: f64 = 10.0;
+/// Default fail threshold: median slower by more than this percent.
+pub const FAIL_PCT: f64 = 35.0;
+
+/// How one bench moved between baseline and current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// Within thresholds (or faster).
+    Ok,
+    /// Slower than the warn threshold.
+    Warn,
+    /// Slower than the fail threshold.
+    Fail,
+    /// Present in the baseline but missing from the current run —
+    /// coverage silently shrank, treated as failure.
+    Missing,
+    /// New bench with no baseline (informational).
+    New,
+}
+
+/// One bench's baseline-vs-current delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Bench name.
+    pub name: String,
+    /// Baseline median, ns (0 when [`DeltaClass::New`]).
+    pub base_ns: u64,
+    /// Current median, ns (0 when [`DeltaClass::Missing`]).
+    pub cur_ns: u64,
+    /// Signed regression percentage (positive = slower).
+    pub pct: f64,
+    /// Classification against the thresholds.
+    pub class: DeltaClass,
+}
+
+/// Full comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Per-bench deltas, baseline order first, then new benches.
+    pub deltas: Vec<Delta>,
+    /// Any delta at [`DeltaClass::Warn`].
+    pub warned: bool,
+    /// Any delta at [`DeltaClass::Fail`] or [`DeltaClass::Missing`].
+    pub failed: bool,
+}
+
+/// Diffs `current` against `baseline` with the given thresholds.
+///
+/// # Errors
+///
+/// Returns a message when the schema versions or suite names
+/// disagree — those runs are not comparable.
+pub fn compare_suites(
+    baseline: &BenchSuite,
+    current: &BenchSuite,
+    warn_pct: f64,
+    fail_pct: f64,
+) -> Result<CompareReport, String> {
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "schema version mismatch: baseline v{} vs current v{}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.suite != current.suite {
+        return Err(format!(
+            "suite mismatch: baseline `{}` vs current `{}`",
+            baseline.suite, current.suite
+        ));
+    }
+    let mut deltas = Vec::new();
+    for base in &baseline.results {
+        match current.get(&base.name) {
+            Some(cur) => {
+                let pct =
+                    (cur.median_ns as f64 - base.median_ns as f64) / base.median_ns as f64 * 100.0;
+                let class = if pct > fail_pct {
+                    DeltaClass::Fail
+                } else if pct > warn_pct {
+                    DeltaClass::Warn
+                } else {
+                    DeltaClass::Ok
+                };
+                deltas.push(Delta {
+                    name: base.name.clone(),
+                    base_ns: base.median_ns,
+                    cur_ns: cur.median_ns,
+                    pct,
+                    class,
+                });
+            }
+            None => deltas.push(Delta {
+                name: base.name.clone(),
+                base_ns: base.median_ns,
+                cur_ns: 0,
+                pct: 0.0,
+                class: DeltaClass::Missing,
+            }),
+        }
+    }
+    for cur in &current.results {
+        if baseline.get(&cur.name).is_none() {
+            deltas.push(Delta {
+                name: cur.name.clone(),
+                base_ns: 0,
+                cur_ns: cur.median_ns,
+                pct: 0.0,
+                class: DeltaClass::New,
+            });
+        }
+    }
+    let warned = deltas.iter().any(|d| d.class == DeltaClass::Warn);
+    let failed = deltas
+        .iter()
+        .any(|d| matches!(d.class, DeltaClass::Fail | DeltaClass::Missing));
+    Ok(CompareReport {
+        deltas,
+        warned,
+        failed,
+    })
+}
+
+// ---------------------------------------------------------------------
+// core benches
+// ---------------------------------------------------------------------
+
+fn seeded_tensor(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(dims, &mut StdRng::seed_from_u64(seed))
+}
+
+fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64
+}
+
+/// Square matmul — the generic dense workload.
+fn bench_matmul_256() -> PreparedBench {
+    let (m, k, n) = (256, 256, 256);
+    let a = seeded_tensor(&[m, k], 1);
+    let b = seeded_tensor(&[k, n], 2);
+    PreparedBench {
+        throughput: Some((matmul_flops(m, k, n), "flop/s")),
+        run: Box::new(move || {
+            std::hint::black_box(a.matmul(&b).expect("bench matmul"));
+        }),
+    }
+}
+
+/// The batched conv1 forward product: filter bank `(out_c, C·k·k)`
+/// times the transposed im2col matrix `(C·k·k, B·P)` — the exact
+/// call `Conv2d::forward` makes (B=8 of 16×16 positions, 3ch 3×3,
+/// 16 filters).
+fn bench_matmul_conv_fwd() -> PreparedBench {
+    let (m, k, n) = (16, 27, 2048);
+    let a = seeded_tensor(&[m, k], 3);
+    let b = seeded_tensor(&[k, n], 4);
+    PreparedBench {
+        throughput: Some((matmul_flops(m, k, n), "flop/s")),
+        run: Box::new(move || {
+            std::hint::black_box(a.matmul(&b).expect("bench matmul"));
+        }),
+    }
+}
+
+/// The batched conv1 weight-gradient product: `δY (oc, B·P)` against
+/// `col (C·k·k, B·P)` over the long shared axis — conv backward's
+/// `matmul_nt` call.
+fn bench_matmul_nt_conv_gw() -> PreparedBench {
+    let (m, k, n) = (16, 2048, 27);
+    let a = seeded_tensor(&[m, k], 5);
+    let b = seeded_tensor(&[n, k], 6);
+    PreparedBench {
+        throughput: Some((matmul_flops(m, k, n), "flop/s")),
+        run: Box::new(move || {
+            std::hint::black_box(a.matmul_nt(&b).expect("bench matmul_nt"));
+        }),
+    }
+}
+
+/// The batched conv1 input-gradient product: `Wᵀ · δY` with the
+/// short `out_c` leading axis — conv backward's `matmul_tn` call.
+fn bench_matmul_tn_conv_gx() -> PreparedBench {
+    let (k, m, n) = (16, 27, 2048);
+    let a = seeded_tensor(&[k, m], 17);
+    let b = seeded_tensor(&[k, n], 18);
+    PreparedBench {
+        throughput: Some((matmul_flops(m, k, n), "flop/s")),
+        run: Box::new(move || {
+            std::hint::black_box(a.matmul_tn(&b).expect("bench matmul_tn"));
+        }),
+    }
+}
+
+/// The malicious-layer shape of the attacks: a batch of flattened
+/// images against a wide `Linear` (`x · Wᵀ`).
+fn bench_matmul_nt_linear() -> PreparedBench {
+    let (m, k, n) = (64, 768, 256); // B=64 of 3·16·16 features, 256 neurons
+    let a = seeded_tensor(&[m, k], 7);
+    let b = seeded_tensor(&[n, k], 8);
+    PreparedBench {
+        throughput: Some((matmul_flops(m, k, n), "flop/s")),
+        run: Box::new(move || {
+            std::hint::black_box(a.matmul_nt(&b).expect("bench matmul_nt"));
+        }),
+    }
+}
+
+fn conv_layer() -> Conv2d {
+    // The workloads' first conv: 3→16 channels, 3×3, stride 1, pad 1
+    // on 16×16 inputs.
+    Conv2d::new(3, 16, 3, 1, 1, (16, 16), &mut StdRng::seed_from_u64(9))
+}
+
+fn bench_conv_forward(batch: usize) -> PreparedBench {
+    let mut conv = conv_layer();
+    let x = seeded_tensor(&[batch, 3 * 16 * 16], 10);
+    PreparedBench {
+        throughput: Some((batch as f64, "img/s")),
+        run: Box::new(move || {
+            std::hint::black_box(conv.forward(&x, Mode::Train).expect("bench conv fwd"));
+        }),
+    }
+}
+
+fn bench_conv_forward_b8() -> PreparedBench {
+    bench_conv_forward(8)
+}
+
+fn bench_conv_forward_b32() -> PreparedBench {
+    bench_conv_forward(32)
+}
+
+fn bench_conv_backward_b8() -> PreparedBench {
+    let batch = 8;
+    let mut conv = conv_layer();
+    let x = seeded_tensor(&[batch, 3 * 16 * 16], 11);
+    let y = conv.forward(&x, Mode::Train).expect("bench conv fwd");
+    let grad = Tensor::ones(y.dims());
+    PreparedBench {
+        throughput: Some((batch as f64, "img/s")),
+        run: Box::new(move || {
+            std::hint::black_box(conv.backward(&grad).expect("bench conv bwd"));
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// fl benches
+// ---------------------------------------------------------------------
+
+fn fl_fixture() -> (ModelFactory, Vec<oasis_fl::FlClient>) {
+    let data = cifar_like_with(10, 8, 16, 0);
+    let d = data.feature_dim();
+    let factory: ModelFactory = Arc::new(move || {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut m = Sequential::new();
+        m.push(Linear::new(d, 64, &mut rng));
+        m.push(Relu::new());
+        m.push(Linear::new(64, 10, &mut rng));
+        m
+    });
+    let clients = oasis_fl::partition_iid(
+        &data,
+        4,
+        Arc::new(oasis_fl::IdentityPreprocessor),
+        &mut StdRng::seed_from_u64(13),
+    );
+    (factory, clients)
+}
+
+fn bench_fl_round(codec: CodecSpec) -> PreparedBench {
+    let (factory, clients) = fl_fixture();
+    PreparedBench {
+        throughput: Some((clients.len() as f64, "client/s")),
+        run: Box::new(move || {
+            // Fresh server + pinned rng per iteration: every round is
+            // bit-identical work. A persistent server would train the
+            // model across iterations, and round cost drifts with
+            // activation sparsity (the matmul kernels skip zeros).
+            let mut server =
+                FlServer::new(Arc::clone(&factory), FlConfig::default()).expect("bench server");
+            server.set_wire(WireConfig::new(codec, NetSpec::Ideal));
+            let mut rng = StdRng::seed_from_u64(14);
+            std::hint::black_box(server.run_round(&clients, &mut rng).expect("bench round"));
+        }),
+    }
+}
+
+fn bench_fl_round_raw() -> PreparedBench {
+    bench_fl_round(CodecSpec::Raw)
+}
+
+fn bench_fl_round_q8() -> PreparedBench {
+    bench_fl_round(CodecSpec::Q8)
+}
+
+/// A ~1 MB update vector (262 144 parameters).
+fn codec_update() -> Vec<f32> {
+    seeded_tensor(&[262_144], 15).data().to_vec()
+}
+
+fn bench_codec_encode(codec: Box<dyn UpdateCodec>) -> PreparedBench {
+    let update = codec_update();
+    let bytes = update.len() as f64 * 4.0;
+    PreparedBench {
+        throughput: Some((bytes, "B/s")),
+        run: Box::new(move || {
+            std::hint::black_box(codec.encode(&update).expect("bench encode"));
+        }),
+    }
+}
+
+fn bench_codec_decode(codec: Box<dyn UpdateCodec>) -> PreparedBench {
+    let update = codec_update();
+    let bytes = update.len() as f64 * 4.0;
+    let encoded = codec.encode(&update).expect("bench encode");
+    PreparedBench {
+        throughput: Some((bytes, "B/s")),
+        run: Box::new(move || {
+            std::hint::black_box(codec.decode(&encoded).expect("bench decode"));
+        }),
+    }
+}
+
+fn bench_codec_raw_encode() -> PreparedBench {
+    bench_codec_encode(Box::new(RawCodec))
+}
+
+fn bench_codec_raw_decode() -> PreparedBench {
+    bench_codec_decode(Box::new(RawCodec))
+}
+
+fn bench_codec_q8_encode() -> PreparedBench {
+    bench_codec_encode(Box::new(Q8Codec))
+}
+
+fn bench_codec_q8_decode() -> PreparedBench {
+    bench_codec_decode(Box::new(Q8Codec))
+}
+
+/// One RTF inversion step: invert a 128-neuron malicious layer's
+/// gradients back into candidate images (paper Eq. 6 over every bin,
+/// plus pool dedup).
+fn bench_rtf_invert() -> PreparedBench {
+    let neurons = 128;
+    let geometry = (3, 16, 16);
+    let d = geometry.0 * geometry.1 * geometry.2;
+    let attack = RtfAttack::new(neurons, 0.5, 0.15).expect("bench rtf");
+    let grad_w = seeded_tensor(&[neurons, d], 16);
+    // Strictly decreasing bias gradients keep every adjacent
+    // difference invertible, so all bins do work.
+    let grad_b = Tensor::from_vec(
+        (0..neurons)
+            .map(|i| 1.0 + (neurons - i) as f32 * 0.01)
+            .collect(),
+        &[neurons],
+    )
+    .expect("bias gradient");
+    PreparedBench {
+        throughput: Some((neurons as f64, "neuron/s")),
+        run: Box::new(move || {
+            std::hint::black_box(attack.reconstruct(&grad_w, &grad_b, geometry));
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(suite: Vec<BenchDef>) -> Vec<&'static str> {
+        suite.into_iter().map(|b| b.name).collect()
+    }
+
+    #[test]
+    fn suite_listing_is_deterministic_and_stable() {
+        let core = names(core_suite());
+        assert_eq!(
+            core,
+            vec![
+                "matmul_256",
+                "matmul_conv_fwd",
+                "matmul_nt_conv_gw",
+                "matmul_tn_conv_gx",
+                "matmul_nt_linear",
+                "conv2d_forward_b8",
+                "conv2d_backward_b8",
+                "conv2d_forward_b32",
+            ]
+        );
+        assert_eq!(core, names(core_suite()), "listing must be reproducible");
+        let fl = names(fl_suite());
+        assert_eq!(
+            fl,
+            vec![
+                "fl_round_raw",
+                "fl_round_q8",
+                "codec_raw_encode",
+                "codec_raw_decode",
+                "codec_q8_encode",
+                "codec_q8_decode",
+                "rtf_invert_128",
+            ]
+        );
+        assert!(suite("core").is_some());
+        assert!(suite("fl").is_some());
+        assert!(suite("nope").is_none());
+    }
+
+    #[test]
+    fn filter_selects_expected_subset() {
+        assert_eq!(
+            names(apply_filter(core_suite(), "conv2d")),
+            vec![
+                "conv2d_forward_b8",
+                "conv2d_backward_b8",
+                "conv2d_forward_b32"
+            ]
+        );
+        assert_eq!(
+            names(apply_filter(fl_suite(), "q8")),
+            vec!["fl_round_q8", "codec_q8_encode", "codec_q8_decode"]
+        );
+        assert!(apply_filter(core_suite(), "no-such-bench").is_empty());
+    }
+
+    #[test]
+    fn schema_roundtrips_through_serde_json() {
+        let suite = BenchSuite {
+            schema_version: SCHEMA_VERSION,
+            suite: "core".into(),
+            threads: 4,
+            quick: true,
+            results: vec![
+                BenchRecord {
+                    name: "matmul_256".into(),
+                    iters: 17,
+                    median_ns: 1_234_567,
+                    min_ns: 1_200_000,
+                    throughput: Some(2.5e9),
+                    throughput_unit: Some("flop/s".into()),
+                },
+                BenchRecord {
+                    name: "unitless".into(),
+                    iters: 3,
+                    median_ns: 10,
+                    min_ns: 9,
+                    throughput: None,
+                    throughput_unit: None,
+                },
+            ],
+        };
+        let json = serde_json::to_string_pretty(&suite).expect("serialize");
+        let back: BenchSuite = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, suite);
+    }
+
+    #[test]
+    fn tiny_bench_produces_sane_record() {
+        let prepared = PreparedBench {
+            throughput: Some((100.0, "item/s")),
+            run: Box::new(|| {
+                std::hint::black_box((0..100u64).sum::<u64>());
+            }),
+        };
+        let rec = run_prepared("tiny", prepared, true);
+        assert_eq!(rec.name, "tiny");
+        assert!(rec.iters >= 3);
+        assert!(rec.min_ns <= rec.median_ns);
+        assert!(rec.throughput.unwrap() > 0.0);
+        assert_eq!(rec.throughput_unit.as_deref(), Some("item/s"));
+    }
+
+    #[test]
+    fn compare_classifies_against_thresholds() {
+        let rec = |name: &str, median: u64| BenchRecord {
+            name: name.into(),
+            iters: 3,
+            median_ns: median,
+            min_ns: median,
+            throughput: None,
+            throughput_unit: None,
+        };
+        let suite_of = |results: Vec<BenchRecord>| BenchSuite {
+            schema_version: SCHEMA_VERSION,
+            suite: "core".into(),
+            threads: 1,
+            quick: true,
+            results,
+        };
+        let baseline = suite_of(vec![
+            rec("steady", 1000),
+            rec("warned", 1000),
+            rec("failed", 1000),
+            rec("gone", 1000),
+        ]);
+        let current = suite_of(vec![
+            rec("steady", 1050),
+            rec("warned", 1200),
+            rec("failed", 1500),
+            rec("brand_new", 10),
+        ]);
+        let report = compare_suites(&baseline, &current, WARN_PCT, FAIL_PCT).expect("comparable");
+        let class_of = |n: &str| {
+            report
+                .deltas
+                .iter()
+                .find(|d| d.name == n)
+                .expect("delta present")
+                .class
+        };
+        assert_eq!(class_of("steady"), DeltaClass::Ok);
+        assert_eq!(class_of("warned"), DeltaClass::Warn);
+        assert_eq!(class_of("failed"), DeltaClass::Fail);
+        assert_eq!(class_of("gone"), DeltaClass::Missing);
+        assert_eq!(class_of("brand_new"), DeltaClass::New);
+        assert!(report.warned);
+        assert!(report.failed);
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_runs() {
+        let a = BenchSuite {
+            schema_version: SCHEMA_VERSION,
+            suite: "core".into(),
+            threads: 1,
+            quick: true,
+            results: vec![],
+        };
+        let mut b = a.clone();
+        b.suite = "fl".into();
+        assert!(compare_suites(&a, &b, WARN_PCT, FAIL_PCT).is_err());
+        let mut c = a.clone();
+        c.schema_version = SCHEMA_VERSION + 1;
+        assert!(compare_suites(&a, &c, WARN_PCT, FAIL_PCT).is_err());
+    }
+
+    #[test]
+    fn improvements_never_warn() {
+        let rec = |median: u64| BenchRecord {
+            name: "fast".into(),
+            iters: 3,
+            median_ns: median,
+            min_ns: median,
+            throughput: None,
+            throughput_unit: None,
+        };
+        let mk = |median| BenchSuite {
+            schema_version: SCHEMA_VERSION,
+            suite: "fl".into(),
+            threads: 1,
+            quick: false,
+            results: vec![rec(median)],
+        };
+        let report = compare_suites(&mk(1000), &mk(400), WARN_PCT, FAIL_PCT).expect("comparable");
+        assert!(!report.warned && !report.failed);
+        assert!(report.deltas[0].pct < 0.0);
+    }
+}

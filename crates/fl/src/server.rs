@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use oasis_nn::{flatten_params, load_params, param_count, Sequential};
 use oasis_wire::{CodecSpec, DeliveryStatus, EncodedUpdate, NetSpec, Submission, UpdateCodec};
 
-use crate::{fedavg_weighted, ClientUpdate, FlClient, FlConfig, FlError, ModelFactory, Result};
+use crate::{ClientUpdate, FlClient, FlConfig, FlError, ModelFactory, Result};
 
 /// How updates travel between clients and the server: the update
 /// codec plus the simulated network condition.
@@ -88,6 +88,10 @@ pub struct FlServer {
     tamper: Option<Box<dyn crate::ModelTamper>>,
     wire: WireConfig,
     round: usize,
+    /// Reused per-round decode buffer: each delivered update is
+    /// decoded into it and folded into the aggregate immediately, so
+    /// a round allocates O(model) instead of O(clients · model).
+    decode_scratch: Vec<f32>,
 }
 
 impl FlServer {
@@ -110,6 +114,7 @@ impl FlServer {
             tamper: None,
             wire: WireConfig::default(),
             round: 0,
+            decode_scratch: Vec::new(),
         })
     }
 
@@ -244,24 +249,46 @@ impl FlServer {
             .deliver(round_seed, self.round as u64, &submissions);
 
         // The server aggregates only what actually arrived, decoding
-        // each update from its wire frame.
-        let mut delivered = Vec::with_capacity(traffic.delivered);
-        for ((update, encoded), delivery) in sent.iter().zip(&traffic.deliveries) {
-            if delivery.status == DeliveryStatus::Delivered {
-                delivered.push(ClientUpdate {
-                    client_id: update.client_id,
-                    grads: codec.decode(encoded)?,
-                    loss: update.loss,
-                    samples: update.samples,
-                });
-            }
-        }
+        // each update from its wire frame into one reused buffer and
+        // folding it straight into the sample-weighted mean (the
+        // streaming form of [`fedavg_weighted`] — same weights, same
+        // accumulation order, no per-client gradient copies held).
+        let delivered: Vec<&(ClientUpdate, EncodedUpdate)> = sent
+            .iter()
+            .zip(&traffic.deliveries)
+            .filter(|(_, d)| d.status == DeliveryStatus::Delivered)
+            .map(|(u, _)| u)
+            .collect();
 
         let (mean_loss, update_norm) = if delivered.is_empty() {
             (0.0, 0.0)
         } else {
-            let agg = fedavg_weighted(&delivered)?;
-            let mean_loss = delivered.iter().map(|u| u.loss).sum::<f32>() / delivered.len() as f32;
+            let total: usize = delivered.iter().map(|(u, _)| u.samples).sum();
+            if total == 0 {
+                return Err(FlError::BadConfig(
+                    "weighted FedAvg over zero samples".into(),
+                ));
+            }
+            let n = global.len();
+            let mut agg = vec![0.0f32; n];
+            let mut buf = std::mem::take(&mut self.decode_scratch);
+            let mut loss_sum = 0.0f32;
+            for (update, encoded) in &delivered {
+                codec.decode_into(encoded, &mut buf)?;
+                if buf.len() != n {
+                    return Err(FlError::UpdateLength {
+                        len: buf.len(),
+                        expected: n,
+                    });
+                }
+                let w = update.samples as f32 / total as f32;
+                for (a, &g) in agg.iter_mut().zip(&buf) {
+                    *a += w * g;
+                }
+                loss_sum += update.loss;
+            }
+            self.decode_scratch = buf;
+            let mean_loss = loss_sum / delivered.len() as f32;
             let update_norm = agg.iter().map(|g| g * g).sum::<f32>().sqrt();
 
             // w_{t+1} = w_t − η Ḡ

@@ -1,4 +1,4 @@
-//! 2-D convolution via im2col, with fixed spatial geometry.
+//! 2-D convolution via batched, transposed im2col.
 //!
 //! The whole workspace passes activations as rank-2 tensors
 //! `[batch, features]`; convolution layers therefore carry their
@@ -6,12 +6,46 @@
 //! features as CHW. This keeps the `Layer` interface uniform — which
 //! is exactly what the attacks need, since they treat the first layer
 //! as an `n×d` matrix regardless of what sits behind it.
+//!
+//! ## Hot-path layout
+//!
+//! The lowering matrix is built **once per batch** and **transposed**:
+//! `col` is `(C·k·k, B·P)` with column index `b·P + oy·ow + ox`. This
+//! shape is what makes the layer fast:
+//!
+//! * each `col` row walks the input along `ox`, so filling (and its
+//!   adjoint, the input-gradient scatter) is contiguous runs instead
+//!   of per-element gathers;
+//! * forward is one long-row product `W (oc, C·k²) · col → (oc, B·P)`
+//!   for the whole batch — `B` per-sample matmuls of awkward aspect
+//!   ratio collapse into a single kernel-friendly one;
+//! * the `(oc, B·P)` result is channel-major, so reshaping to the
+//!   workspace's `[batch, oc·P]` rows is a bias-fused copy of
+//!   contiguous `P`-long segments.
+//!
+//! The buffers are held on the layer and reused across calls, and a
+//! training-mode forward leaves `col` valid so backward skips the
+//! rebuild entirely.
 
 use oasis_tensor::{parallel, Tensor};
 use rand::Rng;
 use std::any::Any;
 
 use crate::{Layer, Mode, NnError, Result};
+
+/// Eight-lane unrolled sum (deterministic lane-combine order; the
+/// independent accumulators let the reduction vectorize).
+fn lane_sum(row: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut chunks = row.chunks_exact(8);
+    for c in &mut chunks {
+        for l in 0..8 {
+            acc[l] += c[l];
+        }
+    }
+    let tail: f32 = chunks.remainder().iter().sum();
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
 
 /// A 2-D convolution with square kernels, zero padding and stride.
 #[derive(Debug)]
@@ -28,6 +62,13 @@ pub struct Conv2d {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    /// Reused `(C·k·k, B·P)` transposed-im2col scratch.
+    scratch_col: Vec<f32>,
+    /// Whether `scratch_col` holds the lowering of `cached_input`
+    /// (set by a training-mode forward, cleared by an eval forward).
+    col_valid: bool,
+    /// Reused `(out_c, B·P)` gradient-transpose scratch.
+    scratch_dy: Vec<f32>,
 }
 
 impl Conv2d {
@@ -61,6 +102,9 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&[out_channels, ckk]),
             grad_bias: Tensor::zeros(&[out_channels]),
             cached_input: None,
+            scratch_col: Vec::new(),
+            col_valid: false,
+            scratch_dy: Vec::new(),
         }
     }
 
@@ -89,61 +133,98 @@ impl Conv2d {
         (self.out_channels, self.out_h(), self.out_w())
     }
 
-    /// Extracts the im2col matrix `(P, C·k·k)` for one sample.
-    fn im2col(&self, x: &[f32]) -> Vec<f32> {
+    /// The valid `ox` window `[lo, hi)` for kernel column `kx`: the
+    /// positions whose source column `ox·stride + kx − padding` lands
+    /// inside `[0, w)`.
+    fn ox_window(&self, kx: usize) -> (usize, usize) {
+        let (stride, pad, w, ow) = (self.stride, self.padding, self.in_w, self.out_w());
+        let lo = if pad > kx {
+            (pad - kx).div_ceil(stride)
+        } else {
+            0
+        };
+        let hi = (w + pad).saturating_sub(kx).div_ceil(stride).min(ow);
+        (lo.min(hi), hi)
+    }
+
+    /// Fills the whole batch's transposed im2col matrix: `col` is
+    /// `(C·k·k, B·P)` with column index `b·P + oy·ow + ox`.
+    ///
+    /// Each `(row, b, oy)` triple is one `ow`-long destination run
+    /// whose in-bounds span is a single contiguous (stride 1) or
+    /// fixed-stride copy from the input; the padded remainder is
+    /// zero-filled, so a dirty reused buffer needs no separate clear.
+    fn im2col_t(&self, input: &[f32], batch: usize, col: &mut [f32]) {
         let (c, h, w) = (self.in_channels, self.in_h, self.in_w);
-        let k = self.kernel;
+        let (k, stride, pad) = (self.kernel, self.stride, self.padding);
         let (oh, ow) = (self.out_h(), self.out_w());
-        let ckk = c * k * k;
-        let mut col = vec![0.0f32; oh * ow * ckk];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (oy * ow + ox) * ckk;
-                for ch in 0..c {
-                    for ky in 0..k {
-                        let sy = (oy * self.stride + ky) as isize - self.padding as isize;
-                        if sy < 0 || sy as usize >= h {
+        let p = oh * ow;
+        let bp = batch * p;
+        let in_f = self.in_features();
+        debug_assert_eq!(col.len(), c * k * k * bp);
+        parallel::for_each_row_block(col, bp, |q0, rows| {
+            for (lq, row) in rows.chunks_mut(bp).enumerate() {
+                let q = q0 + lq;
+                let (ch, ky, kx) = (q / (k * k), q / k % k, q % k);
+                let (ox_lo, ox_hi) = self.ox_window(kx);
+                for b in 0..batch {
+                    let x = &input[b * in_f..(b + 1) * in_f];
+                    for oy in 0..oh {
+                        let dst = &mut row[b * p + oy * ow..b * p + (oy + 1) * ow];
+                        let sy = (oy * stride + ky) as isize - pad as isize;
+                        if sy < 0 || sy as usize >= h || ox_lo >= ox_hi {
+                            dst.fill(0.0);
                             continue;
                         }
-                        for kx in 0..k {
-                            let sx = (ox * self.stride + kx) as isize - self.padding as isize;
-                            if sx < 0 || sx as usize >= w {
-                                continue;
+                        let base = (ch * h + sy as usize) * w;
+                        let sx_lo = ox_lo * stride + kx - pad;
+                        dst[..ox_lo].fill(0.0);
+                        if stride == 1 {
+                            dst[ox_lo..ox_hi]
+                                .copy_from_slice(&x[base + sx_lo..base + sx_lo + (ox_hi - ox_lo)]);
+                        } else {
+                            for (i, d) in dst[ox_lo..ox_hi].iter_mut().enumerate() {
+                                *d = x[base + sx_lo + i * stride];
                             }
-                            col[row + ch * k * k + ky * k + kx] =
-                                x[(ch * h + sy as usize) * w + sx as usize];
                         }
+                        dst[ox_hi..].fill(0.0);
                     }
                 }
             }
-        }
-        col
+        });
     }
 
-    /// Scatter-adds a `(P, C·k·k)` column-gradient back into a flat
-    /// CHW input gradient (the adjoint of [`Conv2d::im2col`]).
-    fn col2im(&self, col: &[f32], gx: &mut [f32]) {
+    /// Scatter-adds one sample's slice of the `(C·k·k, B·P)`
+    /// column-gradient back into its flat CHW input gradient (the
+    /// adjoint of [`Conv2d::im2col_t`], same contiguous runs).
+    fn col2im_t(&self, dcol: &[f32], bp: usize, b: usize, gx: &mut [f32]) {
         let (c, h, w) = (self.in_channels, self.in_h, self.in_w);
-        let k = self.kernel;
+        let (k, stride, pad) = (self.kernel, self.stride, self.padding);
         let (oh, ow) = (self.out_h(), self.out_w());
-        let ckk = c * k * k;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (oy * ow + ox) * ckk;
-                for ch in 0..c {
-                    for ky in 0..k {
-                        let sy = (oy * self.stride + ky) as isize - self.padding as isize;
-                        if sy < 0 || sy as usize >= h {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let sx = (ox * self.stride + kx) as isize - self.padding as isize;
-                            if sx < 0 || sx as usize >= w {
-                                continue;
-                            }
-                            gx[(ch * h + sy as usize) * w + sx as usize] +=
-                                col[row + ch * k * k + ky * k + kx];
-                        }
+        let p = oh * ow;
+        for q in 0..c * k * k {
+            let (ch, ky, kx) = (q / (k * k), q / k % k, q % k);
+            let (ox_lo, ox_hi) = self.ox_window(kx);
+            if ox_lo >= ox_hi {
+                continue;
+            }
+            let row = &dcol[q * bp..(q + 1) * bp];
+            for oy in 0..oh {
+                let sy = (oy * stride + ky) as isize - pad as isize;
+                if sy < 0 || sy as usize >= h {
+                    continue;
+                }
+                let base = (ch * h + sy as usize) * w;
+                let sx_lo = ox_lo * stride + kx - pad;
+                let src = &row[b * p + oy * ow + ox_lo..b * p + oy * ow + ox_hi];
+                if stride == 1 {
+                    let dst = &mut gx[base + sx_lo..base + sx_lo + (ox_hi - ox_lo)];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += s;
+                    }
+                } else {
+                    for (i, &s) in src.iter().enumerate() {
+                        gx[base + sx_lo + i * stride] += s;
                     }
                 }
             }
@@ -167,42 +248,50 @@ impl Layer for Conv2d {
         self.check_input(input)?;
         let batch = input.dims()[0];
         let p = self.out_h() * self.out_w();
+        let bp = batch * p;
         let oc = self.out_channels;
+        let ckk = self.weight.dims()[1];
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
         }
-        let in_f = self.in_features();
-        let rows: Vec<Vec<f32>> =
-            parallel::map_indexed(&(0..batch).collect::<Vec<_>>(), |_, &b| {
-                let x = &input.data()[b * in_f..(b + 1) * in_f];
-                let col = self.im2col(x);
-                let col_t =
-                    Tensor::from_vec(col, &[p, self.weight.dims()[1]]).expect("im2col geometry");
-                // (P, CKK) · (CKK, out_c) via nt on W (out_c, CKK).
-                let y = col_t.matmul_nt(&self.weight).expect("conv forward matmul");
-                // Rearrange (P, oc) → channel-major (oc, P) with bias.
-                let mut row = vec![0.0f32; oc * p];
-                for pi in 0..p {
-                    for c in 0..oc {
-                        row[c * p + pi] = y.data()[pi * oc + c] + self.bias.data()[c];
+        let mut colv = std::mem::take(&mut self.scratch_col);
+        colv.resize(ckk * bp, 0.0);
+        self.im2col_t(input.data(), batch, &mut colv);
+        let col = Tensor::from_vec(colv, &[ckk, bp])?;
+        let y = self.weight.matmul(&col)?; // (oc, B·P)
+        self.scratch_col = col.into_vec();
+        // A training forward leaves `col` describing `cached_input`,
+        // so the next backward can skip the rebuild.
+        self.col_valid = mode == Mode::Train;
+
+        // (oc, B·P) → per-sample channel-major rows, bias fused into
+        // the copy.
+        let mut out = Tensor::zeros(&[batch, oc * p]);
+        let ydata = y.data();
+        let bias = self.bias.data();
+        parallel::for_each_row_block(out.data_mut(), oc * p, |b0, rows| {
+            for (lb, orow) in rows.chunks_mut(oc * p).enumerate() {
+                let b = b0 + lb;
+                for (c, dst) in orow.chunks_mut(p).enumerate() {
+                    let src = &ydata[c * bp + b * p..c * bp + (b + 1) * p];
+                    let bv = bias[c];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = s + bv;
                     }
                 }
-                row
-            });
-        let mut out = Tensor::zeros(&[batch, oc * p]);
-        for (b, row) in rows.into_iter().enumerate() {
-            out.row_mut(b)?.copy_from_slice(&row);
-        }
+            }
+        });
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self
+        let batch = self
             .cached_input
             .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "conv2d" })?;
-        let batch = input.dims()[0];
+            .ok_or(NnError::BackwardBeforeForward { layer: "conv2d" })?
+            .dims()[0];
         let p = self.out_h() * self.out_w();
+        let bp = batch * p;
         let oc = self.out_channels;
         if grad_output.rank() != 2
             || grad_output.dims()[0] != batch
@@ -214,43 +303,53 @@ impl Layer for Conv2d {
                 actual: grad_output.dims().to_vec(),
             });
         }
+        // Taken by value so the scratch buffers can be borrowed
+        // mutably alongside it; restored before returning.
+        let input = self.cached_input.take().expect("checked above");
         let in_f = self.in_features();
         let ckk = self.weight.dims()[1];
 
-        // Per-sample partials computed in parallel, reduced serially.
-        struct Partial {
-            gw: Tensor,
-            gb: Tensor,
-            gx: Vec<f32>,
+        let mut colv = std::mem::take(&mut self.scratch_col);
+        if !self.col_valid || colv.len() != ckk * bp {
+            colv.resize(ckk * bp, 0.0);
+            self.im2col_t(input.data(), batch, &mut colv);
+            self.col_valid = true;
         }
-        let partials: Vec<Partial> =
-            parallel::map_indexed(&(0..batch).collect::<Vec<_>>(), |_, &b| {
-                let x = &input.data()[b * in_f..(b + 1) * in_f];
-                let col = self.im2col(x);
-                let col_t = Tensor::from_vec(col, &[p, ckk]).expect("im2col geometry");
-                // δY for this sample, rearranged (oc, P) → (P, oc).
-                let go = &grad_output.data()[b * oc * p..(b + 1) * oc * p];
-                let mut dy = vec![0.0f32; p * oc];
-                for c in 0..oc {
-                    for pi in 0..p {
-                        dy[pi * oc + c] = go[c * p + pi];
-                    }
+        let col = Tensor::from_vec(colv, &[ckk, bp])?;
+
+        // δY as (oc, B·P): contiguous P-long segment copies from the
+        // channel-major layer output gradient.
+        let mut dyv = std::mem::take(&mut self.scratch_dy);
+        dyv.resize(oc * bp, 0.0);
+        let go = grad_output.data();
+        parallel::for_each_row_block(&mut dyv, bp, |c0, rows| {
+            for (lc, drow) in rows.chunks_mut(bp).enumerate() {
+                let c = c0 + lc;
+                for (b, dst) in drow.chunks_mut(p).enumerate() {
+                    dst.copy_from_slice(&go[b * oc * p + c * p..b * oc * p + (c + 1) * p]);
                 }
-                let dy_t = Tensor::from_vec(dy, &[p, oc]).expect("dy geometry");
-                let gw = dy_t.matmul_tn(&col_t).expect("conv grad_w"); // (oc, ckk)
-                let gb = dy_t.sum_axis0().expect("conv grad_b"); // (oc)
-                let dcol = dy_t.matmul(&self.weight).expect("conv grad_col"); // (P, ckk)
-                let mut gx = vec![0.0f32; in_f];
-                self.col2im(dcol.data(), &mut gx);
-                Partial { gw, gb, gx }
-            });
+            }
+        });
+        // Bias gradient = per-channel row sums, taken before δY moves
+        // into its tensor so no scratch vector is needed.
+        let gb = Tensor::from_vec(dyv.chunks(bp).map(lane_sum).collect(), &[oc])?;
+        let dy = Tensor::from_vec(dyv, &[oc, bp])?;
+
+        let gw = dy.matmul_nt(&col)?; // (oc, C·k·k)
+        let dcol = self.weight.matmul_tn(&dy)?; // (C·k·k, B·P)
+        self.grad_weight.add_assign(&gw)?;
+        self.grad_bias.add_assign(&gb)?;
 
         let mut grad_input = Tensor::zeros(&[batch, in_f]);
-        for (b, part) in partials.into_iter().enumerate() {
-            self.grad_weight.add_assign(&part.gw)?;
-            self.grad_bias.add_assign(&part.gb)?;
-            grad_input.row_mut(b)?.copy_from_slice(&part.gx);
-        }
+        let dcol_data = dcol.data();
+        parallel::for_each_row_block(grad_input.data_mut(), in_f, |b0, rows| {
+            for (lb, gx) in rows.chunks_mut(in_f).enumerate() {
+                self.col2im_t(dcol_data, bp, b0 + lb, gx);
+            }
+        });
+        self.scratch_col = col.into_vec();
+        self.scratch_dy = dy.into_vec();
+        self.cached_input = Some(input);
         Ok(grad_input)
     }
 
@@ -338,6 +437,31 @@ mod tests {
         let gx = conv.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(gx.dims(), x.dims());
         assert_eq!(conv.grad_weight_for_test().dims(), &[3, 2 * 9]);
+    }
+
+    #[test]
+    fn eval_forward_between_train_and_backward_is_safe() {
+        // An eval-mode forward (different batch) must not poison the
+        // cached lowering the next backward uses.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, (5, 5), &mut rng);
+        let x = Tensor::randn(&[4, 2 * 25], &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+
+        let mut reference = Conv2d::new(2, 3, 3, 1, 1, (5, 5), &mut StdRng::seed_from_u64(1));
+        reference.forward(&x, Mode::Train).unwrap();
+
+        // Same-size eval batch with different contents.
+        let other = Tensor::randn(&[4, 2 * 25], &mut rng);
+        conv.forward(&other, Mode::Eval).unwrap();
+
+        let gx = conv.backward(&Tensor::ones(y.dims())).unwrap();
+        let gx_ref = reference.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(gx, gx_ref);
+        assert_eq!(
+            conv.grad_weight_for_test().data(),
+            reference.grad_weight_for_test().data()
+        );
     }
 
     impl Conv2d {

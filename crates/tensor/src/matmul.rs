@@ -7,6 +7,70 @@ use crate::{parallel, Result, Tensor, TensorError};
 /// Below this, thread spawn overhead dominates on small matrices.
 const PARALLEL_THRESHOLD: usize = 64 * 1024;
 
+/// Eight-lane unrolled dot product.
+///
+/// The eight independent accumulators break the serial float-add
+/// dependency chain, which is what lets LLVM vectorize a dot product
+/// without `-ffast-math`. The lane-combine order is fixed, so results
+/// are deterministic (but differ in the last ulp from a strictly
+/// sequential sum).
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..8 {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let tail: f32 = ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// Register-blocked axpy accumulation of four right-hand rows into
+/// one output row: `out += a0·b0 + a1·b1 + a2·b2 + a3·b3`.
+///
+/// Four k-steps share one traversal of the output row, quartering the
+/// store traffic of the plain rank-1 update. All-zero coefficient
+/// blocks (common with im2col zero padding and ReLU-dead activations)
+/// are skipped by the callers.
+#[inline]
+fn axpy4(out_row: &mut [f32], coeff: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let [a0, a1, a2, a3] = coeff;
+    for (j, o) in out_row.iter_mut().enumerate() {
+        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+    }
+}
+
+/// Two-row variant of [`axpy4`]: both output rows consume the same
+/// four right-hand rows in one pass, halving their read traffic (the
+/// dominant cost when the right-hand matrix outgrows cache). Each
+/// row's accumulation sequence is identical to [`axpy4`]'s.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn axpy4x2(
+    o0: &mut [f32],
+    o1: &mut [f32],
+    c0: [f32; 4],
+    c1: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    for (j, (x0, x1)) in o0.iter_mut().zip(o1.iter_mut()).enumerate() {
+        let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+        *x0 += c0[0] * v0 + c0[1] * v1 + c0[2] * v2 + c0[3] * v3;
+        *x1 += c1[0] * v0 + c1[1] * v1 + c1[2] * v2 + c1[3] * v3;
+    }
+}
+
 impl Tensor {
     /// Matrix product `self (m×k) · other (k×n) → (m×n)`.
     ///
@@ -31,20 +95,69 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
-        let kernel = |row0: usize, rows: &mut [f32]| {
-            // `rows` covers output rows [row0, row0 + rows.len()/n).
-            for (local_i, out_row) in rows.chunks_mut(n).enumerate() {
-                let i = row0 + local_i;
-                for p in 0..k {
-                    let aip = a[i * k + p];
-                    if aip == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(brow) {
-                        *o += aip * bv;
-                    }
+        let blocks = k / 4 * 4;
+        // Finishes one output row's remaining k-steps past the 4-blocks.
+        let tail = |arow: &[f32], out_row: &mut [f32]| {
+            for (p, &aip) in arow.iter().enumerate().skip(blocks) {
+                if aip == 0.0 {
+                    continue;
                 }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        };
+        // One output row against the 4-blocks (pair leftover).
+        let one_row = |arow: &[f32], out_row: &mut [f32]| {
+            let mut p = 0;
+            while p < blocks {
+                let coeff = [arow[p], arow[p + 1], arow[p + 2], arow[p + 3]];
+                if coeff != [0.0; 4] {
+                    axpy4(
+                        out_row,
+                        coeff,
+                        &b[p * n..(p + 1) * n],
+                        &b[(p + 1) * n..(p + 2) * n],
+                        &b[(p + 2) * n..(p + 3) * n],
+                        &b[(p + 3) * n..(p + 4) * n],
+                    );
+                }
+                p += 4;
+            }
+            tail(arow, out_row);
+        };
+        let kernel = |row0: usize, rows: &mut [f32]| {
+            // `rows` covers output rows [row0, row0 + rows.len()/n),
+            // processed in pairs so each 4-block of right-hand rows is
+            // read once per pair instead of once per row.
+            for (pc, chunk) in rows.chunks_mut(2 * n).enumerate() {
+                let i = row0 + pc * 2;
+                if chunk.len() < 2 * n {
+                    one_row(&a[i * k..(i + 1) * k], chunk);
+                    continue;
+                }
+                let (o0, o1) = chunk.split_at_mut(n);
+                let ar0 = &a[i * k..(i + 1) * k];
+                let ar1 = &a[(i + 1) * k..(i + 2) * k];
+                let mut p = 0;
+                while p < blocks {
+                    let c0 = [ar0[p], ar0[p + 1], ar0[p + 2], ar0[p + 3]];
+                    let c1 = [ar1[p], ar1[p + 1], ar1[p + 2], ar1[p + 3]];
+                    let b0 = &b[p * n..(p + 1) * n];
+                    let b1 = &b[(p + 1) * n..(p + 2) * n];
+                    let b2 = &b[(p + 2) * n..(p + 3) * n];
+                    let b3 = &b[(p + 3) * n..(p + 4) * n];
+                    match (c0 == [0.0; 4], c1 == [0.0; 4]) {
+                        (false, false) => axpy4x2(o0, o1, c0, c1, b0, b1, b2, b3),
+                        (false, true) => axpy4(o0, c0, b0, b1, b2, b3),
+                        (true, false) => axpy4(o1, c1, b0, b1, b2, b3),
+                        (true, true) => {}
+                    }
+                    p += 4;
+                }
+                tail(ar0, o0);
+                tail(ar1, o1);
             }
         };
         if m * n >= PARALLEL_THRESHOLD && m > 1 {
@@ -77,9 +190,30 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
-        // out[i][j] = Σ_p a[p][i] * b[p][j]: accumulate row-by-row of a/b.
+        // out[i][j] = Σ_p a[p][i] * b[p][j]: accumulate row-by-row of
+        // a/b, four rows per pass so each output row is traversed
+        // once per block instead of once per row.
         let o = out.data_mut();
-        for p in 0..k {
+        let blocks = k / 4 * 4;
+        let mut p = 0;
+        while p < blocks {
+            let a0 = &a[p * m..(p + 1) * m];
+            let a1 = &a[(p + 1) * m..(p + 2) * m];
+            let a2 = &a[(p + 2) * m..(p + 3) * m];
+            let a3 = &a[(p + 3) * m..(p + 4) * m];
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for i in 0..m {
+                let coeff = [a0[i], a1[i], a2[i], a3[i]];
+                if coeff != [0.0; 4] {
+                    axpy4(&mut o[i * n..(i + 1) * n], coeff, b0, b1, b2, b3);
+                }
+            }
+            p += 4;
+        }
+        for p in blocks..k {
             let arow = &a[p * m..(p + 1) * m];
             let brow = &b[p * n..(p + 1) * n];
             for (i, &av) in arow.iter().enumerate() {
@@ -114,6 +248,14 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
+        // Two regimes: a long reduction dim amortizes the unrolled
+        // dot's lane setup, while a short one (conv im2col: k = C·k²,
+        // often < 64) wastes most of each 8-lane chunk — there the
+        // axpy kernel on a materialized transpose wins despite the
+        // copy.
+        if k < 64 || k < 2 * n {
+            return self.matmul(&other.transpose()?);
+        }
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
@@ -122,12 +264,7 @@ impl Tensor {
                 let i = row0 + local_i;
                 let arow = &a[i * k..(i + 1) * k];
                 for (j, o) in out_row.iter_mut().enumerate() {
-                    let brow = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in arow.iter().zip(brow) {
-                        acc += av * bv;
-                    }
-                    *o = acc;
+                    *o = dot_unrolled(arow, &b[j * k..(j + 1) * k]);
                 }
             }
         };
@@ -156,8 +293,7 @@ impl Tensor {
         }
         let mut out = vec![0.0f32; m];
         for (i, o) in out.iter_mut().enumerate() {
-            let row = &self.data()[i * k..(i + 1) * k];
-            *o = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
+            *o = dot_unrolled(&self.data()[i * k..(i + 1) * k], v.data());
         }
         Tensor::from_vec(out, &[m])
     }

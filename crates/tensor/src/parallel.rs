@@ -9,11 +9,26 @@ use std::sync::Mutex;
 
 /// Returns the number of worker threads to use.
 ///
-/// Reads `std::thread::available_parallelism`, clamped to at least 1.
+/// The `OASIS_THREADS` environment variable, when set to a positive
+/// integer, overrides the machine default — benchmarks and CI runs
+/// pin it so timings are comparable across machines. Zero or
+/// unparsable values are ignored. Without the override this reads
+/// `std::thread::available_parallelism`, clamped to at least 1.
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::env::var("OASIS_THREADS")
+        .ok()
+        .and_then(|v| env_thread_override(&v))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Parses an `OASIS_THREADS` value: a positive integer overrides the
+/// machine default; zero or unparsable values yield `None` (ignored).
+fn env_thread_override(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 /// Splits `data` (a flat row-major buffer with rows of `row_len`
@@ -119,6 +134,19 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn oasis_threads_override_parses_and_clamps() {
+        // The parser is tested pure — mutating the process environment
+        // from a multithreaded test binary would race concurrent
+        // `getenv` calls in other tests.
+        assert_eq!(env_thread_override("3"), Some(3));
+        assert_eq!(env_thread_override(" 12 "), Some(12));
+        assert_eq!(env_thread_override("0"), None, "zero falls back");
+        assert_eq!(env_thread_override("-2"), None);
+        assert_eq!(env_thread_override("not-a-number"), None);
+        assert_eq!(env_thread_override(""), None);
     }
 
     #[test]

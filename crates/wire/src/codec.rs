@@ -74,7 +74,20 @@ pub trait UpdateCodec: Send + Sync {
     /// # Errors
     ///
     /// Returns a [`WireError`] on malformed payloads — never panics.
-    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError>;
+    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+        let mut out = Vec::new();
+        self.decode_into(encoded, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes into a reused buffer (cleared first; contents are
+    /// unspecified on error) — the allocation-free path the FL server
+    /// aggregates every round through.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed payloads — never panics.
+    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError>;
 }
 
 /// A codec choice, as a value. Spec grammar (round-tripping through
@@ -197,11 +210,10 @@ impl UpdateCodec for RawCodec {
         })
     }
 
-    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
         let view = parse_payload(encoded)?;
-        let values = view.require("update")?.to_f32_vec()?;
-        check_len(&values, encoded.n)?;
-        Ok(values)
+        view.require("update")?.read_f32_into(out)?;
+        check_len(out, encoded.n)
     }
 }
 
@@ -259,7 +271,7 @@ impl UpdateCodec for Q8Codec {
         })
     }
 
-    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
         let view = parse_payload(encoded)?;
         let affine = view.require("affine")?.to_f32_vec()?;
         let [lo, scale] = affine[..] else {
@@ -271,17 +283,15 @@ impl UpdateCodec for Q8Codec {
         // Dequantize in f64 and clamp into f32's finite range: for
         // extreme updates `lo + 255·scale` can land one rounding step
         // past f32::MAX, and the decoder must never emit inf/NaN.
-        let values: Vec<f32> = view
-            .require("q")?
-            .to_u8_slice()?
-            .iter()
-            .map(|&q| {
-                let v = f64::from(lo) + f64::from(scale) * f64::from(q);
-                v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32
-            })
-            .collect();
-        check_len(&values, encoded.n)?;
-        Ok(values)
+        let q_tensor = view.require("q")?;
+        let q = q_tensor.to_u8_slice()?;
+        out.clear();
+        out.reserve(q.len());
+        out.extend(q.iter().map(|&q| {
+            let v = f64::from(lo) + f64::from(scale) * f64::from(q);
+            v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32
+        }));
+        check_len(out, encoded.n)
     }
 }
 
@@ -335,7 +345,7 @@ impl UpdateCodec for TopKCodec {
         })
     }
 
-    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
         let view = parse_payload(encoded)?;
         let indices = view.require("idx")?.to_u32_vec()?;
         let values = view.require("val")?.to_f32_vec()?;
@@ -346,14 +356,15 @@ impl UpdateCodec for TopKCodec {
                 values.len()
             )));
         }
-        let mut out = vec![0.0f32; encoded.n];
+        out.clear();
+        out.resize(encoded.n, 0.0);
         for (&i, &v) in indices.iter().zip(&values) {
             let slot = out.get_mut(i as usize).ok_or_else(|| {
                 WireError::Codec(format!("topk index {i} out of range for n={}", encoded.n))
             })?;
             *slot = v;
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -399,7 +410,7 @@ impl UpdateCodec for SignCodec {
         })
     }
 
-    fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
+    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
         let view = parse_payload(encoded)?;
         let bits_tensor = view.require("bits")?;
         let bits = bits_tensor.to_u8_slice()?;
@@ -418,15 +429,16 @@ impl UpdateCodec for SignCodec {
                 encoded.n.div_ceil(8)
             )));
         }
-        Ok((0..encoded.n)
-            .map(|i| {
-                if bits[i / 8] & (1 << (i % 8)) != 0 {
-                    mag
-                } else {
-                    -mag
-                }
-            })
-            .collect())
+        out.clear();
+        out.reserve(encoded.n);
+        out.extend((0..encoded.n).map(|i| {
+            if bits[i / 8] & (1 << (i % 8)) != 0 {
+                mag
+            } else {
+                -mag
+            }
+        }));
+        Ok(())
     }
 }
 

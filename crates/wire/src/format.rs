@@ -406,6 +406,25 @@ impl TensorView<'_, '_> {
         Ok(le_bytes_to_f32s(self.bytes))
     }
 
+    /// Decodes the payload as little-endian `f32`s into a reused
+    /// buffer (cleared first) — the allocation-free twin of
+    /// [`TensorView::to_f32_vec`] for per-round hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] when the dtype is not `f32`.
+    pub fn read_f32_into(&self, out: &mut Vec<f32>) -> Result<(), WireError> {
+        self.expect_dtype(Dtype::F32)?;
+        out.clear();
+        out.reserve(self.bytes.len() / 4);
+        out.extend(
+            self.bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        Ok(())
+    }
+
     /// Decodes the payload as little-endian `u32`s.
     ///
     /// # Errors
