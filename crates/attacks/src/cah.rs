@@ -26,11 +26,12 @@
 
 use oasis_image::Image;
 use oasis_nn::Sequential;
-use oasis_tensor::Tensor;
+use oasis_tensor::{parallel, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::inversion::PAR_MIN_SWEEP_ELEMS;
 use crate::{attacked_model, dedupe_images, invert_neuron, ActiveAttack, AttackError, Result};
 
 /// Default activation probability target.
@@ -196,18 +197,24 @@ impl ActiveAttack for CahAttack {
         geometry: (usize, usize, usize),
     ) -> Vec<Image> {
         let (c, h, w) = geometry;
-        let mut pool = Vec::new();
-        for i in 0..self.neurons {
-            if let Some(values) = invert_neuron(
+        let d = c * h * w;
+        let invert_trap = |i: usize| -> Option<Image> {
+            invert_neuron(
                 grad_weight.row(i).expect("row in bounds"),
                 grad_bias.data()[i],
-            ) {
-                if let Ok(img) = Image::from_vec(c, h, w, values) {
-                    pool.push(img);
-                }
-            }
-        }
-        dedupe_images(pool)
+            )
+            .and_then(|values| Image::from_vec(c, h, w, values).ok())
+        };
+        // Per-trap-neuron Eq. 6 inversions are independent — fan the
+        // sweep out across the worker pool, keeping index order so
+        // dedupe sees the same candidate sequence at any thread count.
+        let candidates = parallel::map_range_min(
+            self.neurons,
+            self.neurons * d,
+            PAR_MIN_SWEEP_ELEMS,
+            invert_trap,
+        );
+        dedupe_images(candidates.into_iter().flatten().collect())
     }
 }
 

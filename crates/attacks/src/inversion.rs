@@ -2,7 +2,12 @@
 //! pool hygiene.
 
 use oasis_image::Image;
-use oasis_metrics::psnr_data;
+
+/// Minimum total gradient elements (`neurons · d`) before a
+/// per-neuron inversion sweep fans out across the worker pool. Each
+/// neuron's inversion is only a `d`-long divide, so small sweeps
+/// would pay more in dispatch latency than they save.
+pub(crate) const PAR_MIN_SWEEP_ELEMS: usize = 64 * 1024;
 
 /// Minimum `|∂L/∂b_i|` for a neuron to be considered informative.
 pub const BIAS_GRAD_EPS: f32 = 1e-9;
@@ -46,12 +51,41 @@ pub fn invert_neuron_difference(
 /// PSNR above which two reconstructions are considered the same image.
 const DUPLICATE_PSNR: f64 = 45.0;
 
+/// Whether `b` duplicates `a`: squared error below the
+/// [`DUPLICATE_PSNR`] threshold (peak value 1.0).
+///
+/// Equivalent to `psnr_data(a, b) > DUPLICATE_PSNR` but allocation-free
+/// and short-circuiting: the squared-error sum is monotone, so the
+/// comparison aborts as soon as it provably exceeds the duplicate
+/// bound — for a non-duplicate pair only a prefix of the pixels is
+/// ever read. Terms accumulate in the same left-to-right order as the
+/// full PSNR computation, so no pair classifies differently.
+fn is_duplicate(a: &[f32], b: &[f32]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    // psnr > t  ⟺  mse < 10^(−t/10)  (with the saturated "perfect"
+    // band below the MSE floor landing on the duplicate side too).
+    let limit = 10f64.powf(-DUPLICATE_PSNR / 10.0) * a.len() as f64;
+    let mut sum = 0.0f64;
+    for (ca, cb) in a.chunks(256).zip(b.chunks(256)) {
+        for (&x, &y) in ca.iter().zip(cb) {
+            let d = x as f64 - y as f64;
+            sum += d * d;
+        }
+        if sum >= limit {
+            return false;
+        }
+    }
+    sum < limit
+}
+
 /// Removes near-duplicate reconstructions (many trap neurons catch the
 /// same singleton) and obviously degenerate outputs (≈ all-zero).
 ///
-/// Bucketing by quantized mean keeps this near-linear: duplicates have
-/// (almost) identical means, so only same-bucket candidates are
-/// compared with PSNR.
+/// One pass over the pool, near-linear: bucketing by quantized mean
+/// means duplicates (which have almost identical means) are the only
+/// candidates compared pixel-wise, and the comparison itself
+/// short-circuits via [`is_duplicate`] as soon as a candidate is
+/// provably distinct.
 pub fn dedupe_images(pool: Vec<Image>) -> Vec<Image> {
     use std::collections::HashMap;
     let mut kept: Vec<Image> = Vec::new();
@@ -66,9 +100,7 @@ pub fn dedupe_images(pool: Vec<Image>) -> Vec<Image> {
         for k in [key - 1, key, key + 1] {
             if let Some(indices) = buckets.get(&k) {
                 for &i in indices {
-                    if kept[i].dims() == img.dims()
-                        && psnr_data(kept[i].data(), img.data()) > DUPLICATE_PSNR
-                    {
+                    if kept[i].dims() == img.dims() && is_duplicate(kept[i].data(), img.data()) {
                         continue 'outer;
                     }
                 }
@@ -165,5 +197,65 @@ mod tests {
     fn dedupe_drops_nonfinite() {
         let pool = vec![img(&[f32::NAN, 0.3]), img(&[0.4, 0.4])];
         assert_eq!(dedupe_images(pool).len(), 1);
+    }
+
+    #[test]
+    fn dedupe_empty_pool_is_noop() {
+        assert!(dedupe_images(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_check_matches_full_psnr_comparison() {
+        // The short-circuiting comparison must agree with the full
+        // PSNR computation on exact duplicates, f32-noise duplicates,
+        // borderline pairs, and clearly distinct images.
+        let base: Vec<f32> = (0..768).map(|i| (i as f32 * 0.013).fract()).collect();
+        let noisy: Vec<f32> = base.iter().map(|&v| v + 1e-6).collect();
+        let distinct: Vec<f32> = base.iter().map(|&v| 1.0 - v).collect();
+        // ~40 dB of uniform offset: below the 45 dB duplicate bar.
+        let offset: Vec<f32> = base.iter().map(|&v| v + 0.01).collect();
+        for (a, b) in [
+            (&base, &base),
+            (&base, &noisy),
+            (&base, &distinct),
+            (&base, &offset),
+        ] {
+            assert_eq!(
+                is_duplicate(a, b),
+                oasis_metrics::psnr_data(a, b) > DUPLICATE_PSNR,
+                "divergence from psnr_data"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_duplicate_pool_dedupes_in_one_pass() {
+        // 500 reconstructions, only 10 distinct underlying samples —
+        // the shape of a wide imprint layer catching few singletons.
+        // Duplicates carry f32-level noise (well above 45 dB against
+        // their original), and a sprinkle of degenerate zeros rides
+        // along.
+        let d = 48;
+        let sample = |s: usize| -> Vec<f32> {
+            (0..d)
+                .map(|i| ((i * 31 + s * 97) % 100) as f32 / 100.0)
+                .collect()
+        };
+        let mut pool = Vec::new();
+        for rep in 0..50 {
+            for s in 0..10 {
+                let mut v = sample(s);
+                if rep % 7 == 3 {
+                    v.iter_mut().for_each(|x| *x = 0.0); // degenerate
+                } else {
+                    let eps = rep as f32 * 1e-7;
+                    v.iter_mut().for_each(|x| *x += eps);
+                }
+                pool.push(img(&v));
+            }
+        }
+        assert_eq!(pool.len(), 500);
+        let kept = dedupe_images(pool);
+        assert_eq!(kept.len(), 10, "one survivor per distinct sample");
     }
 }

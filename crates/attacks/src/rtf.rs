@@ -17,8 +17,9 @@
 
 use oasis_image::Image;
 use oasis_nn::Sequential;
-use oasis_tensor::Tensor;
+use oasis_tensor::{parallel, Tensor};
 
+use crate::inversion::PAR_MIN_SWEEP_ELEMS;
 use crate::{
     attacked_model, dedupe_images, invert_neuron, invert_neuron_difference, probit, ActiveAttack,
     AttackError, Result,
@@ -128,8 +129,8 @@ impl ActiveAttack for RtfAttack {
     ) -> Vec<Image> {
         let (c, h, w) = geometry;
         let n = self.neurons;
-        let mut pool = Vec::new();
-        for i in 0..n {
+        let d = c * h * w;
+        let invert_bin = |i: usize| -> Option<Image> {
             let rec = if i + 1 < n {
                 invert_neuron_difference(
                     grad_weight.row(i).expect("row in bounds"),
@@ -144,13 +145,13 @@ impl ActiveAttack for RtfAttack {
                     grad_bias.data()[i],
                 )
             };
-            if let Some(values) = rec {
-                if let Ok(img) = Image::from_vec(c, h, w, values) {
-                    pool.push(img);
-                }
-            }
-        }
-        dedupe_images(pool)
+            rec.and_then(|values| Image::from_vec(c, h, w, values).ok())
+        };
+        // Each bin inverts independently — the sweep fans out across
+        // the worker pool (in index order, so the pool fed to dedupe
+        // is the same sequence at any thread count).
+        let candidates = parallel::map_range_min(n, n * d, PAR_MIN_SWEEP_ELEMS, invert_bin);
+        dedupe_images(candidates.into_iter().flatten().collect())
     }
 }
 

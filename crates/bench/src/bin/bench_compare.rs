@@ -1,15 +1,25 @@
 //! `bench_compare` — the CI regression gate over `BENCH_*.json`.
 //!
-//! Diffs a current perf run against the committed baseline:
+//! Two modes. Diffing a current perf run against the committed
+//! baseline:
 //!
 //! ```text
 //! bench_compare <baseline.json> <current.json> [--warn PCT] [--fail PCT]
 //! ```
 //!
+//! and gating a `scale` suite run on parallel efficiency (the
+//! `_t1`/`_tN` medians measured *within that one run*, so the gate is
+//! machine-relative and immune to runner-generation noise):
+//!
+//! ```text
+//! bench_compare --scale-gate <scale.json> [--at-threads N] [--min-speedup X]
+//! ```
+//!
 //! Exit status: 0 when every bench is within the warn threshold (or
 //! faster), 0 with warnings printed between warn and fail, 1 when any
-//! bench regressed past the fail threshold or disappeared from the
-//! suite. `tools/bench_compare` wraps this binary for CI.
+//! bench regressed past the fail threshold, disappeared from the
+//! suite, or (scale mode) ran slower multi-threaded than serial.
+//! `tools/bench_compare` wraps this binary for CI.
 
 use std::process::ExitCode;
 
@@ -20,10 +30,43 @@ fn load(path: &str) -> Result<BenchSuite, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
 }
 
+/// Prints every scaling datapoint and applies the efficiency gate.
+fn run_scale_gate(path: &str, at_threads: usize, min_speedup: f64) -> Result<bool, String> {
+    let suite = load(path)?;
+    let report = perf::scale_gate(&suite, at_threads, min_speedup)?;
+    println!(
+        "suite `{}`: parallel efficiency (gate: ≥{min_speedup:.2}x at {at_threads} threads)",
+        suite.suite
+    );
+    for p in &report.points {
+        let gated = p.threads == at_threads;
+        let tag = if gated && p.speedup() < min_speedup {
+            "FAIL"
+        } else if gated {
+            "ok"
+        } else {
+            "info"
+        };
+        println!(
+            "  {tag:<5} {:<22} t1 {:>12} ns -> t{} {:>12} ns  ({:.2}x, {:.0}% eff)",
+            p.base,
+            p.t1_ns,
+            p.threads,
+            p.tn_ns,
+            p.speedup(),
+            p.efficiency() * 100.0
+        );
+    }
+    Ok(report.failed)
+}
+
 fn run() -> Result<bool, String> {
     let mut positional = Vec::new();
     let mut warn_pct = perf::WARN_PCT;
     let mut fail_pct = perf::FAIL_PCT;
+    let mut scale_path: Option<String> = None;
+    let mut at_threads = 4usize;
+    let mut min_speedup = 1.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,8 +82,26 @@ fn run() -> Result<bool, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--fail needs a percentage")?;
             }
+            "--scale-gate" => {
+                scale_path = Some(it.next().ok_or("--scale-gate needs a BENCH_scale.json")?);
+            }
+            "--at-threads" => {
+                at_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--at-threads needs a thread count")?;
+            }
+            "--min-speedup" => {
+                min_speedup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-speedup needs a factor")?;
+            }
             "--help" | "-h" => {
-                println!("bench_compare <baseline.json> <current.json> [--warn PCT] [--fail PCT]");
+                println!(
+                    "bench_compare <baseline.json> <current.json> [--warn PCT] [--fail PCT]\n\
+                     bench_compare --scale-gate <scale.json> [--at-threads N] [--min-speedup X]"
+                );
                 std::process::exit(0);
             }
             flag if flag.starts_with("--") => {
@@ -48,6 +109,12 @@ fn run() -> Result<bool, String> {
             }
             path => positional.push(path.to_string()),
         }
+    }
+    if let Some(path) = scale_path {
+        if !positional.is_empty() {
+            return Err("--scale-gate takes no positional baseline/current files".into());
+        }
+        return run_scale_gate(&path, at_threads, min_speedup);
     }
     let [baseline_path, current_path] = positional.as_slice() else {
         return Err("expected exactly two files: <baseline.json> <current.json>".into());
@@ -95,7 +162,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(false) => ExitCode::SUCCESS,
         Ok(true) => {
-            eprintln!("bench_compare: performance regression past the fail threshold");
+            eprintln!("bench_compare: performance gate failed");
             ExitCode::FAILURE
         }
         Err(msg) => {

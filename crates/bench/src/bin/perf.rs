@@ -6,11 +6,14 @@
 //! `tools/bench_compare`).
 //!
 //! ```text
-//! perf [--quick] [--suite core|fl|all] [--filter SUBSTR]
+//! perf [--quick] [--suite core|fl|scale|all]... [--filter SUBSTR]
 //!      [--out-dir DIR] [--list]
 //! ```
 //!
-//! Set `OASIS_THREADS=1` for timings comparable across machines.
+//! `--suite` may repeat to select several suites. Set
+//! `OASIS_THREADS=1` for timings comparable across machines (the
+//! `scale` suite pins its own per-bench thread counts and ignores
+//! the variable).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,19 +36,31 @@ fn parse_args() -> Result<Args, String> {
         out_dir: PathBuf::from("."),
         list: false,
     };
+    let mut suites_explicit = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--list" => args.list = true,
             "--suite" => {
-                let v = it.next().ok_or("--suite needs a value (core|fl|all)")?;
+                let v = it
+                    .next()
+                    .ok_or("--suite needs a value (core|fl|scale|all)")?;
                 if v == "all" {
                     args.suites = perf::SUITE_NAMES.iter().map(|s| s.to_string()).collect();
+                    suites_explicit = true;
                 } else if perf::suite(&v).is_some() {
-                    args.suites = vec![v];
+                    if !suites_explicit {
+                        args.suites.clear();
+                        suites_explicit = true;
+                    }
+                    if !args.suites.contains(&v) {
+                        args.suites.push(v);
+                    }
                 } else {
-                    return Err(format!("unknown suite `{v}` (expected core, fl, or all)"));
+                    return Err(format!(
+                        "unknown suite `{v}` (expected core, fl, scale, or all)"
+                    ));
                 }
             }
             "--filter" => {
@@ -56,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perf [--quick] [--suite core|fl|all] [--filter SUBSTR] \
+                    "perf [--quick] [--suite core|fl|scale|all]... [--filter SUBSTR] \
                      [--out-dir DIR] [--list]"
                 );
                 std::process::exit(0);

@@ -10,12 +10,19 @@
 //! two runs. Thread count is pinned via `OASIS_THREADS` for
 //! cross-machine comparability (the JSON records what was used).
 //!
-//! Two suites:
+//! Three suites:
 //!
 //! * `core` — tensor/nn kernels: matmul / matmul_nt / matmul_tn at
 //!   model-relevant shapes, Conv2d forward+backward.
 //! * `fl` — protocol macro paths: a full [`FlServer::run_round`]
 //!   (raw and q8 wire), codec encode/decode, one RTF inversion step.
+//! * `scale` — multi-core scaling: the core/fl macro-benches re-run
+//!   at 1, 2, and 4 worker threads (pinned per bench via
+//!   [`parallel::with_threads`], independent of `OASIS_THREADS`), as
+//!   `<bench>_t<N>` records. Parallel efficiency is derived from the
+//!   `_t1`/`_tN` medians by [`scale_points`], and the CI gate
+//!   ([`scale_gate`]) fails when the multi-threaded run is slower
+//!   than the serial one on the same machine.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -171,14 +178,73 @@ pub fn fl_suite() -> Vec<BenchDef> {
     ]
 }
 
-/// All suite names, in run order.
-pub const SUITE_NAMES: [&str; 2] = ["core", "fl"];
+/// The `scale` suite: core/fl macro-benches at 1/2/4 worker threads.
+///
+/// Order is fixed; names are stable comparison keys. Thread count is
+/// pinned per bench with [`parallel::with_threads`], so one run
+/// measures every width regardless of `OASIS_THREADS`.
+pub fn scale_suite() -> Vec<BenchDef> {
+    vec![
+        BenchDef {
+            name: "fl_round_raw_t1",
+            build: bench_fl_round_raw_t1,
+        },
+        BenchDef {
+            name: "fl_round_raw_t2",
+            build: bench_fl_round_raw_t2,
+        },
+        BenchDef {
+            name: "fl_round_raw_t4",
+            build: bench_fl_round_raw_t4,
+        },
+        BenchDef {
+            name: "conv2d_forward_b32_t1",
+            build: bench_conv_forward_b32_t1,
+        },
+        BenchDef {
+            name: "conv2d_forward_b32_t2",
+            build: bench_conv_forward_b32_t2,
+        },
+        BenchDef {
+            name: "conv2d_forward_b32_t4",
+            build: bench_conv_forward_b32_t4,
+        },
+        BenchDef {
+            name: "matmul_256_t1",
+            build: bench_matmul_256_t1,
+        },
+        BenchDef {
+            name: "matmul_256_t2",
+            build: bench_matmul_256_t2,
+        },
+        BenchDef {
+            name: "matmul_256_t4",
+            build: bench_matmul_256_t4,
+        },
+        BenchDef {
+            name: "rtf_invert_128_t1",
+            build: bench_rtf_invert_t1,
+        },
+        BenchDef {
+            name: "rtf_invert_128_t2",
+            build: bench_rtf_invert_t2,
+        },
+        BenchDef {
+            name: "rtf_invert_128_t4",
+            build: bench_rtf_invert_t4,
+        },
+    ]
+}
 
-/// The benches of the named suite (`core` or `fl`).
+/// All suite names, in run order.
+pub const SUITE_NAMES: [&str; 3] = ["core", "fl", "scale"];
+
+/// The benches of the named suite (`core`, `fl`, or `scale`).
 pub fn suite(name: &str) -> Option<Vec<BenchDef>> {
     match name {
         "core" => Some(core_suite()),
         "fl" => Some(fl_suite()),
+        "scale" => Some(scale_suite()),
         _ => None,
     }
 }
@@ -636,6 +702,158 @@ fn bench_rtf_invert() -> PreparedBench {
     }
 }
 
+// ---------------------------------------------------------------------
+// scale benches (+ the parallel-efficiency gate)
+// ---------------------------------------------------------------------
+
+/// Re-times `inner` with [`parallel::with_threads`] pinned to
+/// `threads` around every iteration.
+fn scaled(threads: usize, inner: PreparedBench) -> PreparedBench {
+    let mut run = inner.run;
+    PreparedBench {
+        throughput: inner.throughput,
+        run: Box::new(move || parallel::with_threads(threads, &mut run)),
+    }
+}
+
+fn bench_fl_round_raw_t1() -> PreparedBench {
+    scaled(1, bench_fl_round_raw())
+}
+
+fn bench_fl_round_raw_t2() -> PreparedBench {
+    scaled(2, bench_fl_round_raw())
+}
+
+fn bench_fl_round_raw_t4() -> PreparedBench {
+    scaled(4, bench_fl_round_raw())
+}
+
+fn bench_conv_forward_b32_t1() -> PreparedBench {
+    scaled(1, bench_conv_forward_b32())
+}
+
+fn bench_conv_forward_b32_t2() -> PreparedBench {
+    scaled(2, bench_conv_forward_b32())
+}
+
+fn bench_conv_forward_b32_t4() -> PreparedBench {
+    scaled(4, bench_conv_forward_b32())
+}
+
+fn bench_matmul_256_t1() -> PreparedBench {
+    scaled(1, bench_matmul_256())
+}
+
+fn bench_matmul_256_t2() -> PreparedBench {
+    scaled(2, bench_matmul_256())
+}
+
+fn bench_matmul_256_t4() -> PreparedBench {
+    scaled(4, bench_matmul_256())
+}
+
+fn bench_rtf_invert_t1() -> PreparedBench {
+    scaled(1, bench_rtf_invert())
+}
+
+fn bench_rtf_invert_t2() -> PreparedBench {
+    scaled(2, bench_rtf_invert())
+}
+
+fn bench_rtf_invert_t4() -> PreparedBench {
+    scaled(4, bench_rtf_invert())
+}
+
+/// One bench's scaling datapoint, derived from a scale suite's
+/// `<base>_t1` / `<base>_t<N>` medians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Bench base name (e.g. `fl_round_raw`).
+    pub base: String,
+    /// Worker threads of the multi-threaded record.
+    pub threads: usize,
+    /// Serial (`_t1`) median, ns.
+    pub t1_ns: u64,
+    /// Multi-threaded (`_t<threads>`) median, ns.
+    pub tn_ns: u64,
+}
+
+impl ScalePoint {
+    /// Serial time over parallel time — > 1 means threads helped.
+    pub fn speedup(&self) -> f64 {
+        self.t1_ns as f64 / self.tn_ns.max(1) as f64
+    }
+
+    /// Speedup normalized by thread count (1.0 = perfect scaling).
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.threads as f64
+    }
+}
+
+/// Extracts every `_t1`/`_tN` pair from a scale-suite run, in record
+/// order. Records without a `_t1` sibling are skipped.
+pub fn scale_points(suite: &BenchSuite) -> Vec<ScalePoint> {
+    let mut points = Vec::new();
+    for rec in &suite.results {
+        let Some((base, tn)) = rec.name.rsplit_once("_t") else {
+            continue;
+        };
+        let Ok(threads) = tn.parse::<usize>() else {
+            continue;
+        };
+        if threads <= 1 {
+            continue;
+        }
+        let Some(t1) = suite.get(&format!("{base}_t1")) else {
+            continue;
+        };
+        points.push(ScalePoint {
+            base: base.to_string(),
+            threads,
+            t1_ns: t1.median_ns,
+            tn_ns: rec.median_ns,
+        });
+    }
+    points
+}
+
+/// Outcome of the parallel-efficiency gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Every `_t1`/`_tN` pair found, in record order.
+    pub points: Vec<ScalePoint>,
+    /// True when any pair at `at_threads` fell below `min_speedup`.
+    pub failed: bool,
+}
+
+/// Gates a scale-suite run on parallel efficiency: every bench's
+/// `_t<at_threads>` median must be at least `min_speedup` times
+/// faster than its `_t1` median. `min_speedup = 1.0` asserts the old
+/// failure mode is gone — multi-threaded must never be *slower* than
+/// serial on the same machine.
+///
+/// # Errors
+///
+/// Returns a message when the suite contains no pair at `at_threads`
+/// — the gate would be vacuous.
+pub fn scale_gate(
+    suite: &BenchSuite,
+    at_threads: usize,
+    min_speedup: f64,
+) -> Result<ScaleReport, String> {
+    let points = scale_points(suite);
+    if !points.iter().any(|p| p.threads == at_threads) {
+        return Err(format!(
+            "suite `{}` has no _t1/_t{at_threads} pairs to gate on",
+            suite.suite
+        ));
+    }
+    let failed = points
+        .iter()
+        .any(|p| p.threads == at_threads && p.speedup() < min_speedup);
+    Ok(ScaleReport { points, failed })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,9 +892,92 @@ mod tests {
                 "rtf_invert_128",
             ]
         );
+        let scale = names(scale_suite());
+        assert_eq!(
+            scale,
+            vec![
+                "fl_round_raw_t1",
+                "fl_round_raw_t2",
+                "fl_round_raw_t4",
+                "conv2d_forward_b32_t1",
+                "conv2d_forward_b32_t2",
+                "conv2d_forward_b32_t4",
+                "matmul_256_t1",
+                "matmul_256_t2",
+                "matmul_256_t4",
+                "rtf_invert_128_t1",
+                "rtf_invert_128_t2",
+                "rtf_invert_128_t4",
+            ]
+        );
         assert!(suite("core").is_some());
         assert!(suite("fl").is_some());
+        assert!(suite("scale").is_some());
         assert!(suite("nope").is_none());
+    }
+
+    fn scale_suite_of(medians: &[(&str, u64)]) -> BenchSuite {
+        BenchSuite {
+            schema_version: SCHEMA_VERSION,
+            suite: "scale".into(),
+            threads: 4,
+            quick: true,
+            results: medians
+                .iter()
+                .map(|&(name, median_ns)| BenchRecord {
+                    name: name.into(),
+                    iters: 3,
+                    median_ns,
+                    min_ns: median_ns,
+                    throughput: None,
+                    throughput_unit: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scale_points_derive_speedup_and_efficiency() {
+        let suite = scale_suite_of(&[
+            ("fl_round_raw_t1", 4000),
+            ("fl_round_raw_t2", 2000),
+            ("fl_round_raw_t4", 1000),
+            ("orphan_t4", 10), // no _t1 sibling: skipped
+            ("not_a_pair", 10),
+        ]);
+        let points = scale_points(&suite);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].base, "fl_round_raw");
+        assert_eq!(points[0].threads, 2);
+        assert!((points[0].speedup() - 2.0).abs() < 1e-9);
+        assert!((points[0].efficiency() - 1.0).abs() < 1e-9);
+        assert_eq!(points[1].threads, 4);
+        assert!((points[1].speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_gate_passes_speedups_and_fails_slowdowns() {
+        let good = scale_suite_of(&[
+            ("fl_round_raw_t1", 4000),
+            ("fl_round_raw_t4", 1500),
+            ("matmul_256_t1", 1000),
+            ("matmul_256_t4", 900),
+        ]);
+        let report = scale_gate(&good, 4, 1.0).expect("gate applies");
+        assert!(!report.failed);
+
+        // The pre-pool failure mode: 4 threads slower than 1.
+        let bad = scale_suite_of(&[("fl_round_raw_t1", 4000), ("fl_round_raw_t4", 5000)]);
+        let report = scale_gate(&bad, 4, 1.0).expect("gate applies");
+        assert!(report.failed);
+
+        // A stricter bar: ≥2× at 4 threads.
+        let report = scale_gate(&good, 4, 2.0).expect("gate applies");
+        assert!(report.failed, "matmul_256 at 1.11x misses a 2x bar");
+
+        // No pairs at the requested width ⇒ the gate refuses to be
+        // vacuously green.
+        assert!(scale_gate(&good, 8, 1.0).is_err());
     }
 
     #[test]

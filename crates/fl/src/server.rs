@@ -10,6 +10,12 @@ use oasis_wire::{CodecSpec, DeliveryStatus, EncodedUpdate, NetSpec, Submission, 
 
 use crate::{ClientUpdate, FlClient, FlConfig, FlError, ModelFactory, Result};
 
+/// Minimum model size (parameters) before update decoding fans a
+/// wave of frames out across the worker pool; smaller updates decode
+/// serially into one reused buffer, where pool-dispatch latency
+/// would rival the decode itself.
+const DECODE_PAR_MIN_ELEMS: usize = 16 * 1024;
+
 /// How updates travel between clients and the server: the update
 /// codec plus the simulated network condition.
 ///
@@ -53,7 +59,7 @@ impl std::fmt::Debug for WireConfig {
 }
 
 /// Outcome of one protocol round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: usize,
@@ -88,10 +94,12 @@ pub struct FlServer {
     tamper: Option<Box<dyn crate::ModelTamper>>,
     wire: WireConfig,
     round: usize,
-    /// Reused per-round decode buffer: each delivered update is
-    /// decoded into it and folded into the aggregate immediately, so
-    /// a round allocates O(model) instead of O(clients · model).
-    decode_scratch: Vec<f32>,
+    /// Reused decode buffers: each round decodes delivered updates in
+    /// waves of up to [`parallel::num_threads`] concurrent wire frames,
+    /// one buffer per wave slot, so a round allocates O(threads ·
+    /// model) instead of O(clients · model) — and exactly O(model)
+    /// when single-threaded.
+    decode_bufs: Vec<Vec<f32>>,
 }
 
 impl FlServer {
@@ -114,7 +122,7 @@ impl FlServer {
             tamper: None,
             wire: WireConfig::default(),
             round: 0,
-            decode_scratch: Vec::new(),
+            decode_bufs: Vec::new(),
         })
     }
 
@@ -249,10 +257,11 @@ impl FlServer {
             .deliver(round_seed, self.round as u64, &submissions);
 
         // The server aggregates only what actually arrived, decoding
-        // each update from its wire frame into one reused buffer and
-        // folding it straight into the sample-weighted mean (the
-        // streaming form of [`fedavg_weighted`] — same weights, same
-        // accumulation order, no per-client gradient copies held).
+        // wire frames in parallel waves of reused buffers and folding
+        // them into the sample-weighted mean strictly in delivery
+        // order (the streaming form of [`fedavg_weighted`] — same
+        // weights, same accumulation order at any thread count, no
+        // per-client gradient copies held beyond the wave).
         let delivered: Vec<&(ClientUpdate, EncodedUpdate)> = sent
             .iter()
             .zip(&traffic.deliveries)
@@ -271,23 +280,92 @@ impl FlServer {
             }
             let n = global.len();
             let mut agg = vec![0.0f32; n];
-            let mut buf = std::mem::take(&mut self.decode_scratch);
             let mut loss_sum = 0.0f32;
-            for (update, encoded) in &delivered {
-                codec.decode_into(encoded, &mut buf)?;
+            // A wave decodes up to `effective_parallelism` frames
+            // concurrently into per-slot buffers; the fold over the
+            // wave then runs serially in delivery order, so the FP
+            // accumulation sequence is identical to a fully serial
+            // round. Small models stay on a single reused buffer —
+            // like every other parallel front, a decode below the
+            // work threshold must not pay pool-dispatch latency —
+            // and a server running inside a pool worker (nested
+            // parallelism) likewise decodes inline, sizing only
+            // scratch it can actually use.
+            let wave_width = if n >= DECODE_PAR_MIN_ELEMS {
+                parallel::effective_parallelism()
+                    .min(delivered.len())
+                    .max(1)
+            } else {
+                1
+            };
+            let mut bufs = std::mem::take(&mut self.decode_bufs);
+            // Grow-only: a round with fewer deliveries must not free
+            // warm model-sized buffers the next full round would just
+            // reallocate.
+            if bufs.len() < wave_width {
+                bufs.resize_with(wave_width, Vec::new);
+            }
+            // The first failure aborts the fold, but every scratch
+            // buffer still returns to `decode_bufs` — a malformed
+            // frame must not cost the retained O(threads · model)
+            // scratch on top of the failed round.
+            let mut fold_err: Option<FlError> = None;
+            let mut fold = |update: &ClientUpdate, buf: &[f32]| -> Option<FlError> {
                 if buf.len() != n {
-                    return Err(FlError::UpdateLength {
+                    return Some(FlError::UpdateLength {
                         len: buf.len(),
                         expected: n,
                     });
                 }
                 let w = update.samples as f32 / total as f32;
-                for (a, &g) in agg.iter_mut().zip(&buf) {
+                for (a, &g) in agg.iter_mut().zip(buf) {
                     *a += w * g;
                 }
                 loss_sum += update.loss;
+                None
+            };
+            if wave_width == 1 {
+                // Serial streaming path: one reused buffer, zero
+                // per-update allocations.
+                let mut buf = bufs.pop().unwrap_or_default();
+                for (update, encoded) in &delivered {
+                    fold_err = match codec.decode_into(encoded, &mut buf) {
+                        Err(e) => Some(e.into()),
+                        Ok(()) => fold(update, &buf),
+                    };
+                    if fold_err.is_some() {
+                        break;
+                    }
+                }
+                bufs.push(buf);
+            } else {
+                for wave in delivered.chunks(wave_width) {
+                    type DecodeResult = std::result::Result<(), oasis_wire::WireError>;
+                    let mut slots: Vec<(&EncodedUpdate, Vec<f32>, DecodeResult)> = wave
+                        .iter()
+                        .map(|(_, encoded)| (encoded, bufs.pop().unwrap_or_default(), Ok(())))
+                        .collect();
+                    parallel::for_each_mut(&mut slots, |_, (encoded, buf, res)| {
+                        *res = codec.decode_into(encoded, buf);
+                    });
+                    for ((update, _), (_, buf, res)) in wave.iter().zip(slots) {
+                        if fold_err.is_none() {
+                            fold_err = match res {
+                                Err(e) => Some(e.into()),
+                                Ok(()) => fold(update, &buf),
+                            };
+                        }
+                        bufs.push(buf);
+                    }
+                    if fold_err.is_some() {
+                        break;
+                    }
+                }
             }
-            self.decode_scratch = buf;
+            self.decode_bufs = bufs;
+            if let Some(e) = fold_err {
+                return Err(e);
+            }
             let mean_loss = loss_sum / delivered.len() as f32;
             let update_norm = agg.iter().map(|g| g * g).sum::<f32>().sqrt();
 

@@ -33,6 +33,13 @@ use std::any::Any;
 
 use crate::{Layer, Mode, NnError, Result};
 
+/// Minimum buffer size (elements) before a lowering fill, gradient
+/// transpose, or scatter enters the worker pool. These fills are pure
+/// memory traffic (~1 ns/element), so below a few tens of KiB the
+/// pool's dispatch latency would dominate — sub-threshold batches run
+/// serially on the caller.
+const PAR_MIN_ELEMS: usize = 16 * 1024;
+
 /// Eight-lane unrolled sum (deterministic lane-combine order; the
 /// independent accumulators let the reduction vectorize).
 fn lane_sum(row: &[f32]) -> f32 {
@@ -162,7 +169,7 @@ impl Conv2d {
         let bp = batch * p;
         let in_f = self.in_features();
         debug_assert_eq!(col.len(), c * k * k * bp);
-        parallel::for_each_row_block(col, bp, |q0, rows| {
+        parallel::for_each_row_block_min(col, bp, PAR_MIN_ELEMS, |q0, rows| {
             for (lq, row) in rows.chunks_mut(bp).enumerate() {
                 let q = q0 + lq;
                 let (ch, ky, kx) = (q / (k * k), q / k % k, q % k);
@@ -269,7 +276,7 @@ impl Layer for Conv2d {
         let mut out = Tensor::zeros(&[batch, oc * p]);
         let ydata = y.data();
         let bias = self.bias.data();
-        parallel::for_each_row_block(out.data_mut(), oc * p, |b0, rows| {
+        parallel::for_each_row_block_min(out.data_mut(), oc * p, PAR_MIN_ELEMS, |b0, rows| {
             for (lb, orow) in rows.chunks_mut(oc * p).enumerate() {
                 let b = b0 + lb;
                 for (c, dst) in orow.chunks_mut(p).enumerate() {
@@ -322,7 +329,7 @@ impl Layer for Conv2d {
         let mut dyv = std::mem::take(&mut self.scratch_dy);
         dyv.resize(oc * bp, 0.0);
         let go = grad_output.data();
-        parallel::for_each_row_block(&mut dyv, bp, |c0, rows| {
+        parallel::for_each_row_block_min(&mut dyv, bp, PAR_MIN_ELEMS, |c0, rows| {
             for (lc, drow) in rows.chunks_mut(bp).enumerate() {
                 let c = c0 + lc;
                 for (b, dst) in drow.chunks_mut(p).enumerate() {
@@ -342,7 +349,7 @@ impl Layer for Conv2d {
 
         let mut grad_input = Tensor::zeros(&[batch, in_f]);
         let dcol_data = dcol.data();
-        parallel::for_each_row_block(grad_input.data_mut(), in_f, |b0, rows| {
+        parallel::for_each_row_block_min(grad_input.data_mut(), in_f, PAR_MIN_ELEMS, |b0, rows| {
             for (lb, gx) in rows.chunks_mut(in_f).enumerate() {
                 self.col2im_t(dcol_data, bp, b0 + lb, gx);
             }

@@ -222,9 +222,11 @@ impl Scenario {
     }
 
     /// Executes the scenario: all trial batches are drawn up front
-    /// from the master seed, then attacked rounds run in parallel via
-    /// [`oasis_tensor::parallel`]; results are deterministic for a
-    /// fixed scenario regardless of thread interleaving.
+    /// from the master seed, then attacked rounds fan out across the
+    /// persistent worker pool via [`oasis_tensor::parallel`] (each
+    /// trial's own matmuls run inline under the pool's nesting
+    /// guard); results are bit-identical for a fixed scenario at any
+    /// thread count.
     ///
     /// Every trial's update crosses the scenario's wire: it is
     /// encoded with the [`CodecSpec`] codec, carried by the

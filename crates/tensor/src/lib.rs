@@ -11,9 +11,10 @@
 //! 2. **Row-major contiguity** — tensors are always dense row-major
 //!    buffers; there are no lazy views, which keeps the manual
 //!    backprop in `oasis-nn` easy to verify.
-//! 3. **Enough speed** — cache-friendly `i-k-j` matmul plus optional
-//!    [`parallel`] helpers (crossbeam scoped threads) so the Table I
-//!    training experiment finishes on a laptop-class CPU.
+//! 3. **Enough speed** — cache-friendly `i-k-j` matmul plus the
+//!    [`parallel`] helpers (a lazily-initialized persistent worker
+//!    pool) so the Table I training experiment finishes on a
+//!    laptop-class CPU and the hot paths scale with cores.
 //!
 //! ## Example
 //!
@@ -36,6 +37,7 @@ mod init;
 mod matmul;
 mod ops;
 pub mod parallel;
+mod pool;
 mod reduce;
 mod shape;
 mod tensor;

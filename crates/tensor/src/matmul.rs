@@ -2,10 +2,20 @@
 
 use crate::{parallel, Result, Tensor, TensorError};
 
-/// Minimum number of output elements before the parallel path is used.
+/// Minimum multiply-add count (`2·m·k·n`) before a product enters the
+/// worker pool.
 ///
-/// Below this, thread spawn overhead dominates on small matrices.
-const PARALLEL_THRESHOLD: usize = 64 * 1024;
+/// Below this, pool-dispatch latency rivals the kernel itself, so
+/// sub-threshold problems always run serially on the caller. The
+/// cutoff is FLOP-based rather than output-element-based so skinny
+/// products with a long reduction axis (conv lowerings, the attacks'
+/// wide `Linear`) parallelize even when their output is small.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// Whether an `m×k · k×n` product is worth dispatching to the pool.
+fn above_par_threshold(m: usize, k: usize, n: usize) -> bool {
+    m > 1 && 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n) >= PAR_MIN_FLOPS
+}
 
 /// Eight-lane unrolled dot product.
 ///
@@ -160,7 +170,7 @@ impl Tensor {
                 tail(ar1, o1);
             }
         };
-        if m * n >= PARALLEL_THRESHOLD && m > 1 {
+        if above_par_threshold(m, k, n) {
             parallel::for_each_row_block(out.data_mut(), n, kernel);
         } else {
             kernel(0, out.data_mut());
@@ -192,39 +202,49 @@ impl Tensor {
         let b = other.data();
         // out[i][j] = Σ_p a[p][i] * b[p][j]: accumulate row-by-row of
         // a/b, four rows per pass so each output row is traversed
-        // once per block instead of once per row.
-        let o = out.data_mut();
+        // once per block instead of once per row. Each output row's
+        // accumulation order (p ascending in 4-blocks, then the tail)
+        // is the same under every row partition, so the parallel path
+        // is bit-identical to the serial one.
         let blocks = k / 4 * 4;
-        let mut p = 0;
-        while p < blocks {
-            let a0 = &a[p * m..(p + 1) * m];
-            let a1 = &a[(p + 1) * m..(p + 2) * m];
-            let a2 = &a[(p + 2) * m..(p + 3) * m];
-            let a3 = &a[(p + 3) * m..(p + 4) * m];
-            let b0 = &b[p * n..(p + 1) * n];
-            let b1 = &b[(p + 1) * n..(p + 2) * n];
-            let b2 = &b[(p + 2) * n..(p + 3) * n];
-            let b3 = &b[(p + 3) * n..(p + 4) * n];
-            for i in 0..m {
-                let coeff = [a0[i], a1[i], a2[i], a3[i]];
-                if coeff != [0.0; 4] {
-                    axpy4(&mut o[i * n..(i + 1) * n], coeff, b0, b1, b2, b3);
+        let kernel = |i0: usize, rows: &mut [f32]| {
+            let mut p = 0;
+            while p < blocks {
+                let a0 = &a[p * m..(p + 1) * m];
+                let a1 = &a[(p + 1) * m..(p + 2) * m];
+                let a2 = &a[(p + 2) * m..(p + 3) * m];
+                let a3 = &a[(p + 3) * m..(p + 4) * m];
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                for (li, orow) in rows.chunks_mut(n).enumerate() {
+                    let i = i0 + li;
+                    let coeff = [a0[i], a1[i], a2[i], a3[i]];
+                    if coeff != [0.0; 4] {
+                        axpy4(orow, coeff, b0, b1, b2, b3);
+                    }
+                }
+                p += 4;
+            }
+            for p in blocks..k {
+                let arow = &a[p * m..(p + 1) * m];
+                let brow = &b[p * n..(p + 1) * n];
+                for (li, orow) in rows.chunks_mut(n).enumerate() {
+                    let av = arow[i0 + li];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (ov, &bv) in orow.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
                 }
             }
-            p += 4;
-        }
-        for p in blocks..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
-                    *ov += av * bv;
-                }
-            }
+        };
+        if above_par_threshold(m, k, n) {
+            parallel::for_each_row_block(out.data_mut(), n, kernel);
+        } else {
+            kernel(0, out.data_mut());
         }
         Ok(out)
     }
@@ -268,7 +288,7 @@ impl Tensor {
                 }
             }
         };
-        if m * n >= PARALLEL_THRESHOLD && m > 1 {
+        if above_par_threshold(m, k, n) {
             parallel::for_each_row_block(out.data_mut(), n, kernel);
         } else {
             kernel(0, out.data_mut());
@@ -365,6 +385,55 @@ mod tests {
         let v = Tensor::from_slice(&[5.0, 6.0]);
         let mv = a.matvec(&v).unwrap();
         assert_eq!(mv.data(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn tiny_matmul_under_wide_thread_override_matches_serial() {
+        // Sub-threshold problems (a 4×4 matmul is ~128 FLOPs, far
+        // under `PAR_MIN_FLOPS`) must never enter the pool: even with
+        // 8 threads requested the result is the serial one, bit for
+        // bit.
+        let a = m((0..16).map(|i| i as f32 * 0.37 - 2.0).collect(), 4, 4);
+        let b = m((0..16).map(|i| (i as f32).sin()).collect(), 4, 4);
+        let serial = a.matmul(&b).unwrap();
+        let wide = parallel::with_threads(8, || a.matmul(&b).unwrap());
+        assert_eq!(wide, serial);
+        assert!(!above_par_threshold(4, 4, 4));
+    }
+
+    #[test]
+    fn all_products_are_bit_identical_across_thread_counts() {
+        // Shapes chosen above the FLOP threshold so the parallel path
+        // actually engages; the row partition must not perturb a
+        // single bit of the result.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = Tensor::randn(&[96, 130], &mut rng);
+        let b = Tensor::randn(&[130, 80], &mut rng);
+        // 40 × 130: keeps k ≥ 2n so matmul_nt stays on its unrolled
+        // dot path instead of dispatching to a transposed matmul.
+        let bt = Tensor::randn(&[40, 130], &mut rng);
+        let at = Tensor::randn(&[130, 96], &mut rng);
+        let serial = parallel::with_threads(1, || {
+            (
+                a.matmul(&b).unwrap(),
+                a.matmul_nt(&bt).unwrap(),
+                at.matmul_tn(&b).unwrap(),
+            )
+        });
+        for threads in [2, 4, 8] {
+            let parallel = parallel::with_threads(threads, || {
+                (
+                    a.matmul(&b).unwrap(),
+                    a.matmul_nt(&bt).unwrap(),
+                    at.matmul_tn(&b).unwrap(),
+                )
+            });
+            assert_eq!(parallel.0.data(), serial.0.data(), "matmul t={threads}");
+            assert_eq!(parallel.1.data(), serial.1.data(), "matmul_nt t={threads}");
+            assert_eq!(parallel.2.data(), serial.2.data(), "matmul_tn t={threads}");
+        }
     }
 
     #[test]

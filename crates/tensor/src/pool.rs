@@ -1,0 +1,347 @@
+//! The persistent worker pool behind [`crate::parallel`].
+//!
+//! Every parallel front in the workspace used to spawn and join fresh
+//! OS threads per call (`std::thread::scope`), so thread-spawn
+//! overhead (~tens of µs) rivaled the kernels it was meant to speed
+//! up, and nested parallelism (FL clients in parallel, each running
+//! parallel matmuls) oversubscribed cores with no coordination. This
+//! module replaces that with one process-lifetime pool:
+//!
+//! * **Lazy init** — no threads exist until the first parallel
+//!   dispatch; serial programs never pay for the pool.
+//! * **Grow-on-demand** — workers are spawned as dispatch width
+//!   requires (up to [`MAX_WORKERS`]) and then parked on a condvar;
+//!   an idle pool costs nothing but stack memory.
+//! * **Nesting guard** — worker threads (and the caller while it
+//!   executes its own share of a dispatch) are marked as inside a
+//!   parallel region; any parallel front that re-enters from such a
+//!   thread runs inline instead of re-dispatching, so FL clients in
+//!   parallel no longer fight their own matmuls for cores.
+//! * **Caller participation** — the dispatching thread always
+//!   executes the last task itself, so a dispatch of `n` tasks uses
+//!   exactly `n` threads (`n − 1` workers + the caller), not `n + 1`.
+//!
+//! Correctness never depends on how many workers actually run: tasks
+//! queue and any worker (or several) drains them, so results are a
+//! pure function of how the *callers* partition work — which
+//! [`crate::parallel`] keeps deterministic in the thread count.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on spawned workers — a safety net against pathological
+/// `OASIS_THREADS` values. Dispatches wider than this still complete
+/// (tasks queue; workers drain), they just run at reduced width.
+const MAX_WORKERS: usize = 256;
+
+/// A queued unit of work. Lifetime-erased to `'static`; soundness is
+/// argued at the single erasure site in [`run_tasks`].
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// True on pool workers (always) and on a caller thread while it
+    /// runs its own share of a dispatch.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already executing pool work. Parallel
+/// fronts consult this and run inline instead of re-dispatching.
+pub(crate) fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.get()
+}
+
+/// Restores the previous region flag on drop (unwind-safe).
+struct RegionGuard(bool);
+
+impl RegionGuard {
+    fn enter() -> Self {
+        RegionGuard(IN_PARALLEL_REGION.replace(true))
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        IN_PARALLEL_REGION.set(self.0);
+    }
+}
+
+/// The shared work queue workers sleep on.
+struct Inner {
+    queue: Mutex<VecDeque<Task>>,
+    ready: Condvar,
+}
+
+/// The process-wide pool: the queue plus how many workers exist.
+struct Pool {
+    inner: Arc<Inner>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn global() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        inner: Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Spawns workers until at least `want` exist (clamped to
+    /// [`MAX_WORKERS`]). Workers are detached: they park on the queue
+    /// condvar between dispatches and die with the process.
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        let mut spawned = self.spawned.lock().expect("pool spawn lock");
+        while *spawned < want {
+            let inner = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name(format!("oasis-pool-{spawned}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    fn push(&self, task: Task) {
+        self.inner
+            .queue
+            .lock()
+            .expect("pool queue lock")
+            .push_back(task);
+        self.inner.ready.notify_one();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    // Workers only ever run dispatched tasks, so they are inside a
+    // parallel region for their entire life.
+    IN_PARALLEL_REGION.set(true);
+    loop {
+        let task = {
+            let mut queue = inner.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = inner.ready.wait(queue).expect("pool queue wait");
+            }
+        };
+        // Tasks are panic-wrapped by `run_tasks`, so a panicking task
+        // never unwinds the worker itself.
+        task();
+    }
+}
+
+/// Completion latch for one dispatch: counts outstanding pool tasks
+/// and carries the first panic payload to the caller.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("latch lock");
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every pool task completed, then yields the first
+    /// panic payload (if any).
+    fn wait(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut state = self.state.lock().expect("latch lock");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("latch wait");
+        }
+        state.panic.take()
+    }
+}
+
+/// Runs every task to completion, the last one on the calling thread
+/// and the rest on pool workers, and returns once **all** of them
+/// finished. Panics in any task are re-raised here after the whole
+/// dispatch has drained (borrowed data is never abandoned mid-flight).
+///
+/// Callers already inside a parallel region run everything inline —
+/// the nesting guard that keeps nested parallelism from
+/// oversubscribing cores.
+pub(crate) fn run_tasks(mut tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let Some(local) = tasks.pop() else {
+        return;
+    };
+    if tasks.is_empty() || in_parallel_region() {
+        let _region = RegionGuard::enter();
+        for task in tasks {
+            task();
+        }
+        local();
+        return;
+    }
+    let pool = global();
+    pool.ensure_workers(tasks.len());
+    let latch = Arc::new(Latch::new(tasks.len()));
+    for task in tasks {
+        // SAFETY: the task borrows data that outlives this call frame
+        // only (`'_`). We erase that lifetime to queue it on
+        // process-lifetime workers, which is sound because this
+        // function does not return until `latch.wait()` observes every
+        // queued task complete — including when the local task or a
+        // worker task panics — so no borrow is ever used after the
+        // frame unwinds.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                task,
+            )
+        };
+        let latch = Arc::clone(&latch);
+        pool.push(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            latch.complete(result.err());
+        }));
+    }
+    let local_result = catch_unwind(AssertUnwindSafe(|| {
+        let _region = RegionGuard::enter();
+        local();
+    }));
+    let worker_panic = latch.wait();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+    if let Err(payload) = local_result {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn empty_dispatch_is_noop() {
+        run_tasks(Vec::new());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..24)
+            .map(|_| {
+                boxed(|| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        run_tasks(tasks);
+        assert_eq!(hits.load(Ordering::SeqCst), 24);
+    }
+
+    #[test]
+    fn tasks_see_borrowed_data_and_results_land() {
+        let mut out = vec![0usize; 8];
+        let tasks: Vec<_> = out
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| boxed(move || *slot = i + 1))
+            .collect();
+        run_tasks(tasks);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn workers_are_marked_in_region_and_caller_is_restored() {
+        assert!(!in_parallel_region(), "test thread starts outside");
+        let saw_region = Mutex::new(Vec::new());
+        let tasks: Vec<_> = (0..4)
+            .map(|_| {
+                boxed(|| {
+                    saw_region.lock().unwrap().push(super::in_parallel_region());
+                })
+            })
+            .collect();
+        run_tasks(tasks);
+        assert!(saw_region.lock().unwrap().iter().all(|&b| b));
+        assert!(!in_parallel_region(), "caller flag restored after");
+    }
+
+    #[test]
+    fn panic_in_a_worker_task_propagates_after_drain() {
+        let completed = AtomicUsize::new(0);
+        let completed_ref = &completed;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<_> = (0..6)
+                .map(|i| {
+                    boxed(move || {
+                        if i == 0 {
+                            panic!("boom in task");
+                        }
+                        completed_ref.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            run_tasks(tasks);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            5,
+            "non-panicking tasks still completed before the re-raise"
+        );
+    }
+
+    #[test]
+    fn reentrant_dispatch_runs_inline() {
+        let outer_hits = AtomicUsize::new(0);
+        let inner_hits = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..3)
+            .map(|_| {
+                boxed(|| {
+                    outer_hits.fetch_add(1, Ordering::SeqCst);
+                    // Nested dispatch from inside a task: must run
+                    // inline on this thread, not deadlock or spawn.
+                    let nested: Vec<_> = (0..2)
+                        .map(|_| {
+                            boxed(|| {
+                                inner_hits.fetch_add(1, Ordering::SeqCst);
+                            })
+                        })
+                        .collect();
+                    run_tasks(nested);
+                })
+            })
+            .collect();
+        run_tasks(tasks);
+        assert_eq!(outer_hits.load(Ordering::SeqCst), 3);
+        assert_eq!(inner_hits.load(Ordering::SeqCst), 6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Multi-threaded execution is bit-deterministic: the worker pool's
+//! row-block partitioning and ordered result merges keep every
+//! floating-point accumulation sequence independent of the thread
+//! count, so weights, round reports, and reconstruction PSNRs are
+//! identical at `OASIS_THREADS=1` and `=4` (or any other width).
+//!
+//! Thread counts are pinned per run with
+//! [`oasis_tensor::parallel::with_threads`] — the race-free in-process
+//! equivalent of setting `OASIS_THREADS`.
+
+use std::sync::Arc;
+
+use oasis_attacks::{ActiveAttack, RtfAttack};
+use oasis_data::cifar_like_with;
+use oasis_fl::{
+    partition_iid, FlConfig, FlServer, IdentityPreprocessor, ModelFactory, RoundReport,
+};
+use oasis_nn::{flatten_params, Conv2d, Layer, Linear, Mode, Relu, Sequential};
+use oasis_scenario::{Scale, Scenario};
+use oasis_tensor::{parallel, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One full FL deployment (the `fl_round_raw` perf workload shape):
+/// 4 clients, 3 rounds, returning final weights and every report.
+fn run_fl(threads: usize) -> (Vec<f32>, Vec<RoundReport>) {
+    parallel::with_threads(threads, || {
+        let data = cifar_like_with(10, 8, 16, 0);
+        let d = data.feature_dim();
+        let factory: ModelFactory = Arc::new(move || {
+            let mut rng = StdRng::seed_from_u64(12);
+            let mut m = Sequential::new();
+            m.push(Linear::new(d, 64, &mut rng));
+            m.push(Relu::new());
+            m.push(Linear::new(64, 10, &mut rng));
+            m
+        });
+        let clients = partition_iid(
+            &data,
+            4,
+            Arc::new(IdentityPreprocessor),
+            &mut StdRng::seed_from_u64(13),
+        );
+        let mut server = FlServer::new(factory, FlConfig::default()).expect("server");
+        let reports = server.run(&clients, 3, 14).expect("rounds");
+        (flatten_params(server.model_mut()), reports)
+    })
+}
+
+#[test]
+fn fl_weights_and_reports_are_bit_identical_across_thread_counts() {
+    let (weights_1, reports_1) = run_fl(1);
+    for threads in [2, 4] {
+        let (weights_n, reports_n) = run_fl(threads);
+        assert_eq!(weights_n, weights_1, "weights diverged at t={threads}");
+        assert_eq!(reports_n, reports_1, "reports diverged at t={threads}");
+    }
+}
+
+/// One scenario trial batch (the `scenario --quick` workload): RTF
+/// over the wire, OASIS off, 2 trials.
+fn run_scenario(threads: usize) -> String {
+    parallel::with_threads(threads, || {
+        let scenario = Scenario::builder()
+            .workload("imagenette".parse().expect("workload"))
+            .attack("rtf:48".parse().expect("attack"))
+            .defense("oasis:MR".parse().expect("defense"))
+            .batch_size(4)
+            .trials(2)
+            .scale(Scale::Quick)
+            .seed(0x5EED)
+            .calibration(32)
+            .build()
+            .expect("scenario");
+        let report = scenario.run().expect("run");
+        // Serialized trials carry every matched PSNR bit pattern.
+        serde_json::to_string(&report.trials).expect("serialize")
+    })
+}
+
+#[test]
+fn scenario_trial_reports_are_bit_identical_across_thread_counts() {
+    let serial = run_scenario(1);
+    assert_eq!(run_scenario(4), serial);
+}
+
+/// The `conv2d_forward_b32` perf workload plus its backward, at model
+/// shape: forward activations, weight/bias gradients, and the input
+/// gradient must not move by a bit.
+fn run_conv(threads: usize) -> (Tensor, Tensor) {
+    parallel::with_threads(threads, || {
+        let mut conv = Conv2d::new(3, 16, 3, 1, 1, (16, 16), &mut StdRng::seed_from_u64(9));
+        let x = Tensor::randn(&[32, 3 * 16 * 16], &mut StdRng::seed_from_u64(10));
+        let y = conv.forward(&x, Mode::Train).expect("forward");
+        let gx = conv.backward(&Tensor::ones(y.dims())).expect("backward");
+        (y, gx)
+    })
+}
+
+#[test]
+fn conv_batch32_is_bit_identical_across_thread_counts() {
+    let (y1, gx1) = run_conv(1);
+    for threads in [2, 4, 8] {
+        let (yn, gxn) = run_conv(threads);
+        assert_eq!(yn.data(), y1.data(), "forward diverged at t={threads}");
+        assert_eq!(gxn.data(), gx1.data(), "backward diverged at t={threads}");
+    }
+}
+
+/// The `rtf_invert_128` perf workload: the parallel per-neuron sweep
+/// must reconstruct the same pool in the same order.
+fn run_rtf_invert(threads: usize) -> Vec<Vec<f32>> {
+    parallel::with_threads(threads, || {
+        let neurons = 128;
+        let geometry = (3, 16, 16);
+        let d = geometry.0 * geometry.1 * geometry.2;
+        let attack = RtfAttack::new(neurons, 0.5, 0.15).expect("attack");
+        let grad_w = Tensor::randn(&[neurons, d], &mut StdRng::seed_from_u64(16));
+        let grad_b = Tensor::from_vec(
+            (0..neurons)
+                .map(|i| 1.0 + (neurons - i) as f32 * 0.01)
+                .collect(),
+            &[neurons],
+        )
+        .expect("bias");
+        attack
+            .reconstruct(&grad_w, &grad_b, geometry)
+            .into_iter()
+            .map(|img| img.data().to_vec())
+            .collect()
+    })
+}
+
+#[test]
+fn rtf_inversion_sweep_is_bit_identical_across_thread_counts() {
+    let serial = run_rtf_invert(1);
+    assert!(!serial.is_empty());
+    assert_eq!(run_rtf_invert(4), serial);
+}
