@@ -12,7 +12,7 @@
 
 use oasis_augment::Transform;
 use oasis_data::Batch;
-use oasis_fl::BatchPreprocessor;
+use oasis_fl::{BatchStage, Defense};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -43,7 +43,7 @@ impl AtsDefense {
     }
 }
 
-impl BatchPreprocessor for AtsDefense {
+impl BatchStage for AtsDefense {
     fn process(&self, batch: &Batch, rng: &mut StdRng) -> Batch {
         let images = batch
             .images
@@ -58,6 +58,16 @@ impl BatchPreprocessor for AtsDefense {
 
     fn name(&self) -> &str {
         "ATS"
+    }
+}
+
+impl Defense for AtsDefense {
+    fn name(&self) -> &str {
+        "ats"
+    }
+
+    fn batch_stage(&self) -> Option<&dyn BatchStage> {
+        Some(self)
     }
 }
 

@@ -3,9 +3,10 @@
 //! The related-work comparison: differentially-private SGD bounds
 //! reconstruction leakage by clipping per-sample gradients and adding
 //! Gaussian noise, but the noise needed to hide image content also
-//! degrades accuracy (paper §I and §V). `run_attack_with_dp` in
-//! [`crate::evaluate`] measures the privacy side; this module measures
-//! the utility side by training a classifier under the same mechanism.
+//! degrades accuracy (paper §I and §V). The attack harness measures
+//! the privacy side when the defense stack carries a DP update stage
+//! (`run_attack` with `oasis_fl::DpStage`); this module measures the
+//! utility side by training a classifier under the same mechanism.
 
 use oasis_data::Dataset;
 use oasis_nn::{softmax_cross_entropy, Layer, Linear, Mode, Sequential};

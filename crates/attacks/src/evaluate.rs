@@ -3,7 +3,7 @@
 //! code path behind every PSNR number in the paper's figures.
 
 use oasis_data::Batch;
-use oasis_fl::BatchPreprocessor;
+use oasis_fl::DefenseStack;
 use oasis_image::Image;
 use oasis_metrics::{best_psnr_per_original, match_greedy_coarse, ReconstructionMatch, Summary};
 use oasis_nn::{
@@ -126,8 +126,16 @@ impl AttackOutcome {
 const COARSE_MATCH_SIDE: usize = 8;
 
 /// Runs one attacked FL round: the server dispatches the malicious
-/// model, the client preprocesses its batch with `defense` and uploads
-/// exact gradients, the attacker inverts them.
+/// model, the client runs its [`DefenseStack`] (batch stages on the
+/// sampled batch, update stages on the uploaded update), the attacker
+/// inverts what it receives.
+///
+/// Stacks without an update stage upload the exact full-batch
+/// gradient. Stacks that clip ([`DefenseStack::clip_norm`]) switch
+/// the client onto the per-sample gradient path: each sample's
+/// malicious-layer gradient is clipped to the bound before averaging
+/// (record-level DP-SGD), and only the malicious layer's update is
+/// uploaded — then every update stage's perturbation applies.
 ///
 /// PSNRs are always computed against the **original** batch `D` — the
 /// private data the defense is protecting — regardless of what the
@@ -139,21 +147,20 @@ const COARSE_MATCH_SIDE: usize = 8;
 pub fn run_attack(
     attack: &dyn ActiveAttack,
     batch: &Batch,
-    defense: &dyn BatchPreprocessor,
+    defense: &DefenseStack,
     classes: usize,
     seed: u64,
 ) -> Result<AttackOutcome> {
-    run_attack_inner(attack, batch, defense, classes, seed, None, None)
+    run_attack_inner(attack, batch, defense, classes, seed, None)
 }
 
-/// Like [`run_attack`] (or [`run_attack_with_dp`] when `dp` is set),
-/// but the client's update crosses the wire: the full flat update is
-/// encoded with `codec`, decoded server-side, and the attacker
-/// inverts what the *decoded* gradients say — lossy codecs therefore
-/// degrade reconstruction, a new result surface. The outcome's
-/// [`AttackOutcome::wire`] records codec provenance and exact bytes
-/// on the wire. With the lossless `raw` codec this reproduces the
-/// in-process numbers bit-exactly.
+/// Like [`run_attack`], but the client's update crosses the wire: the
+/// flat update is encoded with `codec`, decoded server-side, and the
+/// attacker inverts what the *decoded* gradients say — lossy codecs
+/// therefore degrade reconstruction, a new result surface. The
+/// outcome's [`AttackOutcome::wire`] records codec provenance and
+/// exact bytes on the wire. With the lossless `raw` codec this
+/// reproduces the in-process numbers bit-exactly.
 ///
 /// # Errors
 ///
@@ -161,58 +168,26 @@ pub fn run_attack(
 pub fn run_attack_over_wire(
     attack: &dyn ActiveAttack,
     batch: &Batch,
-    defense: &dyn BatchPreprocessor,
+    defense: &DefenseStack,
     classes: usize,
     seed: u64,
-    dp: Option<(f32, f32)>,
     codec: &dyn UpdateCodec,
 ) -> Result<AttackOutcome> {
-    run_attack_inner(attack, batch, defense, classes, seed, dp, Some(codec))
+    run_attack_inner(attack, batch, defense, classes, seed, Some(codec))
 }
 
-/// Like [`run_attack`], but the client applies DP-SGD to its update:
-/// per-sample gradients are clipped to `clip_norm` and Gaussian noise
-/// with standard deviation `noise_std · clip_norm / B` is added to the
-/// averaged gradient — the baseline defense the paper's related work
-/// shows to trade accuracy for privacy.
-///
-/// # Errors
-///
-/// Propagates model-construction and execution failures.
-pub fn run_attack_with_dp(
-    attack: &dyn ActiveAttack,
-    batch: &Batch,
-    defense: &dyn BatchPreprocessor,
-    classes: usize,
-    seed: u64,
-    clip_norm: f32,
-    noise_std: f32,
-) -> Result<AttackOutcome> {
-    run_attack_inner(
-        attack,
-        batch,
-        defense,
-        classes,
-        seed,
-        Some((clip_norm, noise_std)),
-        None,
-    )
-}
-
-/// The shared attacked-round harness behind [`run_attack`],
-/// [`run_attack_with_dp`], and [`run_attack_over_wire`]: build the
-/// malicious model, let the client preprocess its batch, compute the
-/// uploaded gradients (exact, or clipped-and-noised when
-/// `dp = Some((clip_norm, noise_std))`), optionally round-trip the
-/// update through a wire codec, invert, and score.
-#[allow(clippy::too_many_arguments)]
+/// The shared attacked-round harness behind [`run_attack`] and
+/// [`run_attack_over_wire`]: build the malicious model, run the
+/// stack's batch stages, compute the uploaded gradients (exact, or
+/// per-sample-clipped when the stack clips), run the stack's update
+/// stages, optionally round-trip the update through a wire codec,
+/// invert, and score.
 fn run_attack_inner(
     attack: &dyn ActiveAttack,
     batch: &Batch,
-    defense: &dyn BatchPreprocessor,
+    defense: &DefenseStack,
     classes: usize,
     seed: u64,
-    dp: Option<(f32, f32)>,
     codec: Option<&dyn UpdateCodec>,
 ) -> Result<AttackOutcome> {
     let geometry = batch
@@ -223,7 +198,7 @@ fn run_attack_inner(
     let mut model = attack.build_model(geometry, classes, seed)?;
     let broadcast_bytes = param_count(&mut model) * 4;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x00DE_F317);
-    let processed = defense.process(batch, &mut rng);
+    let processed = defense.process_batch(batch, &mut rng);
     let mut wire: Option<WireTrace> = None;
     // The server reconstructs from what it *receives*: when a codec
     // is installed, the client's full flat update crosses the wire
@@ -245,15 +220,17 @@ fn run_attack_inner(
         }
     };
 
-    let (recons, loss) = match dp {
+    let (recons, loss) = match defense.clip_norm() {
         None => {
-            // The honest client uploads exact full-batch gradients.
+            // The exact-gradient path: one full-batch backward pass.
             let x = processed.to_matrix();
             model.zero_grad();
             let logits = model.forward(&x, Mode::Train)?;
             let out = softmax_cross_entropy(&logits, &processed.labels)?;
             model.backward(&out.grad)?;
-            let received = transmit(flatten_grads(&mut model))?;
+            let mut update = flatten_grads(&mut model);
+            defense.perturb_update(&mut update, processed.len(), &mut rng);
+            let received = transmit(update)?;
             load_grads(&mut model, &received)?;
             let lin = malicious_layer(&model)?;
             (
@@ -261,9 +238,11 @@ fn run_attack_inner(
                 out.loss,
             )
         }
-        Some((clip_norm, noise_std)) => {
-            // DP-SGD: per-sample gradients, clipped then averaged,
-            // plus Gaussian noise of std `noise_std · clip_norm / B`.
+        Some(clip_norm) => {
+            // The per-sample path (record-level DP-SGD): per-sample
+            // gradients, clipped then averaged, then the stack's
+            // update stages (e.g. Gaussian noise of std
+            // `σ · C / B` from the DP stage).
             let b = processed.len();
             let d = geometry.0 * geometry.1 * geometry.2;
             let n = attack.attacked_neurons();
@@ -294,15 +273,11 @@ fn run_attack_inner(
             let inv_b = 1.0 / b as f32;
             sum_gw.scale_in_place(inv_b);
             sum_gb.scale_in_place(inv_b);
-            let sigma = noise_std * clip_norm * inv_b;
-            let noise_w = Tensor::randn_scaled(&[n, d], 0.0, sigma, &mut rng);
-            let noise_b = Tensor::randn_scaled(&[n], 0.0, sigma, &mut rng);
-            sum_gw.add_assign(&noise_w)?;
-            sum_gb.add_assign(&noise_b)?;
-            // DP-SGD uploads only the (noised) malicious-layer update;
+            // Only the (perturbed) malicious-layer update is uploaded;
             // that is what crosses the wire.
             let mut update = sum_gw.data().to_vec();
             update.extend_from_slice(sum_gb.data());
+            defense.perturb_update(&mut update, b, &mut rng);
             let received = transmit(update)?;
             let gw = Tensor::from_vec(received[..n * d].to_vec(), &[n, d])?;
             let gb = Tensor::from_vec(received[n * d..].to_vec(), &[n])?;
@@ -351,7 +326,7 @@ mod tests {
     use super::*;
     use crate::RtfAttack;
     use oasis_data::cifar_like_with;
-    use oasis_fl::IdentityPreprocessor;
+    use oasis_fl::DpStage;
 
     fn batch_of(n: usize, side: usize, seed: u64) -> Batch {
         let ds = cifar_like_with(n, 1, side, seed);
@@ -363,7 +338,7 @@ mod tests {
         let calib = batch_of(64, 12, 1);
         let attack = RtfAttack::calibrated(128, &calib.images).unwrap();
         let batch = batch_of(6, 12, 2);
-        let outcome = run_attack(&attack, &batch, &IdentityPreprocessor, 6, 3).unwrap();
+        let outcome = run_attack(&attack, &batch, &DefenseStack::identity(), 6, 3).unwrap();
         assert_eq!(outcome.matches.len(), 6);
         assert!(
             outcome.mean_psnr() > 80.0,
@@ -378,7 +353,7 @@ mod tests {
         let calib = batch_of(8, 8, 1);
         let attack = RtfAttack::calibrated(16, &calib.images).unwrap();
         let empty = Batch::new(vec![], vec![]);
-        assert!(run_attack(&attack, &empty, &IdentityPreprocessor, 4, 0).is_err());
+        assert!(run_attack(&attack, &empty, &DefenseStack::identity(), 4, 0).is_err());
     }
 
     #[test]
@@ -386,9 +361,9 @@ mod tests {
         let calib = batch_of(64, 10, 1);
         let attack = RtfAttack::calibrated(64, &calib.images).unwrap();
         let batch = batch_of(4, 10, 2);
-        let clean = run_attack(&attack, &batch, &IdentityPreprocessor, 4, 3).unwrap();
-        let noisy =
-            run_attack_with_dp(&attack, &batch, &IdentityPreprocessor, 4, 3, 1.0, 10.0).unwrap();
+        let clean = run_attack(&attack, &batch, &DefenseStack::identity(), 4, 3).unwrap();
+        let dp = DefenseStack::of(DpStage::new(1.0, 10.0));
+        let noisy = run_attack(&attack, &batch, &dp, 4, 3).unwrap();
         assert!(
             noisy.mean_psnr() < clean.mean_psnr(),
             "DP noise did not reduce PSNR: {:.1} vs {:.1}",
@@ -402,15 +377,14 @@ mod tests {
         let calib = batch_of(64, 10, 1);
         let attack = RtfAttack::calibrated(64, &calib.images).unwrap();
         let batch = batch_of(4, 10, 2);
-        let in_process = run_attack(&attack, &batch, &IdentityPreprocessor, 4, 3).unwrap();
+        let in_process = run_attack(&attack, &batch, &DefenseStack::identity(), 4, 3).unwrap();
         let codec = oasis_wire::CodecSpec::Raw.build();
         let over_wire = run_attack_over_wire(
             &attack,
             &batch,
-            &IdentityPreprocessor,
+            &DefenseStack::identity(),
             4,
             3,
-            None,
             codec.as_ref(),
         )
         .unwrap();
@@ -427,15 +401,14 @@ mod tests {
         let calib = batch_of(64, 10, 1);
         let attack = RtfAttack::calibrated(64, &calib.images).unwrap();
         let batch = batch_of(4, 10, 2);
-        let clean = run_attack(&attack, &batch, &IdentityPreprocessor, 4, 3).unwrap();
+        let clean = run_attack(&attack, &batch, &DefenseStack::identity(), 4, 3).unwrap();
         let sign = oasis_wire::CodecSpec::Sign.build();
         let noisy = run_attack_over_wire(
             &attack,
             &batch,
-            &IdentityPreprocessor,
+            &DefenseStack::identity(),
             4,
             3,
-            None,
             sign.as_ref(),
         )
         .unwrap();
@@ -453,7 +426,7 @@ mod tests {
         let calib = batch_of(16, 8, 1);
         let attack = RtfAttack::calibrated(32, &calib.images).unwrap();
         let batch = batch_of(3, 8, 2);
-        let outcome = run_attack(&attack, &batch, &IdentityPreprocessor, 3, 0).unwrap();
+        let outcome = run_attack(&attack, &batch, &DefenseStack::identity(), 3, 0).unwrap();
         let rate = outcome.leak_rate(100.0);
         assert!((0.0..=1.0).contains(&rate));
     }

@@ -84,7 +84,7 @@ fn is_duplicate(a: &[f32], b: &[f32]) -> bool {
 /// One pass over the pool, near-linear: bucketing by quantized mean
 /// means duplicates (which have almost identical means) are the only
 /// candidates compared pixel-wise, and the comparison itself
-/// short-circuits via [`is_duplicate`] as soon as a candidate is
+/// short-circuits (`is_duplicate`) as soon as a candidate is
 /// provably distinct.
 pub fn dedupe_images(pool: Vec<Image>) -> Vec<Image> {
     use std::collections::HashMap;

@@ -41,9 +41,7 @@ pub use ats::AtsDefense;
 pub use cah::{CahAttack, DEFAULT_ACTIVATION_TARGET};
 pub use dpsgd::{train_linear_with_dp, DpConfig};
 pub use error::AttackError;
-pub use evaluate::{
-    run_attack, run_attack_over_wire, run_attack_with_dp, ActiveAttack, AttackOutcome, WireTrace,
-};
+pub use evaluate::{run_attack, run_attack_over_wire, ActiveAttack, AttackOutcome, WireTrace};
 pub use gaussian::{normal_cdf, probit};
 pub use inversion::{dedupe_images, invert_neuron, invert_neuron_difference};
 pub use linear::LinearModelAttack;

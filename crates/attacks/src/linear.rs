@@ -110,7 +110,7 @@ mod tests {
     use super::*;
     use crate::run_attack;
     use oasis_data::{cifar_like_with, Batch};
-    use oasis_fl::IdentityPreprocessor;
+    use oasis_fl::DefenseStack;
 
     #[test]
     fn unique_label_batch_leaks_content() {
@@ -118,7 +118,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let batch = ds.sample_batch_unique_labels(6, &mut rng);
         let attack = LinearModelAttack::new(8).unwrap();
-        let outcome = run_attack(&attack, &batch, &IdentityPreprocessor, 8, 1).unwrap();
+        let outcome = run_attack(&attack, &batch, &DefenseStack::identity(), 8, 1).unwrap();
         // Linear inversion is approximate (softmax cross-terms), but
         // content must be clearly recognizable for most samples.
         assert!(

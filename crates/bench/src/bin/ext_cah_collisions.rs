@@ -11,7 +11,7 @@ use oasis_bench::{
     banner, calibration_images, figure6_policies, ActiveAttack, CahAttack, Scale, Workload,
     DEFAULT_ACTIVATION_TARGET,
 };
-use oasis_fl::BatchPreprocessor;
+use oasis_fl::BatchStage;
 use oasis_nn::{Layer, Linear, Mode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -41,10 +41,7 @@ fn main() {
         let report = Scenario::builder()
             .workload(Workload::Cifar100)
             .attack(AttackSpec::rtf(128))
-            .defense(DefenseSpec::Dp {
-                clip: 1.0,
-                noise: sigma,
-            })
+            .defense(DefenseSpec::dp(1.0, sigma))
             .batch_size(8)
             .trials(1)
             .scale(scale)

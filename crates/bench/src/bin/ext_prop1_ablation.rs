@@ -46,8 +46,9 @@ fn main() {
         for kind in PolicyKind::all() {
             let defense = Oasis::new(OasisConfig::policy(kind));
             let analysis = activation_set_analysis(layer, &batch, &defense);
+            let stack = oasis_fl::DefenseStack::of(defense);
             let outcome =
-                run_attack(attack, &batch, &defense, dataset.num_classes(), 9).expect("attack");
+                run_attack(attack, &batch, &stack, dataset.num_classes(), 9).expect("attack");
             println!(
                 "{:>7} {:>17.0}% {:>13.0}% {:>12.2}",
                 kind.abbrev(),

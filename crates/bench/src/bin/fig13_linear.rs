@@ -22,7 +22,7 @@ fn main() {
     ];
     transform_comparison(
         scale,
-        AttackSpec::Linear,
+        AttackSpec::linear(),
         &configs,
         &figure5_policies(),
         1301,

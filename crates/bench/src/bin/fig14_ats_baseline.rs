@@ -21,10 +21,10 @@ fn main() {
     );
 
     for (name, defense, file) in [
-        ("ATS (replacement)", DefenseSpec::Ats, "fig14_ats.ppm"),
+        ("ATS (replacement)", DefenseSpec::ats(), "fig14_ats.ppm"),
         (
             "OASIS MR (addition)",
-            DefenseSpec::Oasis(PolicyKind::MajorRotation),
+            DefenseSpec::oasis(PolicyKind::MajorRotation),
             "fig14_oasis.ppm",
         ),
     ] {

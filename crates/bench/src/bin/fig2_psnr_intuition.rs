@@ -7,7 +7,7 @@ use oasis::{Oasis, OasisConfig};
 use oasis_augment::PolicyKind;
 use oasis_bench::{banner, calibration_images, out_path, run_attack, RtfAttack, Scale, Workload};
 use oasis_data::Batch;
-use oasis_fl::IdentityPreprocessor;
+use oasis_fl::DefenseStack;
 use oasis_image::io;
 
 fn main() {
@@ -23,12 +23,12 @@ fn main() {
     let undefended = run_attack(
         &attack,
         &batch,
-        &IdentityPreprocessor,
+        &DefenseStack::identity(),
         dataset.num_classes(),
         7,
     )
     .expect("run");
-    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
+    let defense = DefenseStack::of(Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation)));
     let defended = run_attack(&attack, &batch, &defense, dataset.num_classes(), 7).expect("run");
 
     println!("\nSample 0 original mean: {:.4}", batch.images[0].mean());

@@ -29,7 +29,7 @@ fn panel(
     classes: usize,
     file: &str,
 ) {
-    let defense = Oasis::new(OasisConfig::policy(kind));
+    let defense = oasis_fl::DefenseStack::of(Oasis::new(OasisConfig::policy(kind)));
     let outcome = run_attack(attack, batch, &defense, classes, 99).expect("attack run");
     // Order reconstructions by the original they match so the montage
     // rows correspond.
@@ -125,8 +125,14 @@ fn main() {
     );
 
     // Reference panel: the undefended reconstruction, for contrast.
-    let undefended = run_attack(&rtf, &batch, &oasis_fl::IdentityPreprocessor, classes, 99)
-        .expect("undefended run");
+    let undefended = run_attack(
+        &rtf,
+        &batch,
+        &oasis_fl::DefenseStack::identity(),
+        classes,
+        99,
+    )
+    .expect("undefended run");
     let mut tiles = batch.images.clone();
     for (i, _) in batch.images.iter().enumerate() {
         let matched = undefended

@@ -38,7 +38,7 @@ fn main() {
     };
     let attacks = [AttackSpec::rtf(128), AttackSpec::cah(128)];
 
-    for attack in attacks {
+    for attack in &attacks {
         println!("\n{} on {} (undefended, B=8):", attack, Workload::Cifar100);
         println!(
             "{:>12} {:>12} {:>14} {:>14} {:>12}",
@@ -47,7 +47,7 @@ fn main() {
         for &codec in &codecs {
             let report = Scenario::builder()
                 .workload(Workload::Cifar100)
-                .attack(attack)
+                .attack(attack.clone())
                 .codec(codec)
                 .batch_size(8)
                 .scale(scale)

@@ -16,8 +16,8 @@
 //! Unknown flags are errors, not silently ignored.
 
 use oasis_bench::{
-    AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario, ScenarioError,
-    ScenarioReport, WorkloadSpec,
+    spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario,
+    ScenarioError, ScenarioReport, WorkloadSpec,
 };
 use std::process::ExitCode;
 
@@ -29,8 +29,10 @@ USAGE:
 
 FLAGS (comma-separated lists sweep the grid):
     --attack SPECS      rtf:N | cah:N[,G] | linear        [default: rtf:512]
-    --defense SPECS     none | oasis:P | ats | dp:C,S     [default: none]
+    --defense SPECS     none | oasis:P | ats | dp:C,S | clip:C,
+                        or a `+`-stack, e.g. oasis:MR+dp:1,0.01
                         (P ∈ WO, MR, mR, SH, HFlip, VFlip, MR+SH)
+                                                          [default: none]
     --workload SPECS    imagenette | cifar100 |
                         imagenette100c | cifar100c        [default: imagenette]
     --codec SPECS       raw | q8 | topk:K | sign          [default: raw]
@@ -47,6 +49,7 @@ FLAGS (comma-separated lists sweep the grid):
     --scale S           quick | default | full            [default: default]
     --quick / --full    shorthand for --scale
     --no-save           print reports without writing out/*.json
+    --list-specs        list every registered spec family and exit
     --help              this text
 
 Artifacts go to out/ by default; set OASIS_OUT_DIR to redirect.";
@@ -74,6 +77,10 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    if raw.iter().any(|a| a == "--list-specs") {
+        print!("{}", spec_catalog());
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args(&raw) {
         Ok(args) => args,
         Err(msg) => {
@@ -93,12 +100,20 @@ fn main() -> ExitCode {
     }
     let mut failures = 0u32;
     for &workload in &args.workloads {
-        for &attack in &args.attacks {
-            for &defense in &args.defenses {
+        for attack in &args.attacks {
+            for defense in &args.defenses {
                 for &codec in &args.codecs {
                     for &net in &args.nets {
                         for &batch in &args.batches {
-                            match run_cell(&args, workload, attack, defense, codec, net, batch) {
+                            match run_cell(
+                                &args,
+                                workload,
+                                attack.clone(),
+                                defense.clone(),
+                                codec,
+                                net,
+                                batch,
+                            ) {
                                 Ok(report) => {
                                     println!("{report}");
                                     if args.save {
@@ -175,7 +190,7 @@ fn run_cell(
 fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut args = Args {
         attacks: vec![AttackSpec::rtf(512)],
-        defenses: vec![DefenseSpec::None],
+        defenses: vec![DefenseSpec::none()],
         workloads: vec![WorkloadSpec::ImageNette],
         codecs: vec![CodecSpec::Raw],
         nets: vec![NetSpec::Ideal],

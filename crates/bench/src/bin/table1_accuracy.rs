@@ -10,7 +10,7 @@
 use oasis::{Oasis, OasisConfig};
 use oasis_augment::PolicyKind;
 use oasis_bench::{banner, Scale, Workload};
-use oasis_fl::{train_centralized, BatchPreprocessor, IdentityPreprocessor};
+use oasis_fl::{train_centralized, BatchStage, IdentityPreprocessor};
 use oasis_nn::{resnet_lite, Adam};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -96,7 +96,7 @@ fn main() {
             let mut opt = Adam::new(1e-3, setup.weight_decay);
             let defense = Oasis::new(OasisConfig::policy(kind));
             let idy = IdentityPreprocessor;
-            let pre: &dyn BatchPreprocessor = if kind == PolicyKind::Without {
+            let pre: &dyn BatchStage = if kind == PolicyKind::Without {
                 &idy
             } else {
                 &defense

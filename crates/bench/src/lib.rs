@@ -25,17 +25,17 @@ pub mod perf;
 
 use oasis_augment::PolicyKind;
 use oasis_data::Batch;
-use oasis_fl::BatchPreprocessor;
+use oasis_fl::DefenseStack;
 use oasis_image::Image;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub use oasis_attacks::{
-    run_attack, run_attack_with_dp, ActiveAttack, AttackOutcome, CahAttack, LinearModelAttack,
-    RtfAttack, DEFAULT_ACTIVATION_TARGET,
+    run_attack, ActiveAttack, AttackOutcome, CahAttack, LinearModelAttack, RtfAttack,
+    DEFAULT_ACTIVATION_TARGET,
 };
 pub use oasis_scenario::{
-    out_path, AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario,
+    out_path, spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario,
     ScenarioError, ScenarioReport, WorkloadSpec,
 };
 
@@ -66,7 +66,7 @@ pub fn pooled_attack_psnrs(
     attack: &dyn ActiveAttack,
     dataset: &oasis_data::Dataset,
     batch_size: usize,
-    defense: &dyn BatchPreprocessor,
+    defense: &DefenseStack,
     trials: usize,
     seed: u64,
 ) -> Vec<f64> {
@@ -126,7 +126,7 @@ pub fn attack_grid(
                 let report = Scenario::builder()
                     .workload(workload)
                     .attack(attack.with_neurons(n))
-                    .defense(DefenseSpec::None)
+                    .defense(DefenseSpec::none())
                     .batch_size(b)
                     .trials(scale.trials())
                     .scale(scale)
@@ -189,12 +189,12 @@ pub fn transform_comparison(
         }
         for &kind in policies {
             let defense = match kind {
-                PolicyKind::Without => DefenseSpec::None,
-                kind => DefenseSpec::Oasis(kind),
+                PolicyKind::Without => DefenseSpec::none(),
+                kind => DefenseSpec::oasis(kind),
             };
             let report = Scenario::builder()
                 .workload(workload)
-                .attack(attack)
+                .attack(attack.clone())
                 .defense(defense)
                 .batch_size(batch)
                 .trials(trials)

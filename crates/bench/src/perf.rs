@@ -15,7 +15,8 @@
 //! * `core` — tensor/nn kernels: matmul / matmul_nt / matmul_tn at
 //!   model-relevant shapes, Conv2d forward+backward.
 //! * `fl` — protocol macro paths: a full [`FlServer::run_round`]
-//!   (raw and q8 wire), codec encode/decode, one RTF inversion step.
+//!   (raw and q8 wire), codec encode/decode, one RTF inversion step,
+//!   and one `oasis:MR+dp:1,0.01` defense-stack application.
 //! * `scale` — multi-core scaling: the core/fl macro-benches re-run
 //!   at 1, 2, and 4 worker threads (pinned per bench via
 //!   [`parallel::with_threads`], independent of `OASIS_THREADS`), as
@@ -29,7 +30,7 @@ use std::time::Instant;
 
 use oasis_attacks::{ActiveAttack, RtfAttack};
 use oasis_data::cifar_like_with;
-use oasis_fl::{FlConfig, FlServer, ModelFactory, WireConfig};
+use oasis_fl::{DefenseStack, FlConfig, FlServer, ModelFactory, WireConfig};
 use oasis_nn::{Conv2d, Layer, Linear, Mode, Relu, Sequential};
 use oasis_tensor::{parallel, Tensor};
 use oasis_wire::{CodecSpec, NetSpec, Q8Codec, RawCodec, UpdateCodec};
@@ -174,6 +175,10 @@ pub fn fl_suite() -> Vec<BenchDef> {
         BenchDef {
             name: "rtf_invert_128",
             build: bench_rtf_invert,
+        },
+        BenchDef {
+            name: "defense_stack",
+            build: bench_defense_stack,
         },
     ]
 }
@@ -600,7 +605,7 @@ fn fl_fixture() -> (ModelFactory, Vec<oasis_fl::FlClient>) {
     let clients = oasis_fl::partition_iid(
         &data,
         4,
-        Arc::new(oasis_fl::IdentityPreprocessor),
+        Arc::new(DefenseStack::identity()),
         &mut StdRng::seed_from_u64(13),
     );
     (factory, clients)
@@ -674,6 +679,32 @@ fn bench_codec_q8_encode() -> PreparedBench {
 
 fn bench_codec_q8_decode() -> PreparedBench {
     bench_codec_decode(Box::new(Q8Codec))
+}
+
+/// One `oasis:MR+dp:1,0.01` defense-stack application: the OASIS
+/// batch stage on a B = 8 batch (16×16×3) plus the update stage
+/// (client-level clip + Gaussian noise) on a 262 144-parameter
+/// update — the per-round client-side cost of stacking defenses.
+fn bench_defense_stack() -> PreparedBench {
+    let stack: DefenseStack = "oasis:MR+dp:1,0.01"
+        .parse::<oasis_scenario::DefenseSpec>()
+        .expect("stack spec")
+        .build()
+        .expect("stack build");
+    let data = cifar_like_with(8, 1, 16, 21);
+    let batch = oasis_data::Batch::from_items(data.items().to_vec());
+    let update = codec_update();
+    PreparedBench {
+        throughput: Some((batch.len() as f64, "img/s")),
+        run: Box::new(move || {
+            let mut rng = StdRng::seed_from_u64(22);
+            let processed = stack.process_batch(&batch, &mut rng);
+            let mut u = update.clone();
+            stack.clip_update(&mut u);
+            stack.perturb_update(&mut u, processed.len(), &mut rng);
+            std::hint::black_box((processed, u));
+        }),
+    }
 }
 
 /// One RTF inversion step: invert a 128-neuron malicious layer's
@@ -890,6 +921,7 @@ mod tests {
                 "codec_q8_encode",
                 "codec_q8_decode",
                 "rtf_invert_128",
+                "defense_stack",
             ]
         );
         let scale = names(scale_suite());

@@ -1,15 +1,17 @@
 //! The OASIS defense: batch augmentation per paper Eq. 7.
 
 use oasis_data::Batch;
-use oasis_fl::BatchPreprocessor;
+use oasis_fl::{BatchStage, Defense};
 use rand::rngs::StdRng;
 
 use crate::OasisConfig;
 
 /// The OASIS defense.
 ///
-/// As a [`BatchPreprocessor`], `Oasis` plugs directly into the FL
-/// client pipeline: before gradients are computed, the local batch
+/// As a [`BatchStage`] (and therefore a [`Defense`] that can be
+/// stacked with others, e.g. a DP-SGD update stage), `Oasis` plugs
+/// directly into the FL client pipeline: before gradients are
+/// computed, the local batch
 /// `D = {x_t}` is expanded to
 ///
 /// ```text
@@ -52,13 +54,23 @@ impl Oasis {
     }
 }
 
-impl BatchPreprocessor for Oasis {
+impl BatchStage for Oasis {
     fn process(&self, batch: &Batch, _rng: &mut StdRng) -> Batch {
         self.defend(batch)
     }
 
     fn name(&self) -> &str {
         self.config.augmentation().name()
+    }
+}
+
+impl Defense for Oasis {
+    fn name(&self) -> &str {
+        "oasis"
+    }
+
+    fn batch_stage(&self) -> Option<&dyn BatchStage> {
+        Some(self)
     }
 }
 
@@ -124,7 +136,7 @@ mod tests {
     #[test]
     fn preprocessor_name_matches_policy() {
         let defense = Oasis::new(OasisConfig::policy(PolicyKind::Shearing));
-        assert_eq!(BatchPreprocessor::name(&defense), "SH");
+        assert_eq!(BatchStage::name(&defense), "SH");
     }
 
     #[test]

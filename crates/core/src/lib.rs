@@ -28,7 +28,7 @@
 //! use oasis::{Oasis, OasisConfig};
 //! use oasis_augment::PolicyKind;
 //! use oasis_data::{cifar_like_with, Batch};
-//! use oasis_fl::BatchPreprocessor;
+//! use oasis_fl::BatchStage;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
@@ -51,11 +51,13 @@ pub use analysis::{activation_set_analysis, layer_from_parts, ActivationAnalysis
 pub use config::OasisConfig;
 pub use defense::Oasis;
 pub use detect::{audit_first_layer, LayerAudit};
-pub use pipeline::{defended_client, undefended_client};
+pub use pipeline::{defended_client, stacked_client, undefended_client};
 
 /// Commonly used items for downstream code.
 pub mod prelude {
     pub use crate::{activation_set_analysis, defended_client, Oasis, OasisConfig};
     pub use oasis_augment::{AugmentationPolicy, PolicyKind, Transform};
-    pub use oasis_fl::{BatchPreprocessor, IdentityPreprocessor};
+    pub use oasis_fl::{
+        BatchStage, ClipStage, Defense, DefenseStack, DpStage, IdentityPreprocessor, UpdateStage,
+    };
 }

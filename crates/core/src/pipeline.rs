@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use oasis_data::Dataset;
-use oasis_fl::{FlClient, IdentityPreprocessor};
+use oasis_fl::{DefenseStack, FlClient};
 
 use crate::{Oasis, OasisConfig};
 
@@ -21,12 +21,18 @@ use crate::{Oasis, OasisConfig};
 /// assert_eq!(client.id(), 0);
 /// ```
 pub fn defended_client(id: usize, data: Dataset, config: OasisConfig) -> FlClient {
-    FlClient::new(id, data, Arc::new(Oasis::new(config)))
+    FlClient::new(id, data, Arc::new(DefenseStack::of(Oasis::new(config))))
+}
+
+/// An FL client running an arbitrary [`DefenseStack`] — e.g. OASIS
+/// stacked with a DP-SGD update stage.
+pub fn stacked_client(id: usize, data: Dataset, stack: DefenseStack) -> FlClient {
+    FlClient::new(id, data, Arc::new(stack))
 }
 
 /// An undefended FL client (the paper's "Without OASIS" baseline).
 pub fn undefended_client(id: usize, data: Dataset) -> FlClient {
-    FlClient::new(id, data, Arc::new(IdentityPreprocessor))
+    FlClient::new(id, data, Arc::new(DefenseStack::identity()))
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use oasis_nn::{flatten_grads, load_params, softmax_cross_entropy, Layer, Mode, S
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{BatchPreprocessor, Result};
+use crate::{DefenseStack, Result};
 
 /// Builds a fresh instance of the model architecture. Every
 /// participant constructs the same architecture and loads the
@@ -32,23 +32,22 @@ pub struct ClientUpdate {
 
 /// A federated client owning a local data shard.
 ///
-/// The client's only defense hook is its [`BatchPreprocessor`]: the
-/// OASIS defense (crate `oasis`) implements the preprocessor that
-/// replaces the local batch `D` with the augmented `D′` of Eq. 7.
+/// The client's defense hook is its [`DefenseStack`]: batch stages
+/// (e.g. the OASIS defense from crate `oasis`, which replaces the
+/// local batch `D` with the augmented `D′` of Eq. 7) run before
+/// gradient computation, and update stages (DP-SGD clip + noise)
+/// perturb the flattened update before it is uploaded. The empty
+/// stack is the undefended baseline.
 pub struct FlClient {
     id: usize,
     data: Dataset,
-    preprocessor: Arc<dyn BatchPreprocessor>,
+    defense: Arc<DefenseStack>,
 }
 
 impl FlClient {
-    /// Creates a client with a local shard and a batch preprocessor.
-    pub fn new(id: usize, data: Dataset, preprocessor: Arc<dyn BatchPreprocessor>) -> Self {
-        FlClient {
-            id,
-            data,
-            preprocessor,
-        }
+    /// Creates a client with a local shard and a defense stack.
+    pub fn new(id: usize, data: Dataset, defense: Arc<DefenseStack>) -> Self {
+        FlClient { id, data, defense }
     }
 
     /// The client id.
@@ -61,13 +60,25 @@ impl FlClient {
         &self.data
     }
 
+    /// The client's defense stack.
+    pub fn defense(&self) -> &DefenseStack {
+        &self.defense
+    }
+
     /// Executes one round of local computation: loads the broadcast
-    /// weights, preprocesses a sampled batch, and returns the exact
-    /// full-batch gradient — precisely what a dishonest server gets to
-    /// inspect.
+    /// weights, runs the defense stack's batch stages on a sampled
+    /// batch, computes the full-batch gradient, and runs the stack's
+    /// update stages on it — the result is precisely what a dishonest
+    /// server gets to inspect.
     ///
-    /// Determinism: the drawn batch depends only on
-    /// `(round_seed, client id)`.
+    /// Update stages apply at client granularity here: the whole
+    /// averaged update is clipped to [`DefenseStack::clip_norm`] and
+    /// then perturbed (client-level DP). The per-sample record-level
+    /// variant lives in the attack harness, which can afford
+    /// per-sample gradients.
+    ///
+    /// Determinism: the drawn batch and any update-stage noise depend
+    /// only on `(round_seed, client id)`.
     ///
     /// # Errors
     ///
@@ -85,7 +96,7 @@ impl FlClient {
         let batch = self
             .data
             .sample_batch(batch_size.min(self.data.len()), &mut rng);
-        let processed = self.preprocessor.process(&batch, &mut rng);
+        let processed = self.defense.process_batch(&batch, &mut rng);
         let mut model = factory();
         load_params(&mut model, global_params)?;
         model.zero_grad();
@@ -93,9 +104,13 @@ impl FlClient {
         let logits = model.forward(&x, Mode::Train)?;
         let loss = softmax_cross_entropy(&logits, &processed.labels)?;
         model.backward(&loss.grad)?;
+        let mut grads = flatten_grads(&mut model);
+        self.defense.clip_update(&mut grads);
+        self.defense
+            .perturb_update(&mut grads, processed.len(), &mut rng);
         Ok(ClientUpdate {
             client_id: self.id,
-            grads: flatten_grads(&mut model),
+            grads,
             loss: loss.loss,
             samples: processed.len(),
         })
@@ -111,7 +126,7 @@ impl std::fmt::Debug for FlClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::IdentityPreprocessor;
+    use crate::{DefenseStack, DpStage};
     use oasis_data::cifar_like_with;
     use oasis_nn::{flatten_params, Linear, Relu};
 
@@ -133,7 +148,7 @@ mod tests {
         let f = factory(d, 3);
         let mut template = f();
         let global = flatten_params(&mut template);
-        let client = FlClient::new(0, data, Arc::new(IdentityPreprocessor));
+        let client = FlClient::new(0, data, Arc::new(DefenseStack::identity()));
         let update = client.compute_update(&f, &global, 4, 99).unwrap();
         assert_eq!(update.grads.len(), global.len());
         assert_eq!(update.samples, 4);
@@ -146,7 +161,7 @@ mod tests {
         let d = data.feature_dim();
         let f = factory(d, 3);
         let global = flatten_params(&mut f());
-        let client = FlClient::new(1, data, Arc::new(IdentityPreprocessor));
+        let client = FlClient::new(1, data, Arc::new(DefenseStack::identity()));
         let a = client.compute_update(&f, &global, 4, 5).unwrap();
         let b = client.compute_update(&f, &global, 4, 5).unwrap();
         let c = client.compute_update(&f, &global, 4, 6).unwrap();
@@ -155,12 +170,45 @@ mod tests {
     }
 
     #[test]
+    fn update_stage_clips_and_perturbs_the_upload() {
+        let data = cifar_like_with(3, 4, 8, 0);
+        let d = data.feature_dim();
+        let f = factory(d, 3);
+        let global = flatten_params(&mut f());
+        let exact = FlClient::new(0, data.clone(), Arc::new(DefenseStack::identity()))
+            .compute_update(&f, &global, 4, 5)
+            .unwrap();
+        let clip = 0.05f32;
+        let defended = FlClient::new(
+            0,
+            data.clone(),
+            Arc::new(DefenseStack::of(DpStage::new(clip, 0.1))),
+        )
+        .compute_update(&f, &global, 4, 5)
+        .unwrap();
+        assert_ne!(exact.grads, defended.grads, "DP stage must move the update");
+        // Client-level clipping alone bounds the uploaded norm exactly.
+        let clipped = FlClient::new(
+            0,
+            data,
+            Arc::new(DefenseStack::of(crate::ClipStage::new(clip))),
+        )
+        .compute_update(&f, &global, 4, 5)
+        .unwrap();
+        let norm: f32 = clipped.grads.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(
+            norm <= clip * 1.0001,
+            "update norm {norm} above clip {clip}"
+        );
+    }
+
+    #[test]
     fn gradient_is_nonzero_for_untrained_model() {
         let data = cifar_like_with(2, 2, 8, 1);
         let d = data.feature_dim();
         let f = factory(d, 2);
         let global = flatten_params(&mut f());
-        let client = FlClient::new(2, data, Arc::new(IdentityPreprocessor));
+        let client = FlClient::new(2, data, Arc::new(DefenseStack::identity()));
         let update = client.compute_update(&f, &global, 2, 0).unwrap();
         assert!(update.grads.iter().any(|&g| g.abs() > 1e-9));
     }

@@ -15,9 +15,11 @@
 //! * [`ModelTamper`] — the dishonest server's ability to modify the
 //!   global model *before* dispatching it (how the RTF and CAH
 //!   attacks insert their malicious layers), and
-//! * [`BatchPreprocessor`] — the client's ability to preprocess its
-//!   training batch *before* computing gradients (how the OASIS
-//!   defense augments `D` into `D′`).
+//! * [`DefenseStack`] — the client's composable defense pipeline:
+//!   [`BatchStage`]s preprocess the training batch *before* gradients
+//!   are computed (how the OASIS defense augments `D` into `D′`) and
+//!   [`UpdateStage`]s perturb the flattened update *before* it is
+//!   uploaded (how DP-SGD clips and noises).
 //!
 //! Updates travel over a real wire: each round every selected client
 //! encodes its update with the server's [`WireConfig`] codec
@@ -28,7 +30,7 @@
 //! protocol bit-exactly.
 //!
 //! ```
-//! use oasis_fl::{FlConfig, FlServer, partition_iid, IdentityPreprocessor};
+//! use oasis_fl::{DefenseStack, FlConfig, FlServer, partition_iid};
 //! use oasis_data::cifar_like_with;
 //! use oasis_nn::{Linear, Relu, Sequential};
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -45,7 +47,7 @@
 //!     m.push(Linear::new(32, 4, &mut rng));
 //!     m
 //! });
-//! let clients = partition_iid(&data, 3, Arc::new(IdentityPreprocessor), &mut StdRng::seed_from_u64(1));
+//! let clients = partition_iid(&data, 3, Arc::new(DefenseStack::identity()), &mut StdRng::seed_from_u64(1));
 //! let mut server = FlServer::new(factory, FlConfig::default())?;
 //! let report = server.run_round(&clients, &mut StdRng::seed_from_u64(2))?;
 //! assert_eq!(report.participants, 3);
@@ -58,6 +60,7 @@
 mod aggregate;
 mod client;
 mod config;
+mod defense;
 mod error;
 mod server;
 mod tamper;
@@ -66,12 +69,17 @@ mod training;
 pub use aggregate::{fedavg, fedavg_weighted};
 pub use client::{ClientUpdate, FlClient, ModelFactory};
 pub use config::FlConfig;
+pub use defense::{
+    BatchStage, ClipStage, Defense, DefenseStack, DpStage, IdentityPreprocessor, UpdateStage,
+};
+// The legacy name of [`BatchStage`], kept so downstream code written
+// against the pre-stack API keeps compiling.
+pub use defense::BatchStage as BatchPreprocessor;
 pub use error::FlError;
 pub use server::{FlServer, RoundReport, WireConfig};
 pub use tamper::{HonestServer, ModelTamper};
 pub use training::{
-    evaluate_accuracy, partition_dirichlet, partition_iid, train_centralized, BatchPreprocessor,
-    IdentityPreprocessor, TrainReport,
+    evaluate_accuracy, partition_dirichlet, partition_iid, train_centralized, TrainReport,
 };
 
 /// Convenience alias for results returned by this crate.

@@ -427,7 +427,7 @@ impl std::fmt::Debug for FlServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{partition_iid, IdentityPreprocessor};
+    use crate::{partition_iid, DefenseStack};
     use oasis_data::cifar_like_with;
     use oasis_nn::{Linear, Relu};
     use std::sync::Arc;
@@ -446,7 +446,7 @@ mod tests {
         let clients = partition_iid(
             &data,
             4,
-            Arc::new(IdentityPreprocessor),
+            Arc::new(DefenseStack::identity()),
             &mut StdRng::seed_from_u64(5),
         );
         (factory, clients)

@@ -3,49 +3,20 @@
 
 use std::sync::Arc;
 
-use oasis_data::{Batch, Dataset};
+use oasis_data::Dataset;
 use oasis_nn::{softmax_cross_entropy, Layer, Mode, Optimizer, Sequential};
 use oasis_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{FlClient, Result};
+use crate::{BatchStage, DefenseStack, FlClient, Result};
 
-/// Client-side batch preprocessing applied before gradients are
-/// computed.
-///
-/// The OASIS defense implements this trait: its `process` returns the
-/// augmented batch `D′ = D ∪ ⋃ X′_t` of paper Eq. 7. The identity
-/// preprocessor is the undefended baseline.
-pub trait BatchPreprocessor: Send + Sync {
-    /// Transforms the sampled batch before gradient computation.
-    fn process(&self, batch: &Batch, rng: &mut StdRng) -> Batch;
-
-    /// A short name for reports.
-    fn name(&self) -> &str {
-        "preprocessor"
-    }
-}
-
-/// The undefended client: trains on `D` unchanged.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct IdentityPreprocessor;
-
-impl BatchPreprocessor for IdentityPreprocessor {
-    fn process(&self, batch: &Batch, _rng: &mut StdRng) -> Batch {
-        batch.clone()
-    }
-
-    fn name(&self) -> &str {
-        "identity"
-    }
-}
-
-/// Splits a dataset into `n` i.i.d. client shards.
+/// Splits a dataset into `n` i.i.d. client shards, all running the
+/// same [`DefenseStack`].
 pub fn partition_iid(
     dataset: &Dataset,
     n: usize,
-    preprocessor: Arc<dyn BatchPreprocessor>,
+    defense: Arc<DefenseStack>,
     rng: &mut StdRng,
 ) -> Vec<FlClient> {
     use rand::seq::SliceRandom;
@@ -65,7 +36,7 @@ pub fn partition_iid(
             dataset.num_classes(),
             items[start..end].to_vec(),
         );
-        clients.push(FlClient::new(i, shard, Arc::clone(&preprocessor)));
+        clients.push(FlClient::new(i, shard, Arc::clone(&defense)));
     }
     clients
 }
@@ -82,7 +53,7 @@ pub fn partition_dirichlet(
     dataset: &Dataset,
     n: usize,
     alpha: f64,
-    preprocessor: Arc<dyn BatchPreprocessor>,
+    defense: Arc<DefenseStack>,
     rng: &mut StdRng,
 ) -> Vec<FlClient> {
     use rand::seq::SliceRandom;
@@ -157,7 +128,7 @@ pub fn partition_dirichlet(
                 dataset.num_classes(),
                 items,
             );
-            FlClient::new(i, shard, Arc::clone(&preprocessor))
+            FlClient::new(i, shard, Arc::clone(&defense))
         })
         .collect()
 }
@@ -187,7 +158,7 @@ pub fn train_centralized(
     optimizer: &mut dyn Optimizer,
     train: &Dataset,
     test: &Dataset,
-    preprocessor: &dyn BatchPreprocessor,
+    preprocessor: &dyn BatchStage,
     epochs: usize,
     batch_size: usize,
     seed: u64,
@@ -248,7 +219,8 @@ pub fn evaluate_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oasis_data::cifar_like_with;
+    use crate::IdentityPreprocessor;
+    use oasis_data::{cifar_like_with, Batch};
     use oasis_nn::{Linear, Relu, Sgd};
 
     #[test]
@@ -266,7 +238,7 @@ mod tests {
         let clients = partition_iid(
             &ds,
             3,
-            Arc::new(IdentityPreprocessor),
+            Arc::new(DefenseStack::identity()),
             &mut StdRng::seed_from_u64(0),
         );
         assert_eq!(clients.len(), 3);
@@ -281,7 +253,7 @@ mod tests {
             &ds,
             4,
             0.5,
-            Arc::new(IdentityPreprocessor),
+            Arc::new(DefenseStack::identity()),
             &mut StdRng::seed_from_u64(3),
         );
         assert_eq!(clients.len(), 4);
@@ -299,7 +271,7 @@ mod tests {
                 &ds,
                 4,
                 alpha,
-                Arc::new(IdentityPreprocessor),
+                Arc::new(DefenseStack::identity()),
                 &mut StdRng::seed_from_u64(7),
             );
             let mut total = 0.0;
@@ -334,7 +306,7 @@ mod tests {
             &ds,
             2,
             0.0,
-            Arc::new(IdentityPreprocessor),
+            Arc::new(DefenseStack::identity()),
             &mut StdRng::seed_from_u64(0),
         );
     }

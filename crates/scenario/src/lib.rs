@@ -9,7 +9,12 @@
 //! defenses × {ImageNette-like, CIFAR100-like} workloads. This crate
 //! names every cell with compact spec strings
 //! ([`AttackSpec`] / [`DefenseSpec`] / [`WorkloadSpec`], all
-//! round-tripping through `FromStr` ⇄ `Display`), assembles a cell
+//! round-tripping through `FromStr` ⇄ `Display`). Attack and defense
+//! specs are string-keyed into the pluggable family
+//! [`registry`]; defenses **stack** with `+`
+//! (`oasis:MR+dp:1,0.01` builds one [`oasis_fl::DefenseStack`]
+//! applying the OASIS batch stage then DP-SGD's update stage). The
+//! engine assembles a cell
 //! with [`Scenario::builder`], executes trials in parallel, and
 //! returns a [`ScenarioReport`] carrying per-trial matched PSNRs,
 //! leak rates, wall clock, and the full provenance needed to
@@ -41,13 +46,18 @@
 
 #![warn(missing_docs)]
 
+pub mod registry;
 mod scale;
 mod scenario;
 mod spec;
 
+pub use registry::{
+    register_attack_family, register_defense_family, spec_catalog, AttackFamily, DefenseFamily,
+    CAH_WEIGHT_SEED,
+};
 pub use scale::Scale;
 pub use scenario::{Sampling, Scenario, ScenarioBuilder, ScenarioReport, TrialReport};
-pub use spec::{AttackSpec, DefenseSpec, WorkloadSpec, CAH_WEIGHT_SEED};
+pub use spec::{AttackSpec, DefenseSpec, WorkloadSpec};
 
 // The wire dimensions of a scenario — re-exported so spec consumers
 // need only this crate.

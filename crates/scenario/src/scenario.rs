@@ -166,9 +166,10 @@ impl Scenario {
         if self.calibration != self.attack.default_calibration() {
             s.push_str(&format!(" calibration={}", self.calibration));
         }
-        let default_sampling = match self.attack {
-            AttackSpec::Linear => Sampling::UniqueLabels,
-            _ => Sampling::Uniform,
+        let default_sampling = if self.attack.unique_labels_default() {
+            Sampling::UniqueLabels
+        } else {
+            Sampling::Uniform
         };
         if self.sampling != default_sampling {
             s.push_str(&format!(" sampling={}", self.sampling));
@@ -256,8 +257,7 @@ impl Scenario {
         let classes = dataset.num_classes();
         let calibration = self.calibration_images();
         let attack = self.attack.build(&calibration, classes)?;
-        let defense = self.defense.build();
-        let dp = self.defense.dp_params();
+        let defense = self.defense.build()?;
         let codec = self.codec.build();
 
         // Batches are drawn sequentially from one rng (so trial `i`
@@ -271,10 +271,9 @@ impl Scenario {
                 run_attack_over_wire(
                     attack.as_ref(),
                     batch,
-                    defense.as_ref(),
+                    &defense,
                     classes,
                     trial_seed,
-                    dp,
                     codec.as_ref(),
                 )
                 .map_err(ScenarioError::from)
@@ -474,12 +473,13 @@ impl ScenarioBuilder {
     /// (the linear attack needs one class per sample — use the
     /// `imagenette100c` / `cifar100c` workloads).
     pub fn build(self) -> Result<Scenario, ScenarioError> {
-        let attack = self.attack.unwrap_or(AttackSpec::Rtf { neurons: 512 });
+        let attack = self.attack.unwrap_or_else(|| AttackSpec::rtf(512));
         let workload = self.workload.unwrap_or(WorkloadSpec::ImageNette);
         let batch_size = self.batch_size.unwrap_or(8);
-        let sampling = self.sampling.unwrap_or(match attack {
-            AttackSpec::Linear => Sampling::UniqueLabels,
-            _ => Sampling::Uniform,
+        let sampling = self.sampling.unwrap_or(if attack.unique_labels_default() {
+            Sampling::UniqueLabels
+        } else {
+            Sampling::Uniform
         });
         if batch_size == 0 {
             return Err(ScenarioError::BadSpec("batch size must be positive".into()));
@@ -500,9 +500,12 @@ impl ScenarioBuilder {
                 )));
             }
         }
+        let calibration = self
+            .calibration
+            .unwrap_or_else(|| attack.default_calibration());
         Ok(Scenario {
             attack,
-            defense: self.defense.unwrap_or(DefenseSpec::None),
+            defense: self.defense.unwrap_or_else(DefenseSpec::none),
             workload,
             batch_size,
             trials,
@@ -510,9 +513,7 @@ impl ScenarioBuilder {
             seed: self.seed,
             dataset_seed: self.dataset_seed.unwrap_or(self.seed),
             dataset_capacity: self.dataset_capacity.unwrap_or(batch_size).max(batch_size),
-            calibration: self
-                .calibration
-                .unwrap_or_else(|| attack.default_calibration()),
+            calibration,
             sampling,
             leak_threshold_db: self.leak_threshold_db.unwrap_or(60.0),
             codec: self.codec,
@@ -682,7 +683,7 @@ mod tests {
         Scenario::builder()
             .workload(WorkloadSpec::Cifar100)
             .attack(AttackSpec::rtf(32))
-            .defense(DefenseSpec::None)
+            .defense(DefenseSpec::none())
             .batch_size(3)
             .trials(2)
             .scale(Scale::Quick)
@@ -696,7 +697,7 @@ mod tests {
     fn builder_fills_defaults() {
         let s = Scenario::builder().scale(Scale::Quick).build().unwrap();
         assert_eq!(s.attack, AttackSpec::rtf(512));
-        assert_eq!(s.defense, DefenseSpec::None);
+        assert_eq!(s.defense, DefenseSpec::none());
         assert_eq!(s.workload, WorkloadSpec::ImageNette);
         assert_eq!(s.trials, Scale::Quick.trials());
         assert_eq!(s.dataset_seed, s.seed);
@@ -718,12 +719,12 @@ mod tests {
             .attack
             .build(&scenario.calibration_images(), 100)
             .unwrap();
-        let defense = scenario.defense.build();
+        let defense = scenario.defense.build().unwrap();
         for (i, batch) in scenario.trial_batches().iter().enumerate() {
             let outcome = oasis_attacks::run_attack(
                 attack.as_ref(),
                 batch,
-                defense.as_ref(),
+                &defense,
                 100,
                 scenario.seed ^ i as u64,
             )
@@ -787,7 +788,7 @@ mod tests {
     #[test]
     fn linear_defaults_to_unique_labels() {
         let s = Scenario::builder()
-            .attack(AttackSpec::Linear)
+            .attack(AttackSpec::linear())
             .workload(WorkloadSpec::Cifar100c)
             .batch_size(8)
             .build()
@@ -798,7 +799,7 @@ mod tests {
     #[test]
     fn unique_labels_rejects_small_label_spaces() {
         let err = Scenario::builder()
-            .attack(AttackSpec::Linear)
+            .attack(AttackSpec::linear())
             .workload(WorkloadSpec::ImageNette)
             .batch_size(64)
             .build()
@@ -835,7 +836,7 @@ mod tests {
     fn defense_reduces_psnr() {
         let undefended = tiny().run().unwrap();
         let mut defended_scenario = tiny();
-        defended_scenario.defense = DefenseSpec::Oasis(oasis_augment::PolicyKind::MajorRotation);
+        defended_scenario.defense = DefenseSpec::oasis(oasis_augment::PolicyKind::MajorRotation);
         let defended = defended_scenario.run().unwrap();
         assert!(
             defended.mean_psnr() < undefended.mean_psnr(),

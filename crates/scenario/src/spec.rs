@@ -5,97 +5,115 @@
 //! [`std::str::FromStr`], so a [`crate::ScenarioReport`] can record
 //! the exact provenance of the numbers it holds and any experiment
 //! can be reproduced from its printed spec alone.
+//!
+//! Attack and defense specs are **string-keyed**: `family[:args]`
+//! values whose parsing and construction dispatch through the
+//! [`crate::registry`] — new families plug in with one
+//! [`crate::register_attack_family`] /
+//! [`crate::register_defense_family`] call. Defense specs
+//! additionally **stack** with `+` (`oasis:MR+dp:1,0.01`): the parts
+//! build one [`DefenseStack`] applying batch stages then update
+//! stages in spec order.
 
-use oasis_attacks::{
-    ActiveAttack, AtsDefense, CahAttack, LinearModelAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET,
-};
+use oasis_attacks::{ActiveAttack, DEFAULT_ACTIVATION_TARGET};
 use oasis_augment::PolicyKind;
 use oasis_data::{synthetic_dataset, Dataset};
-use oasis_fl::{BatchPreprocessor, IdentityPreprocessor};
+use oasis_fl::DefenseStack;
 use oasis_image::Image;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
+use crate::registry::{attack_family, cah_args, defense_family};
 use crate::{Scale, ScenarioError};
 
-/// Weight seed used when constructing CAH trap weights from a spec.
+/// An active reconstruction attack, as a string-keyed value.
 ///
-/// The figure binaries historically used this constant; keeping it in
-/// the registry makes `cah:N` specs reproduce those numbers.
-pub const CAH_WEIGHT_SEED: u64 = 0xCA11;
-
-/// An active reconstruction attack, as a value.
-///
-/// Spec grammar (round-tripping through `Display`):
+/// Built-in spec grammar (round-tripping through `Display`; run
+/// `scenario --list-specs` for whatever is registered):
 ///
 /// * `rtf:N` — Robbing the Fed with `N` attacked neurons,
 /// * `cah:N` — Curious Abandon Honesty with `N` trap neurons at the
 ///   default activation target, or `cah:N,G` for target `G`,
 /// * `linear` — gradient inversion on a single-layer softmax model.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AttackSpec {
-    /// Robbing the Fed (Fowl et al.).
-    Rtf {
-        /// Attacked (imprint) neurons `n`.
-        neurons: usize,
-    },
-    /// Curious Abandon Honesty (Boenisch et al.).
-    Cah {
-        /// Trap neurons `n`.
-        neurons: usize,
-        /// Target activation probability γ.
-        gamma: f64,
-    },
-    /// Single-layer softmax gradient inversion (paper §IV-D).
-    Linear,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackSpec {
+    family: String,
+    args: Option<String>,
 }
 
 impl AttackSpec {
     /// An RTF spec.
     pub fn rtf(neurons: usize) -> Self {
-        AttackSpec::Rtf { neurons }
+        AttackSpec {
+            family: "rtf".into(),
+            args: Some(neurons.to_string()),
+        }
     }
 
     /// A CAH spec at the default activation target.
     pub fn cah(neurons: usize) -> Self {
-        AttackSpec::Cah {
-            neurons,
-            gamma: DEFAULT_ACTIVATION_TARGET,
+        AttackSpec::cah_with_gamma(neurons, DEFAULT_ACTIVATION_TARGET)
+    }
+
+    /// A CAH spec with an explicit activation target γ.
+    pub fn cah_with_gamma(neurons: usize, gamma: f64) -> Self {
+        AttackSpec {
+            family: "cah".into(),
+            args: Some(cah_args(neurons, gamma)),
         }
     }
 
-    /// Short family name ("rtf", "cah", "linear").
-    pub fn family(&self) -> &'static str {
-        match self {
-            AttackSpec::Rtf { .. } => "rtf",
-            AttackSpec::Cah { .. } => "cah",
-            AttackSpec::Linear => "linear",
+    /// The linear-model inversion spec (paper §IV-D).
+    pub fn linear() -> Self {
+        AttackSpec {
+            family: "linear".into(),
+            args: None,
         }
+    }
+
+    /// Short family name ("rtf", "cah", "linear", …) — the registry
+    /// key.
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// The spec's canonical arguments, if the family takes any.
+    pub fn args(&self) -> Option<&str> {
+        self.args.as_deref()
     }
 
     /// The same spec with a different neuron count (no-op for
-    /// `linear`, which has no neuron knob) — how grid sweeps vary one
-    /// axis of an attack.
+    /// families without a neuron knob, e.g. `linear`) — how grid
+    /// sweeps vary one axis of an attack.
     pub fn with_neurons(&self, neurons: usize) -> Self {
-        match *self {
-            AttackSpec::Rtf { .. } => AttackSpec::Rtf { neurons },
-            AttackSpec::Cah { gamma, .. } => AttackSpec::Cah { neurons, gamma },
-            AttackSpec::Linear => AttackSpec::Linear,
+        let family = attack_family(&self.family).expect("constructed specs have a family");
+        match (family.with_neurons)(self.args(), neurons) {
+            Some(args) => AttackSpec {
+                family: self.family.clone(),
+                args: Some(args),
+            },
+            None => self.clone(),
         }
     }
 
     /// How many calibration images the attack wants for its
     /// measurement statistics (0 = needs none).
     pub fn default_calibration(&self) -> usize {
-        match self {
-            AttackSpec::Rtf { .. } => 256,
-            AttackSpec::Cah { .. } => 384,
-            AttackSpec::Linear => 0,
-        }
+        let family = attack_family(&self.family).expect("constructed specs have a family");
+        (family.calibration)(self.args())
     }
 
-    /// Constructs the attack behind this spec.
+    /// Whether trial batches should default to unique-label sampling
+    /// (the linear-model inversion needs one class per sample).
+    pub fn unique_labels_default(&self) -> bool {
+        attack_family(&self.family)
+            .expect("constructed specs have a family")
+            .unique_labels
+    }
+
+    /// Constructs the attack behind this spec via the family
+    /// registry.
     ///
     /// `calibration` holds the public images the dishonest server fits
     /// its measurement statistics on; `classes` is the label-space
@@ -110,32 +128,16 @@ impl AttackSpec {
         calibration: &[Image],
         classes: usize,
     ) -> Result<Box<dyn ActiveAttack>, ScenarioError> {
-        match *self {
-            AttackSpec::Rtf { neurons } => {
-                let attack = RtfAttack::calibrated(neurons, calibration)?;
-                Ok(Box::new(attack))
-            }
-            AttackSpec::Cah { neurons, gamma } => {
-                let attack = CahAttack::calibrated(neurons, gamma, calibration, CAH_WEIGHT_SEED)?;
-                Ok(Box::new(attack))
-            }
-            AttackSpec::Linear => Ok(Box::new(LinearModelAttack::new(classes)?)),
-        }
+        let family = attack_family(&self.family)?;
+        (family.build)(self.args(), calibration, classes)
     }
 }
 
 impl fmt::Display for AttackSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            AttackSpec::Rtf { neurons } => write!(f, "rtf:{neurons}"),
-            AttackSpec::Cah { neurons, gamma } => {
-                if gamma == DEFAULT_ACTIVATION_TARGET {
-                    write!(f, "cah:{neurons}")
-                } else {
-                    write!(f, "cah:{neurons},{gamma}")
-                }
-            }
-            AttackSpec::Linear => write!(f, "linear"),
+        match &self.args {
+            Some(args) => write!(f, "{}:{args}", self.family),
+            None => f.write_str(&self.family),
         }
     }
 }
@@ -144,35 +146,12 @@ impl FromStr for AttackSpec {
     type Err = ScenarioError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (family, args) = split_spec(s);
-        match family {
-            "rtf" => {
-                let neurons = parse_field::<usize>("rtf", "neurons", args.ok_or_else(no_args)?)?;
-                Ok(AttackSpec::Rtf { neurons })
-            }
-            "cah" => {
-                let args = args.ok_or_else(no_args)?;
-                let (neurons_str, gamma_str) = match args.split_once(',') {
-                    Some((n, g)) => (n, Some(g)),
-                    None => (args, None),
-                };
-                let neurons = parse_field::<usize>("cah", "neurons", neurons_str)?;
-                let gamma = match gamma_str {
-                    Some(g) => parse_field::<f64>("cah", "gamma", g)?,
-                    None => DEFAULT_ACTIVATION_TARGET,
-                };
-                Ok(AttackSpec::Cah { neurons, gamma })
-            }
-            "linear" => {
-                if args.is_some() {
-                    return Err(ScenarioError::BadSpec("`linear` takes no arguments".into()));
-                }
-                Ok(AttackSpec::Linear)
-            }
-            other => Err(ScenarioError::BadSpec(format!(
-                "unknown attack `{other}` (expected rtf:N, cah:N[,G], or linear)"
-            ))),
-        }
+        let (name, args) = split_spec(s);
+        let family = attack_family(name)?;
+        Ok(AttackSpec {
+            family: name.to_string(),
+            args: (family.canon)(args)?,
+        })
     }
 }
 
@@ -192,99 +171,267 @@ impl Deserialize for AttackSpec {
     }
 }
 
-/// A client-side defense (or its absence), as a value.
+/// One `family[:args]` part of a defense stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DefensePart {
+    family: String,
+    args: Option<String>,
+}
+
+impl fmt::Display for DefensePart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.args {
+            Some(args) => write!(f, "{}:{args}", self.family),
+            None => f.write_str(&self.family),
+        }
+    }
+}
+
+/// A client-side defense stack (possibly empty), as a string-keyed
+/// value.
 ///
-/// Spec grammar (round-tripping through `Display`):
+/// Built-in spec grammar (round-tripping through `Display`; run
+/// `scenario --list-specs` for whatever is registered):
 ///
 /// * `none` — undefended baseline (also parses from `wo`, `without`),
 /// * `oasis:P` — the OASIS defense with policy abbreviation `P`
 ///   (`MR`, `mR`, `SH`, `HFlip`, `VFlip`, `MR+SH`, `WO`),
 /// * `ats` — ATSPrivacy-style transform *replacement* baseline,
-/// * `dp:C,S` — DP-SGD with clip norm `C` and noise multiplier `S`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum DefenseSpec {
-    /// No defense.
-    None,
-    /// OASIS augmentation with the given policy.
-    Oasis(PolicyKind),
-    /// ATSPrivacy-style transform replacement (Gao et al.).
-    Ats,
-    /// DP-SGD noisy updates.
-    Dp {
-        /// Per-sample gradient clip norm.
-        clip: f32,
-        /// Noise multiplier σ.
-        noise: f32,
-    },
+/// * `dp:C,S` — DP-SGD update stage with clip norm `C` and noise
+///   multiplier `S`,
+/// * `clip:C` — clip-only update stage,
+/// * any `+`-joined stack of distinct families, applied in order:
+///   `oasis:MR+dp:1,0.01` runs the OASIS batch stage, then DP-SGD's
+///   clip + noise on the uploaded update.
+///
+/// Stacks compose in Rust with [`DefenseSpec::stacked`] or `+`:
+///
+/// ```
+/// use oasis_scenario::DefenseSpec;
+/// use oasis_augment::PolicyKind;
+///
+/// let stack = DefenseSpec::oasis(PolicyKind::MajorRotation) + DefenseSpec::dp(1.0, 0.01);
+/// assert_eq!(stack.to_string(), "oasis:MR+dp:1,0.01");
+/// assert_eq!(stack, "oasis:MR+dp:1,0.01".parse().unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DefenseSpec {
+    parts: Vec<DefensePart>,
 }
 
 impl DefenseSpec {
-    /// The `BatchPreprocessor` the client runs under this defense.
+    /// The undefended baseline: the empty stack.
+    pub fn none() -> Self {
+        DefenseSpec::default()
+    }
+
+    /// A single-part spec from a registered family's raw args.
     ///
-    /// DP-SGD does not preprocess the batch (it perturbs the update),
-    /// so `dp:` specs build the identity preprocessor and expose their
-    /// parameters via [`DefenseSpec::dp_params`].
-    pub fn build(&self) -> Box<dyn BatchPreprocessor> {
-        match *self {
-            DefenseSpec::None => Box::new(IdentityPreprocessor),
-            DefenseSpec::Oasis(kind) => {
-                Box::new(oasis::Oasis::new(oasis::OasisConfig::policy(kind)))
-            }
-            DefenseSpec::Ats => Box::new(AtsDefense::searched()),
-            DefenseSpec::Dp { .. } => Box::new(IdentityPreprocessor),
+    /// # Errors
+    ///
+    /// Rejects unknown families and invalid args.
+    pub fn part(family: &str, args: Option<&str>) -> Result<Self, ScenarioError> {
+        let f = defense_family(family)?;
+        Ok(DefenseSpec {
+            parts: vec![DefensePart {
+                family: family.to_string(),
+                args: (f.canon)(args)?,
+            }],
+        })
+    }
+
+    /// An OASIS defense spec with the given policy.
+    pub fn oasis(kind: PolicyKind) -> Self {
+        DefenseSpec {
+            parts: vec![DefensePart {
+                family: "oasis".into(),
+                args: Some(kind.abbrev().to_string()),
+            }],
         }
     }
 
-    /// `(clip_norm, noise_multiplier)` when this defense is DP-SGD.
-    pub fn dp_params(&self) -> Option<(f32, f32)> {
-        match *self {
-            DefenseSpec::Dp { clip, noise } => Some((clip, noise)),
-            _ => None,
+    /// The ATSPrivacy-style replacement baseline spec.
+    pub fn ats() -> Self {
+        DefenseSpec {
+            parts: vec![DefensePart {
+                family: "ats".into(),
+                args: None,
+            }],
         }
+    }
+
+    /// A DP-SGD spec with clip norm `clip` and noise multiplier
+    /// `noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clip` is not positive or `noise` is negative —
+    /// the same bounds the parse path enforces, so every constructed
+    /// spec round-trips through `Display` ⇄ `FromStr`.
+    pub fn dp(clip: f32, noise: f32) -> Self {
+        assert!(clip > 0.0, "dp clip bound must be positive, got {clip}");
+        assert!(
+            noise >= 0.0,
+            "dp noise multiplier must be non-negative, got {noise}"
+        );
+        DefenseSpec {
+            parts: vec![DefensePart {
+                family: "dp".into(),
+                args: Some(format!("{clip},{noise}")),
+            }],
+        }
+    }
+
+    /// A clip-only spec with L2 bound `clip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clip` is not positive (the bound the parse path
+    /// enforces).
+    pub fn clip(clip: f32) -> Self {
+        assert!(clip > 0.0, "clip bound must be positive, got {clip}");
+        DefenseSpec {
+            parts: vec![DefensePart {
+                family: "clip".into(),
+                args: Some(clip.to_string()),
+            }],
+        }
+    }
+
+    /// Whether this is the undefended baseline.
+    pub fn is_none(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The stacked family names, in application order.
+    pub fn families(&self) -> Vec<&str> {
+        self.parts.iter().map(|p| p.family.as_str()).collect()
+    }
+
+    /// Appends `other`'s parts to this stack, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate families (stacking a defense with itself has
+    /// no defined semantics).
+    pub fn stacked(mut self, other: DefenseSpec) -> Result<Self, ScenarioError> {
+        for part in other.parts {
+            if self.parts.iter().any(|p| p.family == part.family) {
+                return Err(ScenarioError::BadSpec(format!(
+                    "duplicate defense family `{}` in stack",
+                    part.family
+                )));
+            }
+            self.parts.push(part);
+        }
+        Ok(self)
+    }
+
+    /// Builds the [`DefenseStack`] behind this spec via the family
+    /// registry: one [`oasis_fl::Defense`] per part, in spec order.
+    ///
+    /// The stack *owns* every stage of every part — batch transforms
+    /// **and** update perturbations — so a DP part can no longer be
+    /// dropped by a caller that forgets a side channel (the
+    /// historical `dp_params()` bug class).
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry lookup and construction failures.
+    pub fn build(&self) -> Result<DefenseStack, ScenarioError> {
+        let mut stack = DefenseStack::identity();
+        for part in &self.parts {
+            let family = defense_family(&part.family)?;
+            stack.push((family.build)(part.args.as_deref())?);
+        }
+        Ok(stack)
+    }
+}
+
+impl std::ops::Add for DefenseSpec {
+    type Output = DefenseSpec;
+
+    /// Stacks two defense specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate families; use [`DefenseSpec::stacked`] for
+    /// a fallible version.
+    fn add(self, other: DefenseSpec) -> DefenseSpec {
+        self.stacked(other).expect("duplicate defense family")
     }
 }
 
 impl fmt::Display for DefenseSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            DefenseSpec::None => write!(f, "none"),
-            DefenseSpec::Oasis(kind) => write!(f, "oasis:{}", kind.abbrev()),
-            DefenseSpec::Ats => write!(f, "ats"),
-            DefenseSpec::Dp { clip, noise } => write!(f, "dp:{clip},{noise}"),
+        if self.parts.is_empty() {
+            return f.write_str("none");
         }
+        for (i, part) in self.parts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{part}")?;
+        }
+        Ok(())
     }
 }
 
 impl FromStr for DefenseSpec {
     type Err = ScenarioError;
 
+    /// Parses a `+`-joined stack.
+    ///
+    /// Some part grammars contain `+` themselves (`oasis:MR+SH`), so
+    /// parts are matched greedily: each part consumes as many
+    /// `+`-separated segments as still parse as one part.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (family, args) = split_spec(s);
-        match family {
-            "none" | "wo" | "without" => Ok(DefenseSpec::None),
-            "oasis" => {
-                let policy = args.ok_or_else(no_args)?;
-                let kind = policy
-                    .parse::<PolicyKind>()
-                    .map_err(|e| ScenarioError::BadSpec(e.to_string()))?;
-                Ok(DefenseSpec::Oasis(kind))
-            }
-            "ats" => Ok(DefenseSpec::Ats),
-            "dp" => {
-                let args = args.ok_or_else(no_args)?;
-                let (clip_str, noise_str) = args.split_once(',').ok_or_else(|| {
-                    ScenarioError::BadSpec("dp spec needs `dp:CLIP,NOISE`".into())
-                })?;
-                Ok(DefenseSpec::Dp {
-                    clip: parse_field::<f32>("dp", "clip", clip_str)?,
-                    noise: parse_field::<f32>("dp", "noise", noise_str)?,
-                })
-            }
-            other => Err(ScenarioError::BadSpec(format!(
-                "unknown defense `{other}` (expected none, oasis:P, ats, or dp:C,S)"
-            ))),
+        if matches!(s, "none" | "wo" | "without") {
+            return Ok(DefenseSpec::none());
         }
+        let segments: Vec<&str> = s.split('+').collect();
+        let mut spec = DefenseSpec::none();
+        let mut i = 0;
+        while i < segments.len() {
+            let mut candidate = String::new();
+            let mut matched: Option<(usize, DefensePart)> = None;
+            for (j, segment) in segments.iter().enumerate().skip(i) {
+                if j > i {
+                    candidate.push('+');
+                }
+                candidate.push_str(segment);
+                if let Ok(part) = parse_part(&candidate) {
+                    matched = Some((j, part));
+                }
+            }
+            match matched {
+                Some((j, part)) => {
+                    spec = spec.stacked(DefenseSpec { parts: vec![part] })?;
+                    i = j + 1;
+                }
+                // Nothing starting at segment `i` parses; surface the
+                // single-segment error for context.
+                None => return Err(parse_part(segments[i]).expect_err("greedy match missed")),
+            }
+        }
+        Ok(spec)
     }
+}
+
+/// Parses one stack part. `none` is rejected here: the baseline is
+/// the whole-spec `none`, never a stack member.
+fn parse_part(s: &str) -> Result<DefensePart, ScenarioError> {
+    let (name, args) = split_spec(s);
+    if matches!(name, "none" | "wo" | "without") {
+        return Err(ScenarioError::BadSpec(
+            "`none` cannot be part of a stack (it is the empty stack)".into(),
+        ));
+    }
+    let family = defense_family(name)?;
+    Ok(DefensePart {
+        family: name.to_string(),
+        args: (family.canon)(args)?,
+    })
 }
 
 impl Serialize for DefenseSpec {
@@ -438,17 +585,6 @@ fn split_spec(s: &str) -> (&str, Option<&str>) {
     }
 }
 
-fn no_args() -> ScenarioError {
-    ScenarioError::BadSpec("missing `:` arguments".into())
-}
-
-fn parse_field<T: FromStr>(family: &str, field: &str, value: &str) -> Result<T, ScenarioError> {
-    value
-        .trim()
-        .parse()
-        .map_err(|_| ScenarioError::BadSpec(format!("bad {field} `{value}` in `{family}:` spec")))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,11 +594,8 @@ mod tests {
         for spec in [
             AttackSpec::rtf(512),
             AttackSpec::cah(700),
-            AttackSpec::Cah {
-                neurons: 64,
-                gamma: 0.004,
-            },
-            AttackSpec::Linear,
+            AttackSpec::cah_with_gamma(64, 0.004),
+            AttackSpec::linear(),
         ] {
             assert_eq!(spec.to_string().parse::<AttackSpec>().unwrap(), spec);
         }
@@ -471,16 +604,100 @@ mod tests {
     #[test]
     fn defense_specs_round_trip() {
         let mut specs = vec![
-            DefenseSpec::None,
-            DefenseSpec::Ats,
-            DefenseSpec::Dp {
-                clip: 1.0,
-                noise: 0.5,
-            },
+            DefenseSpec::none(),
+            DefenseSpec::ats(),
+            DefenseSpec::dp(1.0, 0.5),
+            DefenseSpec::clip(2.5),
         ];
-        specs.extend(PolicyKind::all().map(DefenseSpec::Oasis));
+        specs.extend(PolicyKind::all().map(DefenseSpec::oasis));
         for spec in specs {
             assert_eq!(spec.to_string().parse::<DefenseSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn stacked_defense_specs_round_trip() {
+        for stack in [
+            DefenseSpec::oasis(PolicyKind::MajorRotation) + DefenseSpec::dp(1.0, 0.01),
+            DefenseSpec::dp(1.0, 0.01) + DefenseSpec::oasis(PolicyKind::MajorRotation),
+            DefenseSpec::oasis(PolicyKind::MajorRotationShearing) + DefenseSpec::dp(2.0, 0.5),
+            DefenseSpec::ats() + DefenseSpec::clip(0.5),
+            DefenseSpec::oasis(PolicyKind::Shearing)
+                + DefenseSpec::dp(1.0, 0.25)
+                + DefenseSpec::clip(3.0),
+        ] {
+            let printed = stack.to_string();
+            assert_eq!(printed.parse::<DefenseSpec>().unwrap(), stack, "{printed}");
+        }
+    }
+
+    #[test]
+    fn stack_grammar_is_greedy_over_policy_plus() {
+        // `oasis:MR+SH` is one part (the MR+SH policy), not a stack
+        // of `oasis:MR` and an unknown `SH` family.
+        let spec: DefenseSpec = "oasis:MR+SH".parse().unwrap();
+        assert_eq!(spec.families(), vec!["oasis"]);
+        // ...and still stacks with further parts.
+        let spec: DefenseSpec = "oasis:MR+SH+dp:1,0.01".parse().unwrap();
+        assert_eq!(spec.families(), vec!["oasis", "dp"]);
+        assert_eq!(spec.to_string(), "oasis:MR+SH+dp:1,0.01");
+    }
+
+    #[test]
+    fn stack_order_is_preserved() {
+        let a: DefenseSpec = "oasis:MR+dp:1,0.01".parse().unwrap();
+        let b: DefenseSpec = "dp:1,0.01+oasis:MR".parse().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.families(), vec!["oasis", "dp"]);
+        assert_eq!(b.families(), vec!["dp", "oasis"]);
+    }
+
+    #[test]
+    fn duplicate_families_are_rejected() {
+        let err = "oasis:MR+oasis:SH".parse::<DefenseSpec>().unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        let err = "dp:1,0.5+ats+dp:2,0.1".parse::<DefenseSpec>().unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        assert!(DefenseSpec::ats().stacked(DefenseSpec::ats()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate defense family")]
+    fn add_panics_on_duplicates() {
+        let _ = DefenseSpec::dp(1.0, 0.5) + DefenseSpec::dp(2.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "clip bound must be positive")]
+    fn dp_constructor_enforces_parse_bounds() {
+        let _ = DefenseSpec::dp(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clip bound must be positive")]
+    fn clip_constructor_enforces_parse_bounds() {
+        let _ = DefenseSpec::clip(-1.0);
+    }
+
+    #[test]
+    fn none_aliases_parse_to_the_empty_stack() {
+        for alias in ["none", "wo", "without"] {
+            let spec: DefenseSpec = alias.parse().unwrap();
+            assert!(spec.is_none());
+            assert_eq!(spec, DefenseSpec::none());
+            assert_eq!(spec.to_string(), "none");
+        }
+        assert!(DefenseSpec::none().build().unwrap().is_empty());
+    }
+
+    #[test]
+    fn none_cannot_be_stacked() {
+        for bad in ["none+oasis:MR", "oasis:MR+none", "wo+ats"] {
+            let err = bad.parse::<DefenseSpec>().unwrap_err();
+            assert!(
+                err.to_string().contains("cannot be part of a stack"),
+                "`{bad}`: {err}"
+            );
         }
     }
 
@@ -504,7 +721,19 @@ mod tests {
                 "`{bad}` should not parse"
             );
         }
-        for bad in ["oasis", "oasis:XX", "dp:1", "dp:a,b", "dropout"] {
+        for bad in [
+            "oasis",
+            "oasis:XX",
+            "dp:1",
+            "dp:a,b",
+            "dropout",
+            "clip:0",
+            "clip:-1",
+            "dp:0,1",
+            "oasis:MR+dp:1",
+            "oasis:MR+warp",
+            "",
+        ] {
             assert!(
                 bad.parse::<DefenseSpec>().is_err(),
                 "`{bad}` should not parse"
@@ -516,28 +745,16 @@ mod tests {
     #[test]
     fn default_gamma_is_elided() {
         assert_eq!(AttackSpec::cah(700).to_string(), "cah:700");
-        let custom = AttackSpec::Cah {
-            neurons: 700,
-            gamma: 0.25,
-        };
+        let custom = AttackSpec::cah_with_gamma(700, 0.25);
         assert!(custom.to_string().starts_with("cah:700,"));
     }
 
     #[test]
     fn with_neurons_varies_only_that_axis() {
         assert_eq!(AttackSpec::rtf(100).with_neurons(900), AttackSpec::rtf(900));
-        let cah = AttackSpec::Cah {
-            neurons: 100,
-            gamma: 0.1,
-        };
-        assert_eq!(
-            cah.with_neurons(300),
-            AttackSpec::Cah {
-                neurons: 300,
-                gamma: 0.1
-            }
-        );
-        assert_eq!(AttackSpec::Linear.with_neurons(5), AttackSpec::Linear);
+        let cah = AttackSpec::cah_with_gamma(100, 0.1);
+        assert_eq!(cah.with_neurons(300), AttackSpec::cah_with_gamma(300, 0.1));
+        assert_eq!(AttackSpec::linear().with_neurons(5), AttackSpec::linear());
     }
 
     #[test]
@@ -578,13 +795,29 @@ mod tests {
     }
 
     #[test]
-    fn dp_defense_exposes_params_and_identity_preprocessor() {
-        let dp = DefenseSpec::Dp {
-            clip: 2.0,
-            noise: 0.1,
-        };
-        assert_eq!(dp.dp_params(), Some((2.0, 0.1)));
-        assert_eq!(DefenseSpec::None.dp_params(), None);
-        assert_eq!(dp.build().name(), IdentityPreprocessor.name());
+    fn dp_spec_builds_a_stack_that_owns_the_update_stage() {
+        // The historical `dp_params()` side channel is gone: building
+        // a dp spec yields a stack whose update stage is live — there
+        // is no second call a harness could forget.
+        let stack = DefenseSpec::dp(2.0, 0.1).build().unwrap();
+        assert!(stack.has_update_stage());
+        assert_eq!(stack.clip_norm(), Some(2.0));
+        assert!(!DefenseSpec::none().build().unwrap().has_update_stage());
+    }
+
+    #[test]
+    fn stacked_spec_builds_both_stages() {
+        let stack = ("oasis:MR+dp:1,0.01".parse::<DefenseSpec>().unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(stack.names(), vec!["oasis", "dp"]);
+        assert!(stack.has_update_stage());
+        assert_eq!(stack.clip_norm(), Some(1.0));
+        // The batch stage is live too: OASIS MR expands 1 → 4.
+        let ds = oasis_data::cifar_like_with(2, 2, 8, 0);
+        let batch = oasis_data::Batch::from_items(ds.items().to_vec());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use rand::SeedableRng;
+        assert_eq!(stack.process_batch(&batch, &mut rng).len(), batch.len() * 4);
     }
 }

@@ -13,23 +13,45 @@ fn any_attack() -> BoxedStrategy<AttackSpec> {
         (1usize..2000).prop_map(AttackSpec::rtf).boxed(),
         (1usize..2000).prop_map(AttackSpec::cah).boxed(),
         (1usize..2000, 0.0005f64..0.5)
-            .prop_map(|(neurons, gamma)| AttackSpec::Cah { neurons, gamma })
+            .prop_map(|(neurons, gamma)| AttackSpec::cah_with_gamma(neurons, gamma))
             .boxed(),
-        (0usize..1).prop_map(|_| AttackSpec::Linear).boxed(),
+        (0usize..1).prop_map(|_| AttackSpec::linear()).boxed(),
     ]
     .boxed()
 }
 
-/// Strategy: any defense spec.
+/// Strategy: one single-family defense part.
+fn any_defense_part() -> BoxedStrategy<DefenseSpec> {
+    prop_oneof![
+        (0usize..7)
+            .prop_map(|i| DefenseSpec::oasis(PolicyKind::all()[i]))
+            .boxed(),
+        (0usize..1).prop_map(|_| DefenseSpec::ats()).boxed(),
+        (0.01f32..10.0, 0.0f32..40.0)
+            .prop_map(|(clip, noise)| DefenseSpec::dp(clip, noise))
+            .boxed(),
+        (0.01f32..10.0).prop_map(DefenseSpec::clip).boxed(),
+    ]
+    .boxed()
+}
+
+/// Strategy: any defense spec — `none`, a single part, or a random
+/// `+`-stack of distinct families in random order.
 fn any_defense() -> BoxedStrategy<DefenseSpec> {
     prop_oneof![
-        (0usize..1).prop_map(|_| DefenseSpec::None).boxed(),
-        (0usize..7)
-            .prop_map(|i| DefenseSpec::Oasis(PolicyKind::all()[i]))
-            .boxed(),
-        (0usize..1).prop_map(|_| DefenseSpec::Ats).boxed(),
-        (0.01f32..10.0, 0.0f32..40.0)
-            .prop_map(|(clip, noise)| DefenseSpec::Dp { clip, noise })
+        (0usize..1).prop_map(|_| DefenseSpec::none()).boxed(),
+        any_defense_part().boxed(),
+        proptest::collection::vec(any_defense_part(), 2..5)
+            .prop_map(|parts| {
+                // Keep the first part of each family; order survives.
+                let mut stack = DefenseSpec::none();
+                for part in parts {
+                    if let Ok(s) = stack.clone().stacked(part) {
+                        stack = s;
+                    }
+                }
+                stack
+            })
             .boxed(),
     ]
     .boxed()
@@ -49,6 +71,32 @@ fn any_workload() -> BoxedStrategy<WorkloadSpec> {
 }
 
 proptest! {
+    /// Random stacks round-trip `FromStr` ⇄ `Display`: order is
+    /// preserved (the spec value is order-sensitive and equality is
+    /// exact) and the empty stack prints as `none`.
+    #[test]
+    fn defense_stacks_round_trip(stack in any_defense()) {
+        let printed = stack.to_string();
+        let parsed: DefenseSpec = printed.parse().expect("printed stack parses");
+        prop_assert_eq!(&parsed, &stack, "`{}` did not round-trip", printed);
+        prop_assert_eq!(parsed.families(), stack.families());
+        if stack.is_none() {
+            prop_assert_eq!(printed, "none");
+        }
+    }
+
+    /// Stacking any part onto a stack already holding its family is
+    /// rejected with a clear error naming the duplicate.
+    #[test]
+    fn duplicate_families_never_stack(part in any_defense_part()) {
+        let family = part.families()[0].to_string();
+        let err = part.clone().stacked(part).expect_err("duplicate must be rejected");
+        prop_assert!(
+            err.to_string().contains("duplicate") && err.to_string().contains(&family),
+            "error `{}` should name duplicate family `{}`", err, family
+        );
+    }
+
     #[test]
     fn attack_specs_round_trip(spec in any_attack()) {
         let printed = spec.to_string();
@@ -114,7 +162,7 @@ fn scenario_runs_are_deterministic() {
     let scenario = Scenario::builder()
         .workload(WorkloadSpec::Cifar100)
         .attack(AttackSpec::rtf(48))
-        .defense(DefenseSpec::Oasis(PolicyKind::MajorRotation))
+        .defense(DefenseSpec::oasis(PolicyKind::MajorRotation))
         .batch_size(4)
         .trials(3)
         .scale(Scale::Quick)
@@ -142,10 +190,7 @@ fn dp_scenario_runs_are_deterministic() {
     let scenario = Scenario::builder()
         .workload(WorkloadSpec::Cifar100)
         .attack(AttackSpec::rtf(32))
-        .defense(DefenseSpec::Dp {
-            clip: 1.0,
-            noise: 0.5,
-        })
+        .defense(DefenseSpec::dp(1.0, 0.5))
         .batch_size(4)
         .trials(2)
         .scale(Scale::Quick)

@@ -1,4 +1,4 @@
-//! Data-parallel fronts over the persistent worker [`pool`](crate::pool).
+//! Data-parallel fronts over the persistent worker pool (`crate::pool`).
 //!
 //! The workspace deliberately avoids a full task-scheduling runtime;
 //! the parallel patterns needed are "split a flat output buffer into

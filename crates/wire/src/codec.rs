@@ -30,7 +30,7 @@ pub struct EncodedUpdate {
     pub codec: String,
     /// Element count of the original update vector.
     pub n: usize,
-    /// Wire-format payload (see [`crate::format`]).
+    /// Wire-format payload (see the `format` module).
     pub payload: Vec<u8>,
 }
 

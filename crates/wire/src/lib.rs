@@ -15,11 +15,11 @@
 //!    [`WireError`], never a panic) and zero-copy ([`WireView`]
 //!    borrows, [`TensorView`] slices). [`checkpoint`] uses it for
 //!    whole-model save/load.
-//! 2. **Codecs** ([`codec`]) — pluggable [`UpdateCodec`]s turning
+//! 2. **Codecs** — pluggable [`UpdateCodec`]s turning
 //!    flat update vectors into bytes: lossless [`RawCodec`], int8
 //!    [`Q8Codec`], sparsifying [`TopKCodec`], and 1-bit [`SignCodec`],
 //!    each reporting its exact encoded byte size.
-//! 3. **Transport** ([`net`]) — a deterministic simulated network
+//! 3. **Transport** — a deterministic simulated network
 //!    ([`NetSpec`]) with per-client latency, bandwidth, loss, and a
 //!    straggler cutoff, so FL rounds gain a simulated wall-clock and
 //!    partial participation.

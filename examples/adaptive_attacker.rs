@@ -25,7 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2);
     let batch = dataset.sample_batch(8, &mut rng);
 
-    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
+    let oasis_defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
+    let defense = oasis_fl::DefenseStack::of(oasis_defense.clone());
     println!("client policy fixed at MR+SH; attacker adapts:\n");
     println!(
         "{:>6} {:>8} {:>12} {:>10}",
@@ -58,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rtf = RtfAttack::calibrated(512, &calibration)?;
     let model = rtf.build_model(batch.images[0].dims(), classes, 5)?;
     let layer = model.layer_as::<Linear>(0).expect("malicious layer");
-    let audit = activation_set_analysis(layer, &batch, &defense);
+    let audit = activation_set_analysis(layer, &batch, &oasis_defense);
     println!(
         "client-side Prop-1 audit vs RTF(512): {:.0}% of samples have an \
          activation-set twin",

@@ -15,7 +15,7 @@ use oasis::{defended_client, undefended_client, OasisConfig};
 use oasis_attacks::{run_attack, CahAttack, DEFAULT_ACTIVATION_TARGET};
 use oasis_augment::PolicyKind;
 use oasis_data::synthetic_dataset;
-use oasis_fl::{partition_iid, FlConfig, FlServer, IdentityPreprocessor, ModelFactory};
+use oasis_fl::{partition_iid, DefenseStack, FlConfig, FlServer, ModelFactory};
 use oasis_nn::{Linear, Relu, Sequential};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Phase 1: honest training across four hospitals ---------------
     let mut rng = StdRng::seed_from_u64(5);
-    let hospitals = partition_iid(&scans, 4, Arc::new(IdentityPreprocessor), &mut rng);
+    let hospitals = partition_iid(&scans, 4, Arc::new(DefenseStack::identity()), &mut rng);
     let cfg = FlConfig {
         learning_rate: 0.1,
         local_batch_size: 12,
@@ -60,7 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut patient_rng = StdRng::seed_from_u64(11);
     let victim_batch = scans.sample_batch(8, &mut patient_rng);
 
-    let undefended = run_attack(&attack, &victim_batch, &IdentityPreprocessor, classes, 3)?;
+    let undefended = run_attack(
+        &attack,
+        &victim_batch,
+        &DefenseStack::identity(),
+        classes,
+        3,
+    )?;
     println!("\nCAH against an undefended hospital:");
     println!(
         "  scans leaked (>60 dB): {:.0}%",
@@ -68,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  mean matched PSNR:     {:.1} dB", undefended.mean_psnr());
 
-    let defense = oasis::Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
+    let defense = DefenseStack::of(oasis::Oasis::new(OasisConfig::policy(
+        PolicyKind::MajorRotationShearing,
+    )));
     let defended = run_attack(&attack, &victim_batch, &defense, classes, 3)?;
     println!("CAH against an OASIS(MR+SH) hospital:");
     println!(
@@ -79,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Phase 3: defended hospitals still learn -----------------------
     let mut rng = StdRng::seed_from_u64(6);
-    let mut shards = partition_iid(&scans, 4, Arc::new(IdentityPreprocessor), &mut rng);
+    let mut shards = partition_iid(&scans, 4, Arc::new(DefenseStack::identity()), &mut rng);
     let defended_hospitals: Vec<_> = shards
         .drain(..)
         .enumerate()

@@ -15,7 +15,7 @@ use oasis::{Oasis, OasisConfig};
 use oasis_attacks::{run_attack, train_linear_with_dp, DpConfig, LinearModelAttack};
 use oasis_augment::PolicyKind;
 use oasis_data::synthetic_dataset;
-use oasis_fl::IdentityPreprocessor;
+use oasis_fl::DefenseStack;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch = scenes.sample_batch_unique_labels(8, &mut rng);
 
     println!("linear-model inversion on a UAV update (B = 8, unique labels):");
-    let undefended = run_attack(&attack, &batch, &IdentityPreprocessor, classes, 2)?;
+    let undefended = run_attack(&attack, &batch, &DefenseStack::identity(), classes, 2)?;
     println!(
         "  without OASIS : mean PSNR {:>6.2} dB",
         undefended.mean_psnr()
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PolicyKind::Shearing,
         PolicyKind::HorizontalFlip,
     ] {
-        let defense = Oasis::new(OasisConfig::policy(kind));
+        let defense = DefenseStack::of(Oasis::new(OasisConfig::policy(kind)));
         let defended = run_attack(&attack, &batch, &defense, classes, 2)?;
         println!(
             "  with {:<8} : mean PSNR {:>6.2} dB",

@@ -5,11 +5,11 @@
 use oasis::{Oasis, OasisConfig};
 use oasis_augment::PolicyKind;
 use oasis_data::cifar_like_with;
-use oasis_fl::{train_centralized, BatchPreprocessor, IdentityPreprocessor};
+use oasis_fl::{train_centralized, BatchStage, IdentityPreprocessor};
 use oasis_nn::{Linear, Relu, Sequential, Sgd};
 use rand::{rngs::StdRng, SeedableRng};
 
-fn train_with(pre: &dyn BatchPreprocessor) -> f64 {
+fn train_with(pre: &dyn BatchStage) -> f64 {
     let ds = cifar_like_with(5, 24, 10, 9);
     let mut rng = StdRng::seed_from_u64(0);
     let (train, test) = ds.split(0.8, &mut rng);

@@ -1,0 +1,123 @@
+//! Legacy single-defense specs reproduce pre-redesign numbers
+//! **bit-exactly** through the composable defense pipeline.
+//!
+//! The fixture `golden_defense_trials.json` was captured from the
+//! pre-`DefenseStack` code (closed `DefenseSpec` enum, `dp_params()`
+//! side channel) by running the `scenario` CLI at quick scale:
+//!
+//! ```text
+//! scenario --attack rtf:48 --defense none,oasis:MR,ats,dp:1,0.5 \
+//!     --workload cifar100 --batch 4 --trials 2 --quick --seed 7 \
+//!     --calibration 32
+//! scenario --attack cah:48 --defense oasis:MR+SH \
+//!     --workload imagenette --batch 4 --trials 2 --quick --seed 7 \
+//!     --calibration 48
+//! ```
+//!
+//! Every matched PSNR of every trial must come back identical to the
+//! recorded f64 bit patterns: the batch-stage path, the per-sample DP
+//! path (clip + Gaussian noise stream), and the spec grammar all
+//! survived the API migration unchanged.
+
+use oasis_scenario::{Scale, Scenario};
+use serde::Value;
+
+const GOLDEN: &str = include_str!("golden_defense_trials.json");
+
+fn golden_trials(key: &str) -> Vec<Vec<f64>> {
+    let value: Value = serde_json::from_str::<Value>(GOLDEN).expect("fixture parses");
+    let trials = value
+        .get(key)
+        .unwrap_or_else(|| panic!("fixture key {key}"));
+    let Value::Array(trials) = trials else {
+        panic!("fixture {key} is not an array")
+    };
+    trials
+        .iter()
+        .map(|t| {
+            let Value::Array(psnrs) = t else {
+                panic!("trial is not an array")
+            };
+            psnrs
+                .iter()
+                .map(|p| p.as_f64().expect("psnr is a number"))
+                .collect()
+        })
+        .collect()
+}
+
+fn run(attack: &str, defense: &str, workload: &str, calibration: usize) -> Vec<Vec<f64>> {
+    let report = Scenario::builder()
+        .attack(attack.parse().expect("attack spec"))
+        .defense(defense.parse().expect("defense spec"))
+        .workload(workload.parse().expect("workload spec"))
+        .batch_size(4)
+        .trials(2)
+        .scale(Scale::Quick)
+        .seed(7)
+        .calibration(calibration)
+        .build()
+        .expect("scenario")
+        .run()
+        .expect("run");
+    report
+        .trials
+        .iter()
+        .map(|t| t.matched_psnrs.clone())
+        .collect()
+}
+
+#[test]
+fn legacy_defense_specs_reproduce_pre_redesign_trials_bit_exactly() {
+    for (attack, defense, workload, calibration) in [
+        ("rtf:48", "none", "cifar100", 32),
+        ("rtf:48", "oasis:MR", "cifar100", 32),
+        ("rtf:48", "ats", "cifar100", 32),
+        ("rtf:48", "dp:1,0.5", "cifar100", 32),
+        ("cah:48", "oasis:MR+SH", "imagenette", 48),
+    ] {
+        let key = format!("{attack}|{defense}|{workload}");
+        let golden = golden_trials(&key);
+        let current = run(attack, defense, workload, calibration);
+        assert_eq!(current.len(), golden.len(), "{key}: trial count changed");
+        for (i, (cur, gold)) in current.iter().zip(&golden).enumerate() {
+            assert_eq!(
+                cur, gold,
+                "{key} trial {i}: matched PSNRs diverged from the pre-redesign capture"
+            );
+        }
+    }
+}
+
+/// The redesign's acceptance shape: a stacked `oasis+dp` defense runs
+/// end-to-end and is at least as strong as its strongest layer.
+#[test]
+fn stacked_oasis_dp_is_no_weaker_than_either_layer() {
+    let mean = |defense: &str| -> f64 {
+        Scenario::builder()
+            .attack("rtf:48".parse().expect("attack"))
+            .defense(defense.parse().expect("defense"))
+            .workload("cifar100".parse().expect("workload"))
+            .batch_size(4)
+            .trials(2)
+            .scale(Scale::Quick)
+            .seed(7)
+            .calibration(32)
+            .build()
+            .expect("scenario")
+            .run()
+            .expect("run")
+            .mean_psnr()
+    };
+    let none = mean("none");
+    let oasis = mean("oasis:MR");
+    let dp = mean("dp:1,0.0003");
+    let both = mean("oasis:MR+dp:1,0.0003");
+    assert!(oasis < none, "oasis must defend: {oasis} vs {none}");
+    assert!(dp < none, "dp must defend: {dp} vs {none}");
+    assert!(
+        both <= oasis.min(dp) + 1e-9,
+        "stack must be no weaker than its strongest layer: \
+         oasis+dp {both:.2} dB vs min(oasis {oasis:.2}, dp {dp:.2})"
+    );
+}

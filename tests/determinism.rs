@@ -5,7 +5,7 @@ use oasis::{Oasis, OasisConfig};
 use oasis_attacks::{run_attack, CahAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET};
 use oasis_augment::PolicyKind;
 use oasis_data::{imagenette_like_with, Batch};
-use oasis_fl::IdentityPreprocessor;
+use oasis_fl::DefenseStack;
 
 #[test]
 fn datasets_are_reproducible() {
@@ -21,12 +21,14 @@ fn attack_outcomes_are_reproducible() {
     let batch = Batch::from_items(ds.items()[..5].to_vec());
 
     let rtf = RtfAttack::calibrated(64, &calib).unwrap();
-    let a = run_attack(&rtf, &batch, &IdentityPreprocessor, 10, 3).unwrap();
-    let b = run_attack(&rtf, &batch, &IdentityPreprocessor, 10, 3).unwrap();
+    let a = run_attack(&rtf, &batch, &DefenseStack::identity(), 10, 3).unwrap();
+    let b = run_attack(&rtf, &batch, &DefenseStack::identity(), 10, 3).unwrap();
     assert_eq!(a.matched_psnrs, b.matched_psnrs);
 
     let cah = CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 1).unwrap();
-    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing));
+    let defense = DefenseStack::of(Oasis::new(OasisConfig::policy(
+        PolicyKind::MajorRotationShearing,
+    )));
     let c = run_attack(&cah, &batch, &defense, 10, 3).unwrap();
     let d = run_attack(&cah, &batch, &defense, 10, 3).unwrap();
     assert_eq!(c.matched_psnrs, d.matched_psnrs);
@@ -39,8 +41,8 @@ fn different_seeds_differ() {
     let batch = Batch::from_items(ds.items()[..5].to_vec());
     let cah_a = CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 1).unwrap();
     let cah_b = CahAttack::calibrated(64, DEFAULT_ACTIVATION_TARGET, &calib, 2).unwrap();
-    let a = run_attack(&cah_a, &batch, &IdentityPreprocessor, 10, 3).unwrap();
-    let b = run_attack(&cah_b, &batch, &IdentityPreprocessor, 10, 3).unwrap();
+    let a = run_attack(&cah_a, &batch, &DefenseStack::identity(), 10, 3).unwrap();
+    let b = run_attack(&cah_b, &batch, &DefenseStack::identity(), 10, 3).unwrap();
     assert_ne!(a.matched_psnrs, b.matched_psnrs);
 }
 

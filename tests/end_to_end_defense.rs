@@ -5,7 +5,7 @@ use oasis::{Oasis, OasisConfig};
 use oasis_attacks::{run_attack, CahAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET};
 use oasis_augment::PolicyKind;
 use oasis_data::{imagenette_like_with, Batch};
-use oasis_fl::IdentityPreprocessor;
+use oasis_fl::DefenseStack;
 use oasis_image::Image;
 
 fn calibration() -> Vec<Image> {
@@ -30,7 +30,7 @@ fn rtf_perfect_without_oasis_blocked_by_major_rotation() {
     let attack = RtfAttack::calibrated(256, &calibration()).expect("calibration");
     let batch = victim_batch(6);
 
-    let undefended = run_attack(&attack, &batch, &IdentityPreprocessor, 10, 3).expect("run");
+    let undefended = run_attack(&attack, &batch, &DefenseStack::identity(), 10, 3).expect("run");
     assert!(
         undefended.mean_psnr() > 100.0,
         "undefended RTF should be near-perfect, got {:.1} dB",
@@ -38,7 +38,7 @@ fn rtf_perfect_without_oasis_blocked_by_major_rotation() {
     );
     assert!(undefended.leak_rate(60.0) > 0.8);
 
-    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
+    let defense = DefenseStack::of(Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation)));
     let defended = run_attack(&attack, &batch, &defense, 10, 3).expect("run");
     assert!(
         defended.mean_psnr() < 30.0,
@@ -54,7 +54,7 @@ fn rtf_perfect_without_oasis_blocked_by_major_rotation() {
 fn all_policies_degrade_rtf() {
     let attack = RtfAttack::calibrated(128, &calibration()).expect("calibration");
     let batch = victim_batch(5);
-    let undefended = run_attack(&attack, &batch, &IdentityPreprocessor, 10, 4).expect("run");
+    let undefended = run_attack(&attack, &batch, &DefenseStack::identity(), 10, 4).expect("run");
     for kind in [
         PolicyKind::MajorRotation,
         PolicyKind::MinorRotation,
@@ -63,7 +63,7 @@ fn all_policies_degrade_rtf() {
         PolicyKind::VerticalFlip,
         PolicyKind::MajorRotationShearing,
     ] {
-        let defense = Oasis::new(OasisConfig::policy(kind));
+        let defense = DefenseStack::of(Oasis::new(OasisConfig::policy(kind)));
         let defended = run_attack(&attack, &batch, &defense, 10, 4).expect("run");
         assert!(
             defended.mean_psnr() < undefended.mean_psnr() - 60.0,
@@ -84,11 +84,11 @@ fn cah_defeated_by_mr_sh_integration() {
         .expect("calibration");
     let batch = victim_batch(8);
 
-    let undefended = run_attack(&attack, &batch, &IdentityPreprocessor, 10, 5).expect("run");
+    let undefended = run_attack(&attack, &batch, &DefenseStack::identity(), 10, 5).expect("run");
     let mr = run_attack(
         &attack,
         &batch,
-        &Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation)),
+        &DefenseStack::of(Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation))),
         10,
         5,
     )
@@ -96,7 +96,9 @@ fn cah_defeated_by_mr_sh_integration() {
     let mrsh = run_attack(
         &attack,
         &batch,
-        &Oasis::new(OasisConfig::policy(PolicyKind::MajorRotationShearing)),
+        &DefenseStack::of(Oasis::new(OasisConfig::policy(
+            PolicyKind::MajorRotationShearing,
+        ))),
         10,
         5,
     )
@@ -129,7 +131,7 @@ fn defended_reconstruction_is_a_linear_combination() {
     use oasis_metrics::psnr;
     let attack = RtfAttack::calibrated(256, &calibration()).expect("calibration");
     let batch = victim_batch(4);
-    let defense = Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation));
+    let defense = DefenseStack::of(Oasis::new(OasisConfig::policy(PolicyKind::MajorRotation)));
     let outcome = run_attack(&attack, &batch, &defense, 10, 6).expect("run");
 
     let m = outcome

@@ -31,7 +31,8 @@ fn prop1_protection_implies_no_rtf_leakage() {
     ] {
         let defense = Oasis::new(OasisConfig::policy(kind));
         let analysis = activation_set_analysis(layer, &batch, &defense);
-        let outcome = run_attack(&attack, &batch, &defense, 10, 2).expect("run");
+        let stack = oasis_fl::DefenseStack::of(defense);
+        let outcome = run_attack(&attack, &batch, &stack, 10, 2).expect("run");
         // Proposition 1: full activation-set twinning ⇒ the attacker
         // cannot isolate any sample.
         if analysis.protection_rate == 1.0 {
@@ -66,7 +67,8 @@ fn without_policy_is_predicted_and_measured_unprotected() {
     let layer = model.layer_as::<Linear>(0).expect("malicious layer");
     let defense = Oasis::new(OasisConfig::policy(PolicyKind::Without));
     let analysis = activation_set_analysis(layer, &batch, &defense);
-    let outcome = run_attack(&attack, &batch, &defense, 10, 2).expect("run");
+    let stack = oasis_fl::DefenseStack::of(defense);
+    let outcome = run_attack(&attack, &batch, &stack, 10, 2).expect("run");
     assert!(
         analysis.protection_rate < 0.5,
         "WO should not be predicted protected"

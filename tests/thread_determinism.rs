@@ -12,9 +12,7 @@ use std::sync::Arc;
 
 use oasis_attacks::{ActiveAttack, RtfAttack};
 use oasis_data::cifar_like_with;
-use oasis_fl::{
-    partition_iid, FlConfig, FlServer, IdentityPreprocessor, ModelFactory, RoundReport,
-};
+use oasis_fl::{partition_iid, DefenseStack, FlConfig, FlServer, ModelFactory, RoundReport};
 use oasis_nn::{flatten_params, Conv2d, Layer, Linear, Mode, Relu, Sequential};
 use oasis_scenario::{Scale, Scenario};
 use oasis_tensor::{parallel, Tensor};
@@ -38,7 +36,7 @@ fn run_fl(threads: usize) -> (Vec<f32>, Vec<RoundReport>) {
         let clients = partition_iid(
             &data,
             4,
-            Arc::new(IdentityPreprocessor),
+            Arc::new(DefenseStack::identity()),
             &mut StdRng::seed_from_u64(13),
         );
         let mut server = FlServer::new(factory, FlConfig::default()).expect("server");
@@ -58,13 +56,13 @@ fn fl_weights_and_reports_are_bit_identical_across_thread_counts() {
 }
 
 /// One scenario trial batch (the `scenario --quick` workload): RTF
-/// over the wire, OASIS off, 2 trials.
-fn run_scenario(threads: usize) -> String {
+/// over the wire under `defense`, 2 trials.
+fn run_scenario(threads: usize, defense: &str) -> String {
     parallel::with_threads(threads, || {
         let scenario = Scenario::builder()
             .workload("imagenette".parse().expect("workload"))
             .attack("rtf:48".parse().expect("attack"))
-            .defense("oasis:MR".parse().expect("defense"))
+            .defense(defense.parse().expect("defense"))
             .batch_size(4)
             .trials(2)
             .scale(Scale::Quick)
@@ -80,8 +78,23 @@ fn run_scenario(threads: usize) -> String {
 
 #[test]
 fn scenario_trial_reports_are_bit_identical_across_thread_counts() {
-    let serial = run_scenario(1);
-    assert_eq!(run_scenario(4), serial);
+    let serial = run_scenario(1, "oasis:MR");
+    assert_eq!(run_scenario(4, "oasis:MR"), serial);
+}
+
+/// A stacked defense — the OASIS batch stage plus the DP update
+/// stage's per-sample path and Gaussian noise stream — is bit
+/// identical at 1, 2, and 4 worker threads.
+#[test]
+fn stacked_defense_trials_are_bit_identical_across_thread_counts() {
+    let serial = run_scenario(1, "oasis:MR+dp:1,0.01");
+    for threads in [2, 4] {
+        assert_eq!(
+            run_scenario(threads, "oasis:MR+dp:1,0.01"),
+            serial,
+            "stacked trials diverged at t={threads}"
+        );
+    }
 }
 
 /// The `conv2d_forward_b32` perf workload plus its backward, at model

@@ -2,7 +2,7 @@
 //! at round *k*, reloading it into a fresh server, and continuing
 //! training reproduces the uninterrupted trajectory bit-identically.
 
-use oasis_fl::{partition_iid, FlConfig, FlServer, IdentityPreprocessor, ModelFactory};
+use oasis_fl::{partition_iid, DefenseStack, FlConfig, FlServer, ModelFactory};
 use oasis_nn::{flatten_params, Linear, Relu, Sequential};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
@@ -21,7 +21,7 @@ fn setup() -> (ModelFactory, Vec<oasis_fl::FlClient>) {
     let clients = partition_iid(
         &data,
         3,
-        Arc::new(IdentityPreprocessor),
+        Arc::new(DefenseStack::identity()),
         &mut StdRng::seed_from_u64(2),
     );
     (factory, clients)

@@ -190,7 +190,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: an exact `usize` or a range.
+    /// Sizes accepted by [`vec()`]: an exact `usize` or a range.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn draw_len(&self, rng: &mut StdRng) -> usize;
@@ -220,7 +220,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
