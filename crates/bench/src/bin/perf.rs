@@ -6,7 +6,7 @@
 //! `tools/bench_compare`).
 //!
 //! ```text
-//! perf [--quick] [--suite core|fl|scale|all]... [--filter SUBSTR]
+//! perf [--quick] [--suite core|fl|scale|pop|all]... [--filter SUBSTR]
 //!      [--out-dir DIR] [--list]
 //! ```
 //!
@@ -45,7 +45,7 @@ fn parse_args() -> Result<Args, String> {
             "--suite" => {
                 let v = it
                     .next()
-                    .ok_or("--suite needs a value (core|fl|scale|all)")?;
+                    .ok_or("--suite needs a value (core|fl|scale|pop|all)")?;
                 if v == "all" {
                     args.suites = perf::SUITE_NAMES.iter().map(|s| s.to_string()).collect();
                     suites_explicit = true;
@@ -59,7 +59,7 @@ fn parse_args() -> Result<Args, String> {
                     }
                 } else {
                     return Err(format!(
-                        "unknown suite `{v}` (expected core, fl, scale, or all)"
+                        "unknown suite `{v}` (expected core, fl, scale, pop, or all)"
                     ));
                 }
             }
@@ -71,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perf [--quick] [--suite core|fl|scale|all]... [--filter SUBSTR] \
+                    "perf [--quick] [--suite core|fl|scale|pop|all]... [--filter SUBSTR] \
                      [--out-dir DIR] [--list]"
                 );
                 std::process::exit(0);

@@ -16,8 +16,8 @@
 //! Unknown flags are errors, not silently ignored.
 
 use oasis_bench::{
-    spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario,
-    ScenarioError, ScenarioReport, WorkloadSpec,
+    spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, PopulationSpec, SampleSpec,
+    Sampling, Scale, Scenario, ScenarioError, ScenarioReport, WorkloadSpec,
 };
 use std::process::ExitCode;
 
@@ -39,6 +39,11 @@ FLAGS (comma-separated lists sweep the grid):
     --net SPECS         ideal | sim:LAT,BW,DROP[,DL]      [default: ideal]
                         (latency ms, bandwidth Mbit/s, drop
                         probability, straggler deadline ms)
+    --population NS     deployment size(s) cohorts are
+                        sampled from (population:N or N)   [default: legacy wire]
+    --sample KS         cohort size(s) per attacked round
+                        (sample:K or K; needs --population)
+                                                          [default: min(N, 64)]
     --batch SIZES       client batch size(s) B            [default: 8]
     --trials N          attacked rounds pooled per cell   [default: per scale]
     --seed N            master seed                       [default: 0]
@@ -60,6 +65,8 @@ struct Args {
     workloads: Vec<WorkloadSpec>,
     codecs: Vec<CodecSpec>,
     nets: Vec<NetSpec>,
+    populations: Vec<usize>,
+    samples: Vec<usize>,
     batches: Vec<usize>,
     trials: Option<usize>,
     seed: u64,
@@ -94,6 +101,8 @@ fn main() -> ExitCode {
         * args.workloads.len()
         * args.codecs.len()
         * args.nets.len()
+        * args.populations.len()
+        * args.samples.len()
         * args.batches.len();
     if cells > 1 {
         println!("sweep: {cells} scenarios");
@@ -104,38 +113,48 @@ fn main() -> ExitCode {
             for defense in &args.defenses {
                 for &codec in &args.codecs {
                     for &net in &args.nets {
-                        for &batch in &args.batches {
-                            match run_cell(
-                                &args,
-                                workload,
-                                attack.clone(),
-                                defense.clone(),
-                                codec,
-                                net,
-                                batch,
-                            ) {
-                                Ok(report) => {
-                                    println!("{report}");
-                                    if args.save {
-                                        match report.save() {
-                                            Ok(path) => {
-                                                println!("  report -> {}", path.display());
+                        for &population in &args.populations {
+                            for &sample in &args.samples {
+                                for &batch in &args.batches {
+                                    match run_cell(
+                                        &args,
+                                        workload,
+                                        attack.clone(),
+                                        defense.clone(),
+                                        codec,
+                                        net,
+                                        population,
+                                        sample,
+                                        batch,
+                                    ) {
+                                        Ok(report) => {
+                                            println!("{report}");
+                                            if args.save {
+                                                match report.save() {
+                                                    Ok(path) => {
+                                                        println!("  report -> {}", path.display());
+                                                    }
+                                                    Err(e) => {
+                                                        eprintln!(
+                                                            "error: saving report failed: {e}"
+                                                        );
+                                                        failures += 1;
+                                                    }
+                                                }
                                             }
-                                            Err(e) => {
-                                                eprintln!("error: saving report failed: {e}");
-                                                failures += 1;
-                                            }
+                                            println!();
+                                        }
+                                        Err(e) => {
+                                            eprintln!(
+                                                "error: scenario attack={attack} \
+                                                 defense={defense} workload={workload} \
+                                                 codec={codec} net={net} \
+                                                 population={population} sample={sample} \
+                                                 batch={batch} failed: {e}"
+                                            );
+                                            failures += 1;
                                         }
                                     }
-                                    println!();
-                                }
-                                Err(e) => {
-                                    eprintln!(
-                                        "error: scenario attack={attack} defense={defense} \
-                                         workload={workload} codec={codec} net={net} \
-                                         batch={batch} failed: {e}"
-                                    );
-                                    failures += 1;
                                 }
                             }
                         }
@@ -151,6 +170,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     args: &Args,
     workload: WorkloadSpec,
@@ -158,6 +178,8 @@ fn run_cell(
     defense: DefenseSpec,
     codec: CodecSpec,
     net: NetSpec,
+    population: usize,
+    sample: usize,
     batch: usize,
 ) -> Result<ScenarioReport, ScenarioError> {
     let mut builder = Scenario::builder()
@@ -166,6 +188,8 @@ fn run_cell(
         .defense(defense)
         .codec(codec)
         .net(net)
+        .population(population)
+        .sample(sample)
         .batch_size(batch)
         .scale(args.scale)
         .seed(args.seed);
@@ -194,6 +218,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         workloads: vec![WorkloadSpec::ImageNette],
         codecs: vec![CodecSpec::Raw],
         nets: vec![NetSpec::Ideal],
+        populations: vec![0],
+        samples: vec![0],
         batches: vec![8],
         trials: None,
         seed: 0,
@@ -217,6 +243,19 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--workload" => args.workloads = parse_list(value("--workload")?, "workload")?,
             "--codec" => args.codecs = parse_list(value("--codec")?, "codec")?,
             "--net" => args.nets = parse_list(value("--net")?, "net")?,
+            "--population" => {
+                args.populations =
+                    parse_list::<PopulationSpec>(value("--population")?, "population")?
+                        .into_iter()
+                        .map(|p| p.clients)
+                        .collect();
+            }
+            "--sample" => {
+                args.samples = parse_list::<SampleSpec>(value("--sample")?, "sample")?
+                    .into_iter()
+                    .map(|k| k.cohort)
+                    .collect();
+            }
             "--batch" => {
                 args.batches = parse_list(value("--batch")?, "batch size")?;
             }

@@ -35,8 +35,8 @@ pub use oasis_attacks::{
     DEFAULT_ACTIVATION_TARGET,
 };
 pub use oasis_scenario::{
-    out_path, spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, Sampling, Scale, Scenario,
-    ScenarioError, ScenarioReport, WorkloadSpec,
+    out_path, spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, PopulationSpec,
+    SampleSpec, Sampling, Scale, Scenario, ScenarioError, ScenarioReport, WorkloadSpec,
 };
 
 /// The two evaluation workloads of the paper (alias of

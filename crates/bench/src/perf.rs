@@ -10,7 +10,7 @@
 //! two runs. Thread count is pinned via `OASIS_THREADS` for
 //! cross-machine comparability (the JSON records what was used).
 //!
-//! Three suites:
+//! Four suites:
 //!
 //! * `core` — tensor/nn kernels: matmul / matmul_nt / matmul_tn at
 //!   model-relevant shapes, Conv2d forward+backward.
@@ -24,6 +24,13 @@
 //!   `_t1`/`_tN` medians by [`scale_points`], and the CI gate
 //!   ([`scale_gate`]) fails when the multi-threaded run is slower
 //!   than the serial one on the same machine.
+//! * `pop` — population-scale rounds: one [`CohortRunner`] round
+//!   (cohort 64, raw wire) sampled from 1 k / 10 k / 100 k
+//!   descriptor clients, pinning rounds-per-second as the population
+//!   grows. The streaming aggregator keeps server memory at two
+//!   model buffers regardless of population (asserted by
+//!   `pop_suite_memory_stays_bounded`), so the records should differ
+//!   only by the O(population) selection shuffle.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,6 +39,7 @@ use oasis_attacks::{ActiveAttack, RtfAttack};
 use oasis_data::cifar_like_with;
 use oasis_fl::{DefenseStack, FlConfig, FlServer, ModelFactory, WireConfig};
 use oasis_nn::{Conv2d, Layer, Linear, Mode, Relu, Sequential};
+use oasis_population::{CohortRunner, Population};
 use oasis_tensor::{parallel, Tensor};
 use oasis_wire::{CodecSpec, NetSpec, Q8Codec, RawCodec, UpdateCodec};
 use rand::rngs::StdRng;
@@ -241,15 +249,37 @@ pub fn scale_suite() -> Vec<BenchDef> {
     ]
 }
 
-/// All suite names, in run order.
-pub const SUITE_NAMES: [&str; 3] = ["core", "fl", "scale"];
+/// The `pop` suite: one cohort-64 population round at growing
+/// population sizes.
+///
+/// Order is fixed; names are stable comparison keys.
+pub fn pop_suite() -> Vec<BenchDef> {
+    vec![
+        BenchDef {
+            name: "pop_round_1k",
+            build: bench_pop_round_1k,
+        },
+        BenchDef {
+            name: "pop_round_10k",
+            build: bench_pop_round_10k,
+        },
+        BenchDef {
+            name: "pop_round_100k",
+            build: bench_pop_round_100k,
+        },
+    ]
+}
 
-/// The benches of the named suite (`core`, `fl`, or `scale`).
+/// All suite names, in run order.
+pub const SUITE_NAMES: [&str; 4] = ["core", "fl", "scale", "pop"];
+
+/// The benches of the named suite (`core`, `fl`, `scale`, or `pop`).
 pub fn suite(name: &str) -> Option<Vec<BenchDef>> {
     match name {
         "core" => Some(core_suite()),
         "fl" => Some(fl_suite()),
         "scale" => Some(scale_suite()),
+        "pop" => Some(pop_suite()),
         _ => None,
     }
 }
@@ -795,6 +825,71 @@ fn bench_rtf_invert_t4() -> PreparedBench {
     scaled(4, bench_rtf_invert())
 }
 
+// ---------------------------------------------------------------------
+// pop benches
+// ---------------------------------------------------------------------
+
+/// The population-round fixture: the fl fixture's pool and model,
+/// but `population` descriptor clients instead of four resident
+/// ones. Past the pool size every client holds one sample
+/// (round-robin), so per-client compute stays constant while the
+/// population axis grows.
+fn pop_fixture(population: usize) -> (ModelFactory, Population) {
+    let data = cifar_like_with(10, 8, 16, 0);
+    let d = data.feature_dim();
+    let factory: ModelFactory = Arc::new(move || {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut m = Sequential::new();
+        m.push(Linear::new(d, 64, &mut rng));
+        m.push(Relu::new());
+        m.push(Linear::new(64, 10, &mut rng));
+        m
+    });
+    let pop = Population::iid(
+        &data,
+        population,
+        Arc::new(DefenseStack::identity()),
+        &mut StdRng::seed_from_u64(13),
+    );
+    (factory, pop)
+}
+
+/// One cohort-64 round sampled from `population` clients. The
+/// population (descriptors + shared pool) is built once and shared
+/// across iterations; the server and runner are fresh per iteration
+/// so every round is bit-identical work (see [`bench_fl_round`]).
+fn bench_pop_round(population: usize) -> PreparedBench {
+    let (factory, pop) = pop_fixture(population);
+    PreparedBench {
+        throughput: Some((1.0, "round/s")),
+        run: Box::new(move || {
+            let server = FlServer::new(
+                Arc::clone(&factory),
+                FlConfig {
+                    clients_per_round: 64,
+                    ..FlConfig::default()
+                },
+            )
+            .expect("bench server");
+            let mut runner = CohortRunner::new(server, pop.clone());
+            let mut rng = StdRng::seed_from_u64(14);
+            std::hint::black_box(runner.run_round(&mut rng).expect("bench pop round"));
+        }),
+    }
+}
+
+fn bench_pop_round_1k() -> PreparedBench {
+    bench_pop_round(1_000)
+}
+
+fn bench_pop_round_10k() -> PreparedBench {
+    bench_pop_round(10_000)
+}
+
+fn bench_pop_round_100k() -> PreparedBench {
+    bench_pop_round(100_000)
+}
+
 /// One bench's scaling datapoint, derived from a scale suite's
 /// `<base>_t1` / `<base>_t<N>` medians.
 #[derive(Debug, Clone, PartialEq)]
@@ -942,10 +1037,39 @@ mod tests {
                 "rtf_invert_128_t4",
             ]
         );
+        let pop = names(pop_suite());
+        assert_eq!(pop, vec!["pop_round_1k", "pop_round_10k", "pop_round_100k"]);
         assert!(suite("core").is_some());
         assert!(suite("fl").is_some());
         assert!(suite("scale").is_some());
+        assert!(suite("pop").is_some());
         assert!(suite("nope").is_none());
+        assert_eq!(SUITE_NAMES.len(), 4);
+    }
+
+    #[test]
+    fn pop_suite_memory_stays_bounded() {
+        // The bench fixture's promise: server-side update memory is
+        // two model buffers, independent of population. One round at
+        // the smallest population suffices — the aggregator's
+        // footprint has no population term at all.
+        let (factory, pop) = pop_fixture(1_000);
+        let n = oasis_nn::param_count(&mut factory());
+        let server = FlServer::new(
+            factory,
+            FlConfig {
+                clients_per_round: 64,
+                ..FlConfig::default()
+            },
+        )
+        .expect("server");
+        let mut runner = CohortRunner::new(server, pop);
+        let report = runner
+            .run_round(&mut StdRng::seed_from_u64(14))
+            .expect("pop round");
+        assert_eq!(report.population, 1_000);
+        assert_eq!(report.round_report.cohort, 64);
+        assert_eq!(report.peak_accum_bytes, 2 * 4 * n);
     }
 
     fn scale_suite_of(medians: &[(&str, u64)]) -> BenchSuite {

@@ -65,6 +65,31 @@ impl FlClient {
         &self.defense
     }
 
+    /// The client's deterministic per-round rng stream. Both
+    /// [`FlClient::compute_update`] and [`FlClient::round_samples`]
+    /// start from this stream, which is why the latter can predict the
+    /// former's sample count without touching the model.
+    fn round_rng(&self, round_seed: u64) -> StdRng {
+        StdRng::seed_from_u64(round_seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// How many samples [`FlClient::compute_update`] would report for
+    /// this `(batch_size, round_seed)` — without building the model or
+    /// computing gradients.
+    ///
+    /// Replays exactly the rng-consuming prefix of a round (batch draw
+    /// plus defense batch stages, which may expand the batch) on a
+    /// fresh copy of the same seeded stream. Streaming aggregation
+    /// needs every delivered client's sample count up front to form
+    /// FedAvg weights before the first update is folded.
+    pub fn round_samples(&self, batch_size: usize, round_seed: u64) -> usize {
+        let mut rng = self.round_rng(round_seed);
+        let batch = self
+            .data
+            .sample_batch(batch_size.min(self.data.len()), &mut rng);
+        self.defense.process_batch(&batch, &mut rng).len()
+    }
+
     /// Executes one round of local computation: loads the broadcast
     /// weights, runs the defense stack's batch stages on a sampled
     /// batch, computes the full-batch gradient, and runs the stack's
@@ -90,9 +115,7 @@ impl FlClient {
         batch_size: usize,
         round_seed: u64,
     ) -> Result<ClientUpdate> {
-        let mut rng = StdRng::seed_from_u64(
-            round_seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng = self.round_rng(round_seed);
         let batch = self
             .data
             .sample_batch(batch_size.min(self.data.len()), &mut rng);
@@ -200,6 +223,41 @@ mod tests {
             norm <= clip * 1.0001,
             "update norm {norm} above clip {clip}"
         );
+    }
+
+    #[test]
+    fn round_samples_predicts_compute_update() {
+        let data = cifar_like_with(3, 4, 8, 0);
+        let d = data.feature_dim();
+        let f = factory(d, 3);
+        let global = flatten_params(&mut f());
+        // An expanding batch defense: duplicates every sample, so the
+        // reported count differs from the drawn batch size.
+        struct Doubler;
+        impl crate::BatchStage for Doubler {
+            fn process(&self, batch: &oasis_data::Batch, _rng: &mut StdRng) -> oasis_data::Batch {
+                let mut doubled = batch.clone();
+                doubled.images.extend(batch.images.iter().cloned());
+                doubled.labels.extend(batch.labels.iter().cloned());
+                doubled
+            }
+        }
+        impl crate::Defense for Doubler {
+            fn name(&self) -> &str {
+                "doubler"
+            }
+            fn batch_stage(&self) -> Option<&dyn crate::BatchStage> {
+                Some(self)
+            }
+        }
+        for (defense, seed) in [
+            (Arc::new(DefenseStack::identity()), 5u64),
+            (Arc::new(DefenseStack::of(Doubler)), 11u64),
+        ] {
+            let client = FlClient::new(3, data.clone(), defense);
+            let update = client.compute_update(&f, &global, 4, seed).unwrap();
+            assert_eq!(client.round_samples(4, seed), update.samples);
+        }
     }
 
     #[test]

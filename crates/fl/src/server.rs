@@ -66,7 +66,15 @@ pub struct RoundReport {
     /// How many clients' updates were aggregated (delivered in time).
     pub participants: usize,
     /// How many clients were selected to participate.
+    ///
+    /// Kept for old readers; always equal to [`RoundReport::cohort`].
     pub selected: usize,
+    /// Cohort size after sampling — the number of clients the
+    /// scheduler drew for this round, whether from a resident client
+    /// slice (the legacy path) or from a descriptor population. Equal
+    /// to `selected`; the two names exist so population-scale reports
+    /// and legacy ones stay coherent.
+    pub cohort: usize,
     /// How many selected clients' updates were lost or cut off.
     pub dropped: usize,
     /// Mean loss over the delivered clients (0 when none arrived).
@@ -141,6 +149,16 @@ impl FlServer {
     /// The wire currently in use.
     pub fn wire(&self) -> &WireConfig {
         &self.wire
+    }
+
+    /// The training configuration the rounds run under.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// The model factory clients instantiate their local copy from.
+    pub fn factory(&self) -> &ModelFactory {
+        &self.factory
     }
 
     /// The global model (e.g. for evaluation).
@@ -369,13 +387,7 @@ impl FlServer {
             let mean_loss = loss_sum / delivered.len() as f32;
             let update_norm = agg.iter().map(|g| g * g).sum::<f32>().sqrt();
 
-            // w_{t+1} = w_t − η Ḡ
-            let lr = self.config.learning_rate;
-            let mut new_params = flatten_params(&mut self.model);
-            for (w, &g) in new_params.iter_mut().zip(&agg) {
-                *w -= lr * g;
-            }
-            load_params(&mut self.model, &new_params)?;
+            self.apply_update(&agg)?;
             (mean_loss, update_norm)
         };
 
@@ -383,6 +395,7 @@ impl FlServer {
             round: self.round,
             participants: delivered.len(),
             selected: m,
+            cohort: m,
             dropped: traffic.dropped,
             mean_loss,
             update_norm,
@@ -392,6 +405,32 @@ impl FlServer {
         };
         self.round += 1;
         Ok(report)
+    }
+
+    /// Applies an aggregated mean update as one server SGD step:
+    /// `w_{t+1} = w_t − η Ḡ` (paper Eq. 1's server side). The legacy
+    /// wave-decode round and the population streaming aggregator both
+    /// land here, so the global step is bit-identical across paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UpdateLength`] when `agg` disagrees with
+    /// the model's parameter count, or a model error from reloading
+    /// the stepped weights.
+    pub fn apply_update(&mut self, agg: &[f32]) -> Result<()> {
+        let lr = self.config.learning_rate;
+        let mut new_params = flatten_params(&mut self.model);
+        if agg.len() != new_params.len() {
+            return Err(FlError::UpdateLength {
+                len: agg.len(),
+                expected: new_params.len(),
+            });
+        }
+        for (w, &g) in new_params.iter_mut().zip(agg) {
+            *w -= lr * g;
+        }
+        load_params(&mut self.model, &new_params)?;
+        Ok(())
     }
 
     /// Runs `rounds` rounds, returning per-round reports.
@@ -461,6 +500,7 @@ mod tests {
             .unwrap();
         assert_eq!(report.participants, 4);
         assert_eq!(report.selected, 4);
+        assert_eq!(report.cohort, report.selected);
         assert_eq!(report.dropped, 0);
         assert!(report.update_norm > 0.0);
     }

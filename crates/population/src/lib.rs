@@ -1,0 +1,74 @@
+//! # oasis-population
+//!
+//! Population-scale federated rounds: the machinery that lets the
+//! OASIS evaluation run cohorts sampled from 10⁵–10⁶ clients without
+//! holding 10⁵–10⁶ [`FlClient`](oasis_fl::FlClient)s resident.
+//!
+//! Three pieces compose into a round:
+//!
+//! * [`Population`] — the deployment as data: a shared, shuffled
+//!   sample pool plus one 12-byte [`ClientDescriptor`] per client.
+//!   A descriptor is **hydrated** into a full `FlClient` (shard,
+//!   defense stack) only while its update is being computed, then
+//!   dropped.
+//! * [`CohortScheduler`] — seeded deterministic sampling of the K
+//!   participants of each round. The per-round rng stream is keyed by
+//!   `(seed, round)`, so any round is reproducible in isolation and
+//!   at any thread count.
+//! * [`StreamingAggregator`] — folds each delivered update into a
+//!   running `O(model)` accumulator as frames come off the wire, so
+//!   server memory is `O(model + cohort_scratch)` regardless of
+//!   population.
+//!
+//! [`CohortRunner`] ties them together and drives an
+//! [`FlServer`](oasis_fl::FlServer) through rounds that are
+//! **bit-exact** with the legacy resident-client path at matched
+//! scale: same selection shuffle, same per-client rng streams, same
+//! wire, same fold order, same SGD step.
+//!
+//! ```
+//! use oasis_population::{CohortRunner, Population};
+//! use oasis_fl::{DefenseStack, FlConfig, FlServer};
+//! use oasis_data::cifar_like_with;
+//! use oasis_nn::{Linear, Sequential};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), oasis_fl::FlError> {
+//! let data = cifar_like_with(4, 6, 8, 0);
+//! let d = data.feature_dim();
+//! let factory: oasis_fl::ModelFactory = Arc::new(move || {
+//!     let mut rng = StdRng::seed_from_u64(42);
+//!     let mut m = Sequential::new();
+//!     m.push(Linear::new(d, 4, &mut rng));
+//!     m
+//! });
+//! // 1000 descriptors cost ~12 KB; 1000 resident clients would not.
+//! let pop = Population::iid(
+//!     &data,
+//!     1000,
+//!     Arc::new(DefenseStack::identity()),
+//!     &mut StdRng::seed_from_u64(1),
+//! );
+//! let server = FlServer::new(factory, FlConfig { clients_per_round: 8, ..FlConfig::default() })?;
+//! let mut runner = CohortRunner::new(server, pop);
+//! let reports = runner.run(3, 2)?;
+//! assert_eq!(reports.len(), 3);
+//! assert_eq!(reports[0].round_report.cohort, 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod population;
+mod round;
+mod scheduler;
+mod spec;
+
+pub use aggregate::StreamingAggregator;
+pub use population::{ClientDescriptor, Population};
+pub use round::{CohortReport, CohortRunner};
+pub use scheduler::CohortScheduler;
+pub use spec::{PopulationSpec, SampleSpec};

@@ -1,0 +1,218 @@
+//! The deployment as data: descriptors over a shared sample pool.
+
+use std::sync::Arc;
+
+use oasis_data::{Dataset, LabeledImage};
+use oasis_fl::{DefenseStack, FlClient};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Everything the server needs to remember about one client while it
+/// is **not** participating: 12 bytes. A million clients cost ~12 MB
+/// of descriptors; a million resident [`FlClient`]s would cost a data
+/// shard and defense stack each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientDescriptor {
+    id: u32,
+    start: u32,
+    len: u32,
+}
+
+impl ClientDescriptor {
+    /// The client id — also its index in the population.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// How many samples the client's shard holds.
+    pub fn shard_len(&self) -> usize {
+        self.len as usize
+    }
+}
+
+/// A population of lightweight clients over one shared sample pool.
+///
+/// Construction shuffles the dataset once and records, per client, a
+/// `(start, len)` window into the shared pool — the same shards
+/// [`partition_iid`](oasis_fl::partition_iid) would build, without
+/// materializing them. [`Population::hydrate`] turns a descriptor
+/// into a full [`FlClient`] (copying only that client's window) for
+/// the duration of its local computation; the client is dropped when
+/// its update has been computed.
+#[derive(Clone)]
+pub struct Population {
+    items: Arc<Vec<LabeledImage>>,
+    name: String,
+    num_classes: usize,
+    defense: Arc<DefenseStack>,
+    descriptors: Vec<ClientDescriptor>,
+}
+
+impl Population {
+    /// Builds an i.i.d. population of `n` clients, shard-compatible
+    /// with [`partition_iid`](oasis_fl::partition_iid): the same
+    /// `rng` produces descriptors that hydrate into bit-identical
+    /// clients (same shard contents, names, and ids).
+    ///
+    /// When `n` exceeds the sample count — the population-scale
+    /// regime `partition_iid` cannot express — every client gets a
+    /// single sample, assigned round-robin from the shuffled pool, so
+    /// all clients stay trainable.
+    pub fn iid(dataset: &Dataset, n: usize, defense: Arc<DefenseStack>, rng: &mut StdRng) -> Self {
+        let mut items = dataset.items().to_vec();
+        items.shuffle(rng);
+        let total = items.len();
+        let n = n.max(1);
+        let per = total / n;
+        let descriptors = (0..n)
+            .map(|i| {
+                if per == 0 {
+                    // More clients than samples: wrap round-robin.
+                    ClientDescriptor {
+                        id: i as u32,
+                        start: (i % total.max(1)) as u32,
+                        len: total.min(1) as u32,
+                    }
+                } else {
+                    let start = i * per;
+                    let end = if i == n - 1 { total } else { (i + 1) * per };
+                    ClientDescriptor {
+                        id: i as u32,
+                        start: start as u32,
+                        len: (end - start) as u32,
+                    }
+                }
+            })
+            .collect();
+        Population {
+            items: Arc::new(items),
+            name: dataset.name().to_string(),
+            num_classes: dataset.num_classes(),
+            defense,
+            descriptors,
+        }
+    }
+
+    /// Number of clients in the population.
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Whether the population has no clients.
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// The descriptor of client `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn descriptor(&self, id: usize) -> ClientDescriptor {
+        self.descriptors[id]
+    }
+
+    /// All descriptors, in id order.
+    pub fn descriptors(&self) -> &[ClientDescriptor] {
+        &self.descriptors
+    }
+
+    /// The defense stack every hydrated client runs.
+    pub fn defense(&self) -> &Arc<DefenseStack> {
+        &self.defense
+    }
+
+    /// Materializes one client from its descriptor: copies the
+    /// client's shard window out of the shared pool and wires up the
+    /// shared defense stack. The result matches what
+    /// [`partition_iid`](oasis_fl::partition_iid) would have built
+    /// for the same id (same shard name, contents, defense), and its
+    /// memory is reclaimed the moment the caller drops it.
+    pub fn hydrate(&self, desc: ClientDescriptor) -> FlClient {
+        let start = desc.start as usize;
+        let end = start + desc.len as usize;
+        let shard = Dataset::new(
+            format!("{}-shard{}", self.name, desc.id),
+            self.num_classes,
+            self.items[start..end].to_vec(),
+        );
+        FlClient::new(desc.id as usize, shard, Arc::clone(&self.defense))
+    }
+}
+
+impl std::fmt::Debug for Population {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Population(clients={}, pool={}, defense={:?})",
+            self.descriptors.len(),
+            self.items.len(),
+            self.defense.names(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_data::cifar_like_with;
+    use rand::SeedableRng;
+
+    #[test]
+    fn descriptors_are_12_bytes() {
+        assert_eq!(std::mem::size_of::<ClientDescriptor>(), 12);
+    }
+
+    #[test]
+    fn iid_matches_partition_iid_shards() {
+        let data = cifar_like_with(4, 6, 8, 0);
+        let defense = Arc::new(DefenseStack::identity());
+        let legacy = oasis_fl::partition_iid(
+            &data,
+            5,
+            Arc::clone(&defense),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let pop = Population::iid(&data, 5, defense, &mut StdRng::seed_from_u64(9));
+        assert_eq!(pop.len(), legacy.len());
+        for (i, old) in legacy.iter().enumerate() {
+            let fresh = pop.hydrate(pop.descriptor(i));
+            assert_eq!(fresh.id(), old.id());
+            assert_eq!(fresh.data().name(), old.data().name());
+            assert_eq!(fresh.data().items(), old.data().items());
+        }
+    }
+
+    #[test]
+    fn oversubscribed_population_gives_every_client_a_sample() {
+        let data = cifar_like_with(2, 3, 8, 1); // 6 samples
+        let pop = Population::iid(
+            &data,
+            50,
+            Arc::new(DefenseStack::identity()),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(pop.len(), 50);
+        for d in pop.descriptors() {
+            assert_eq!(d.shard_len(), 1);
+            assert_eq!(pop.hydrate(*d).data().len(), 1);
+        }
+    }
+
+    #[test]
+    fn hydrate_copies_only_the_window() {
+        let data = cifar_like_with(3, 4, 8, 2);
+        let pop = Population::iid(
+            &data,
+            4,
+            Arc::new(DefenseStack::identity()),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let total: usize = pop
+            .descriptors()
+            .iter()
+            .map(|d| pop.hydrate(*d).data().len())
+            .sum();
+        assert_eq!(total, data.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! Spec-string forms of the population dimensions.
+//!
+//! The scenario grammar is built from `FromStr ⇄ Display`
+//! round-tripping spec types; these two carry the population axes:
+//!
+//! * `population:N` — how many clients exist.
+//! * `sample:K` — how many are drawn into each round's cohort.
+//!
+//! Both also parse from a bare number (`"100000"`), which is what CLI
+//! comma-list sweeps pass through.
+
+use std::fmt;
+use std::str::FromStr;
+
+use oasis_fl::FlError;
+
+fn parse_count(s: &str, prefix: &str, what: &str) -> Result<usize, FlError> {
+    let body = match s.split_once(':') {
+        Some((head, body)) if head == prefix => body,
+        Some((head, _)) => {
+            return Err(FlError::BadConfig(format!(
+                "unknown {what} spec `{head}:` (expected `{prefix}:N` or a bare count)"
+            )))
+        }
+        None => s,
+    };
+    let n: usize = body
+        .parse()
+        .map_err(|_| FlError::BadConfig(format!("bad {what} count `{body}` in `{s}`")))?;
+    if n == 0 {
+        return Err(FlError::BadConfig(format!("{what} must be at least 1")));
+    }
+    Ok(n)
+}
+
+/// The `population:N` spec dimension: the deployment size a
+/// scenario's cohorts are sampled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationSpec {
+    /// Number of clients in the population (≥ 1).
+    pub clients: usize,
+}
+
+impl fmt::Display for PopulationSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "population:{}", self.clients)
+    }
+}
+
+impl FromStr for PopulationSpec {
+    type Err = FlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(PopulationSpec {
+            clients: parse_count(s, "population", "population")?,
+        })
+    }
+}
+
+/// The `sample:K` spec dimension: per-round cohort size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Clients sampled into each round's cohort (≥ 1).
+    pub cohort: usize,
+}
+
+impl fmt::Display for SampleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sample:{}", self.cohort)
+    }
+}
+
+impl FromStr for SampleSpec {
+    type Err = FlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(SampleSpec {
+            cohort: parse_count(s, "sample", "sample")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixed_and_bare_forms_parse() {
+        assert_eq!(
+            "population:100000".parse::<PopulationSpec>().unwrap(),
+            PopulationSpec { clients: 100_000 }
+        );
+        assert_eq!(
+            "4096".parse::<PopulationSpec>().unwrap(),
+            PopulationSpec { clients: 4096 }
+        );
+        assert_eq!(
+            "sample:64".parse::<SampleSpec>().unwrap(),
+            SampleSpec { cohort: 64 }
+        );
+        assert_eq!(
+            "64".parse::<SampleSpec>().unwrap(),
+            SampleSpec { cohort: 64 }
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = PopulationSpec { clients: 12345 };
+        assert_eq!(p.to_string().parse::<PopulationSpec>().unwrap(), p);
+        let k = SampleSpec { cohort: 64 };
+        assert_eq!(k.to_string().parse::<SampleSpec>().unwrap(), k);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!("population:".parse::<PopulationSpec>().is_err());
+        assert!("population:0".parse::<PopulationSpec>().is_err());
+        assert!("cohort:5".parse::<SampleSpec>().is_err());
+        assert!("sample:-3".parse::<SampleSpec>().is_err());
+        assert!("".parse::<PopulationSpec>().is_err());
+    }
+}

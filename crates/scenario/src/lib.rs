@@ -63,6 +63,9 @@ pub use spec::{AttackSpec, DefenseSpec, WorkloadSpec};
 // need only this crate.
 pub use oasis_wire::{CodecSpec, NetSpec};
 
+// The population dimensions — same story.
+pub use oasis_population::{PopulationSpec, SampleSpec};
+
 use std::fmt;
 use std::path::PathBuf;
 

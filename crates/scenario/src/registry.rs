@@ -239,6 +239,19 @@ pub fn spec_catalog() -> String {
         ],
     );
     section(
+        "population (cohorts are sampled per attacked round; K peers share the victim's wire):",
+        &[
+            (
+                "population:N",
+                "deployment size the cohorts are drawn from (0 = legacy single-victim wire)",
+            ),
+            (
+                "sample:K",
+                "cohort size per round (default min(population, 64); requires a population)",
+            ),
+        ],
+    );
+    section(
         "scales:",
         &[
             ("quick", "seconds-scale smoke test"),
@@ -513,6 +526,7 @@ mod tests {
             "workloads:",
             "codecs:",
             "nets:",
+            "population",
             "scales:",
             "rtf",
             "cah",
@@ -524,6 +538,8 @@ mod tests {
             "none",
             "topk:K",
             "sim:LAT",
+            "population:N",
+            "sample:K",
         ] {
             assert!(
                 catalog.contains(needle),

@@ -6,6 +6,7 @@ use oasis_attacks::{run_attack_over_wire, AttackOutcome};
 use oasis_data::{Batch, Dataset};
 use oasis_image::Image;
 use oasis_metrics::Summary;
+use oasis_population::CohortScheduler;
 use oasis_wire::{CodecSpec, NetSpec, Submission};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -127,6 +128,16 @@ pub struct Scenario {
     /// (default `ideal`: no latency, no loss).
     #[serde(default)]
     pub net: NetSpec,
+    /// Deployment population the attacked rounds' cohorts are sampled
+    /// from (`0` = the legacy single-victim wire: each trial puts
+    /// exactly one submission on the network).
+    #[serde(default)]
+    pub population: usize,
+    /// Cohort size `K` drawn per attacked round when `population > 0`
+    /// — the victim is one member of a K-client round, and the wire
+    /// carries all K uploads.
+    #[serde(default)]
+    pub sample: usize,
 }
 
 /// Seed of the calibration split — disjoint from every experiment
@@ -179,6 +190,12 @@ impl Scenario {
         }
         if self.net != NetSpec::default() {
             s.push_str(&format!(" net={}", self.net));
+        }
+        if self.population > 0 {
+            s.push_str(&format!(
+                " population={} sample={}",
+                self.population, self.sample
+            ));
         }
         s
     }
@@ -284,6 +301,8 @@ impl Scenario {
         let mut pooled = Vec::new();
         let mut bytes_on_wire = 0u64;
         let mut ratio_sum = 0.0f64;
+        let mut cohort_delivered = 0usize;
+        let mut scheduler = CohortScheduler::new(self.population);
         for (i, outcome) in outcomes.into_iter().enumerate() {
             let outcome = outcome?;
             let trace = outcome
@@ -293,16 +312,36 @@ impl Scenario {
 
             // Trial i is FL round i of the simulated deployment: does
             // this victim's upload actually reach the server?
-            let traffic = self.net.deliver(
-                self.seed,
-                i as u64,
-                &[Submission {
-                    client_id: i,
-                    bytes_up: trace.encoded_bytes,
-                    bytes_down: trace.broadcast_bytes,
-                }],
-            );
-            let delivered = traffic.delivered == 1;
+            let traffic = if self.population > 0 {
+                // Population mode: the victim shares round i with a
+                // seeded K-cohort; the wire carries all K uploads
+                // (every codec's size is value-independent, so the
+                // peers' frames are byte-for-byte the victim's size)
+                // and the victim is the cohort's first member.
+                let mut rng = CohortScheduler::round_rng(self.seed, i as u64);
+                let (cohort, round_seed) = scheduler.sample(self.sample, &mut rng);
+                let submissions: Vec<Submission> = cohort
+                    .iter()
+                    .map(|&id| Submission {
+                        client_id: id as usize,
+                        bytes_up: trace.encoded_bytes,
+                        bytes_down: trace.broadcast_bytes,
+                    })
+                    .collect();
+                self.net.deliver(round_seed, i as u64, &submissions)
+            } else {
+                self.net.deliver(
+                    self.seed,
+                    i as u64,
+                    &[Submission {
+                        client_id: i,
+                        bytes_up: trace.encoded_bytes,
+                        bytes_down: trace.broadcast_bytes,
+                    }],
+                )
+            };
+            let delivered = traffic.deliveries[0].status == oasis_wire::DeliveryStatus::Delivered;
+            cohort_delivered += traffic.delivered;
             bytes_on_wire += traffic.bytes_up;
             ratio_sum += trace.compression_ratio();
 
@@ -341,6 +380,7 @@ impl Scenario {
         let report = ScenarioReport {
             scenario: self.clone(),
             dropped_trials,
+            cohort_delivered,
             bytes_on_wire,
             compression_ratio: if trials.is_empty() {
                 1.0
@@ -373,6 +413,8 @@ pub struct ScenarioBuilder {
     leak_threshold_db: Option<f64>,
     codec: CodecSpec,
     net: NetSpec,
+    population: usize,
+    sample: usize,
 }
 
 impl ScenarioBuilder {
@@ -464,6 +506,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Samples each attacked round's cohort from a deployment of
+    /// `clients` (default 0: the legacy single-victim wire).
+    pub fn population(mut self, clients: usize) -> Self {
+        self.population = clients;
+        self
+    }
+
+    /// Sets the per-round cohort size `K` (default when a population
+    /// is set: `min(population, 64)`).
+    pub fn sample(mut self, cohort: usize) -> Self {
+        self.sample = cohort;
+        self
+    }
+
     /// Validates and assembles the scenario.
     ///
     /// # Errors
@@ -503,6 +559,22 @@ impl ScenarioBuilder {
         let calibration = self
             .calibration
             .unwrap_or_else(|| attack.default_calibration());
+        if self.population == 0 && self.sample > 0 {
+            return Err(ScenarioError::BadSpec(
+                "sample:K needs a population:N to sample from".into(),
+            ));
+        }
+        let sample = if self.population > 0 && self.sample == 0 {
+            self.population.min(64)
+        } else {
+            self.sample
+        };
+        if sample > self.population {
+            return Err(ScenarioError::BadSpec(format!(
+                "cohort sample:{sample} exceeds population:{}",
+                self.population
+            )));
+        }
         Ok(Scenario {
             attack,
             defense: self.defense.unwrap_or_else(DefenseSpec::none),
@@ -518,6 +590,8 @@ impl ScenarioBuilder {
             leak_threshold_db: self.leak_threshold_db.unwrap_or(60.0),
             codec: self.codec,
             net: self.net,
+            population: self.population,
+            sample,
         })
     }
 }
@@ -570,6 +644,13 @@ pub struct ScenarioReport {
     /// [`ScenarioReport::delivered_trials`]).
     #[serde(default)]
     pub dropped_trials: usize,
+    /// Cohort updates delivered across all attacked rounds. In
+    /// population mode each round carries `scenario.sample` uploads;
+    /// on the legacy single-victim wire this equals
+    /// [`ScenarioReport::delivered_trials`] (0 for pre-population
+    /// artifacts).
+    #[serde(default)]
+    pub cohort_delivered: usize,
     /// Total encoded update bytes across all trials.
     #[serde(default)]
     pub bytes_on_wire: u64,
@@ -620,6 +701,9 @@ impl ScenarioReport {
         }
         if s.net != NetSpec::default() {
             raw.push_str(&format!("_n{}", s.net));
+        }
+        if s.population > 0 {
+            raw.push_str(&format!("_p{}_k{}", s.population, s.sample));
         }
         raw.push_str(".json");
         raw.chars()
@@ -783,6 +867,75 @@ mod tests {
                 .map(|t| t.matched_psnrs.len())
                 .sum::<usize>()
         );
+    }
+
+    #[test]
+    fn population_mode_rides_the_same_attack_numbers() {
+        // A population changes who shares the round, not what the
+        // victim's update contains: on the ideal network the PSNRs
+        // must match the legacy single-victim run exactly.
+        let legacy = tiny().run().unwrap();
+        let mut populated = tiny();
+        populated.population = 10_000;
+        populated.sample = 32;
+        let report = populated.run().unwrap();
+        for (a, b) in report.trials.iter().zip(&legacy.trials) {
+            assert_eq!(a.matched_psnrs, b.matched_psnrs);
+        }
+        // Ideal wire: all 32 cohort uploads of both rounds arrive,
+        // and the wire carries the whole cohort's bytes.
+        assert_eq!(report.cohort_delivered, 32 * report.trials.len());
+        assert_eq!(report.bytes_on_wire, 32 * legacy.bytes_on_wire);
+        assert_eq!(legacy.cohort_delivered, legacy.trials.len());
+    }
+
+    #[test]
+    fn population_mode_is_deterministic() {
+        let mut scenario = tiny();
+        scenario.population = 1000;
+        scenario.sample = 16;
+        scenario.net = "sim:10,100,0.4".parse().unwrap();
+        let a = scenario.run().unwrap();
+        let b = scenario.run().unwrap();
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.cohort_delivered, b.cohort_delivered);
+        assert!(a.cohort_delivered < 16 * a.trials.len(), "40% loss");
+        assert!(a.cohort_delivered > 0);
+    }
+
+    #[test]
+    fn builder_validates_population_axes() {
+        assert!(Scenario::builder().sample(8).build().is_err());
+        assert!(Scenario::builder().population(4).sample(8).build().is_err());
+        let defaulted = Scenario::builder().population(10_000).build().unwrap();
+        assert_eq!(defaulted.sample, 64);
+        let tiny_pop = Scenario::builder().population(3).build().unwrap();
+        assert_eq!(tiny_pop.sample, 3);
+        let explicit = Scenario::builder()
+            .population(100)
+            .sample(5)
+            .build()
+            .unwrap();
+        assert_eq!(explicit.sample, 5);
+        let legacy = Scenario::builder().build().unwrap();
+        assert_eq!((legacy.population, legacy.sample), (0, 0));
+    }
+
+    #[test]
+    fn population_axes_appear_in_spec_string_and_file_name() {
+        let mut scenario = tiny();
+        assert!(!scenario.spec_string().contains("population="));
+        scenario.population = 100_000;
+        scenario.sample = 64;
+        let s = scenario.spec_string();
+        assert!(s.contains("population=100000 sample=64"), "{s}");
+        let report = scenario.run().unwrap();
+        let name = report.file_name();
+        assert!(name.contains("_p100000_k64"), "{name}");
+        let json = report.to_json();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.scenario.population, 100_000);
     }
 
     #[test]

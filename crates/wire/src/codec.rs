@@ -88,6 +88,22 @@ pub trait UpdateCodec: Send + Sync {
     ///
     /// Returns a [`WireError`] on malformed payloads — never panics.
     fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError>;
+
+    /// Exact wire size of any `n`-element update under this codec.
+    ///
+    /// Every built-in codec's frame size is a pure function of the
+    /// element count — values never change the byte count — which is
+    /// what lets a round's delivery plan be computed before any update
+    /// is materialized (the population scheduler relies on this). The
+    /// default implementation encodes an all-zeros probe vector once;
+    /// a codec whose size *did* depend on values would have to
+    /// override it (and would break the size-determinism property
+    /// test in doing so).
+    fn encoded_len(&self, n: usize) -> usize {
+        self.encode(&vec![0.0; n])
+            .map(|e| e.byte_size())
+            .unwrap_or(0)
+    }
 }
 
 /// A codec choice, as a value. Spec grammar (round-tripping through
@@ -575,6 +591,38 @@ mod tests {
             ..enc.clone()
         };
         assert!(RawCodec.decode(&cut).is_err());
+    }
+
+    #[test]
+    fn encoded_len_is_value_independent() {
+        // The size-determinism contract behind `encoded_len`: the
+        // frame size of every codec depends only on the element
+        // count, so a delivery plan computed from `encoded_len`
+        // matches the bytes a real encode would put on the wire.
+        let vectors: Vec<Vec<f32>> = vec![
+            sample(),
+            vec![0.0; 8],
+            (0..257).map(|i| (i as f32).sin() * 1e3).collect(),
+            vec![f32::MAX, -f32::MAX, 0.0, 1.0],
+        ];
+        for spec in [
+            CodecSpec::Raw,
+            CodecSpec::Q8,
+            CodecSpec::TopK { k: 3 },
+            CodecSpec::TopK { k: 1000 },
+            CodecSpec::Sign,
+        ] {
+            let codec = spec.build();
+            for v in &vectors {
+                let enc = codec.encode(v).unwrap();
+                assert_eq!(
+                    codec.encoded_len(v.len()),
+                    enc.byte_size(),
+                    "codec {spec} size drifted for n={}",
+                    v.len()
+                );
+            }
+        }
     }
 
     #[test]

@@ -79,6 +79,57 @@ impl NetSpec {
         })
     }
 
+    /// Simulates one submission's fate in isolation. Pure in
+    /// `(seed, round, submission)` — no cross-submission state — so a
+    /// round's delivery plan can be computed one participant at a
+    /// time, in any order, before any update payload exists.
+    /// [`NetSpec::deliver`] folds exactly these per-submission fates,
+    /// making the two views bit-identical.
+    pub fn delivery(&self, seed: u64, round: u64, sub: &Submission) -> Delivery {
+        let (status, arrival_ms) = match *self {
+            NetSpec::Ideal => (DeliveryStatus::Delivered, 0.0),
+            NetSpec::Sim {
+                latency_ms,
+                bandwidth_mbps,
+                drop_rate,
+                deadline_ms,
+            } => {
+                // Round-trip: broadcast down, update back up; two
+                // latency legs plus transfer time for both payloads.
+                let bits = (sub.bytes_down + sub.bytes_up) as f64 * 8.0;
+                let transfer_ms = bits / (bandwidth_mbps * 1e6) * 1e3;
+                let arrival = 2.0 * latency_ms + transfer_ms;
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (sub.client_id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                );
+                if rng.gen::<f64>() < drop_rate {
+                    (DeliveryStatus::Dropped, arrival)
+                } else if deadline_ms > 0.0 && arrival > deadline_ms {
+                    (DeliveryStatus::Straggler, arrival)
+                } else {
+                    (DeliveryStatus::Delivered, arrival)
+                }
+            }
+        };
+        Delivery {
+            client_id: sub.client_id,
+            status,
+            arrival_ms,
+        }
+    }
+
+    /// How long the server waits on a round with missing updates: its
+    /// straggler cutoff, or zero when no deadline is configured (the
+    /// model then idealizes the server as knowing the participation
+    /// set, so losses add no wait).
+    pub fn straggler_wait_ms(&self) -> f64 {
+        match *self {
+            NetSpec::Sim { deadline_ms, .. } if deadline_ms > 0.0 => deadline_ms,
+            _ => 0.0,
+        }
+    }
+
     /// Simulates one round of deliveries. Deterministic: the outcome
     /// is a pure function of `(seed, round)` and the submissions — the
     /// same inputs replay the same drops and arrival times regardless
@@ -92,53 +143,18 @@ impl NetSpec {
         for sub in submissions {
             bytes_down += sub.bytes_down as u64;
             bytes_up += sub.bytes_up as u64;
-            let (status, arrival_ms) = match *self {
-                NetSpec::Ideal => (DeliveryStatus::Delivered, 0.0),
-                NetSpec::Sim {
-                    latency_ms,
-                    bandwidth_mbps,
-                    drop_rate,
-                    deadline_ms,
-                } => {
-                    // Round-trip: broadcast down, update back up; two
-                    // latency legs plus transfer time for both payloads.
-                    let bits = (sub.bytes_down + sub.bytes_up) as f64 * 8.0;
-                    let transfer_ms = bits / (bandwidth_mbps * 1e6) * 1e3;
-                    let arrival = 2.0 * latency_ms + transfer_ms;
-                    let mut rng = StdRng::seed_from_u64(
-                        seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            ^ (sub.client_id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
-                    );
-                    if rng.gen::<f64>() < drop_rate {
-                        (DeliveryStatus::Dropped, arrival)
-                    } else if deadline_ms > 0.0 && arrival > deadline_ms {
-                        (DeliveryStatus::Straggler, arrival)
-                    } else {
-                        (DeliveryStatus::Delivered, arrival)
-                    }
-                }
-            };
-            match status {
-                DeliveryStatus::Delivered => round_ms = round_ms.max(arrival_ms),
+            let delivery = self.delivery(seed, round, sub);
+            match delivery.status {
+                DeliveryStatus::Delivered => round_ms = round_ms.max(delivery.arrival_ms),
                 DeliveryStatus::Straggler | DeliveryStatus::Dropped => any_missing = true,
             }
-            deliveries.push(Delivery {
-                client_id: sub.client_id,
-                status,
-                arrival_ms,
-            });
+            deliveries.push(delivery);
         }
         if any_missing {
             // The server cannot tell a lost update from a late one —
             // any missing client makes it wait out its full cutoff
-            // before closing the round. (With no deadline configured
-            // the model idealizes the server as knowing the
-            // participation set, so lost updates add no wait.)
-            if let NetSpec::Sim { deadline_ms, .. } = *self {
-                if deadline_ms > 0.0 {
-                    round_ms = round_ms.max(deadline_ms);
-                }
-            }
+            // before closing the round.
+            round_ms = round_ms.max(self.straggler_wait_ms());
         }
         let delivered = deliveries
             .iter()
@@ -371,6 +387,36 @@ mod tests {
         // 8 Mbit/s = 1 byte/µs: 1000 bytes down + 1000 up = 2 ms + 10 ms latency.
         let t = spec.deliver(0, 0, &subs(1, 1000));
         assert!((t.round_ms - 12.0).abs() < 1e-9, "{}", t.round_ms);
+    }
+
+    #[test]
+    fn per_submission_delivery_matches_batch_deliver() {
+        // The streaming view (one `delivery` call per participant)
+        // must replay the batch view fate-for-fate, including the
+        // straggler wait on the aggregate clock.
+        for raw in ["sim:20,1,0.3,500", "sim:5,8,0", "ideal"] {
+            let spec: NetSpec = raw.parse().unwrap();
+            let submissions = subs(64, 10_000);
+            let batch = spec.deliver(42, 3, &submissions);
+            let mut round_ms = 0.0f64;
+            let mut any_missing = false;
+            for (sub, expected) in submissions.iter().zip(&batch.deliveries) {
+                let one = spec.delivery(42, 3, sub);
+                assert_eq!(
+                    &one, expected,
+                    "{raw} diverged for client {}",
+                    sub.client_id
+                );
+                match one.status {
+                    DeliveryStatus::Delivered => round_ms = round_ms.max(one.arrival_ms),
+                    _ => any_missing = true,
+                }
+            }
+            if any_missing {
+                round_ms = round_ms.max(spec.straggler_wait_ms());
+            }
+            assert_eq!(round_ms, batch.round_ms, "{raw} round clock diverged");
+        }
     }
 
     #[test]
