@@ -190,6 +190,7 @@ fn run_attack_inner(
     seed: u64,
     codec: Option<&dyn UpdateCodec>,
 ) -> Result<AttackOutcome> {
+    let setup_span = oasis_telemetry::span("attack.setup");
     let geometry = batch
         .images
         .first()
@@ -199,6 +200,7 @@ fn run_attack_inner(
     let broadcast_bytes = param_count(&mut model) * 4;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x00DE_F317);
     let processed = defense.process_batch(batch, &mut rng);
+    drop(setup_span);
     let mut wire: Option<WireTrace> = None;
     // The server reconstructs from what it *receives*: when a codec
     // is installed, the client's full flat update crosses the wire
@@ -223,6 +225,7 @@ fn run_attack_inner(
     let (recons, loss) = match defense.clip_norm() {
         None => {
             // The exact-gradient path: one full-batch backward pass.
+            let client_span = oasis_telemetry::span("attack.client_step");
             let x = processed.to_matrix();
             model.zero_grad();
             let logits = model.forward(&x, Mode::Train)?;
@@ -233,16 +236,18 @@ fn run_attack_inner(
             let received = transmit(update)?;
             load_grads(&mut model, &received)?;
             let lin = malicious_layer(&model)?;
-            (
-                attack.reconstruct(lin.grad_weight(), lin.grad_bias(), geometry),
-                out.loss,
-            )
+            drop(client_span);
+            let recon_span = oasis_telemetry::span("attack.reconstruct");
+            let recons = attack.reconstruct(lin.grad_weight(), lin.grad_bias(), geometry);
+            drop(recon_span);
+            (recons, out.loss)
         }
         Some(clip_norm) => {
             // The per-sample path (record-level DP-SGD): per-sample
             // gradients, clipped then averaged, then the stack's
             // update stages (e.g. Gaussian noise of std
             // `σ · C / B` from the DP stage).
+            let client_span = oasis_telemetry::span("attack.client_step");
             let b = processed.len();
             let d = geometry.0 * geometry.1 * geometry.2;
             let n = attack.attacked_neurons();
@@ -281,7 +286,11 @@ fn run_attack_inner(
             let received = transmit(update)?;
             let gw = Tensor::from_vec(received[..n * d].to_vec(), &[n, d])?;
             let gb = Tensor::from_vec(received[n * d..].to_vec(), &[n])?;
-            (attack.reconstruct(&gw, &gb, geometry), total_loss * inv_b)
+            drop(client_span);
+            let recon_span = oasis_telemetry::span("attack.reconstruct");
+            let recons = attack.reconstruct(&gw, &gb, geometry);
+            drop(recon_span);
+            (recons, total_loss * inv_b)
         }
     };
 
@@ -302,6 +311,7 @@ fn score(
     client_loss: f32,
     wire: Option<WireTrace>,
 ) -> AttackOutcome {
+    let _span = oasis_telemetry::span("attack.score");
     // Clamp reconstructions into the displayable range before scoring,
     // mirroring how reconstructed images are rendered and compared.
     let recons: Vec<Image> = recons.into_iter().map(|r| r.clamp01()).collect();

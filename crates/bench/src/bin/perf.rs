@@ -26,6 +26,7 @@ struct Args {
     filter: Option<String>,
     out_dir: PathBuf,
     list: bool,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         filter: None,
         out_dir: PathBuf::from("."),
         list: false,
+        trace: oasis_telemetry::trace_path_from_env(),
     };
     let mut suites_explicit = false;
     let mut it = std::env::args().skip(1);
@@ -69,10 +71,16 @@ fn parse_args() -> Result<Args, String> {
             "--out-dir" => {
                 args.out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a path")?);
             }
+            "--trace" => {
+                args.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?));
+            }
             "--help" | "-h" => {
                 println!(
                     "perf [--quick] [--suite core|fl|scale|pop|all]... [--filter SUBSTR] \
-                     [--out-dir DIR] [--list]"
+                     [--out-dir DIR] [--trace PATH] [--list]\n\
+                     --trace PATH (or OASIS_TRACE=PATH) records a schema-v1 JSONL span \
+                     trace of the run and prints a self-time table; bench medians are \
+                     measured with telemetry in whatever state the bench pins."
                 );
                 std::process::exit(0);
             }
@@ -101,7 +109,14 @@ fn main() -> ExitCode {
                 println!("{name}::{}", b.name);
             }
         }
+        println!(
+            "# telemetry: --trace PATH or OASIS_TRACE=PATH writes a JSONL span trace \
+             (schema v1) and prints a self-time table"
+        );
         return ExitCode::SUCCESS;
+    }
+    if args.trace.is_some() {
+        oasis_telemetry::enable();
     }
 
     for name in &args.suites {
@@ -127,6 +142,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("{}", path.display());
+    }
+    if let Some(path) = &args.trace {
+        let spans = oasis_telemetry::take_spans();
+        let metrics = oasis_telemetry::metrics_snapshot();
+        match oasis_telemetry::write_trace(path, &spans, &metrics) {
+            Ok(()) => {
+                eprintln!("trace -> {} ({} spans)", path.display(), spans.len());
+                eprint!(
+                    "{}",
+                    oasis_telemetry::self_time_table(&oasis_telemetry::summarize(&spans))
+                );
+            }
+            Err(e) => {
+                eprintln!("perf: cannot write trace {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

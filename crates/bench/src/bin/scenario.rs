@@ -54,10 +54,15 @@ FLAGS (comma-separated lists sweep the grid):
     --scale S           quick | default | full            [default: default]
     --quick / --full    shorthand for --scale
     --no-save           print reports without writing out/*.json
+    --trace PATH        enable telemetry: write a schema-v1 JSONL span
+                        trace to PATH and print a self-time summary
+                        table on exit (env: OASIS_TRACE=PATH)
     --list-specs        list every registered spec family and exit
     --help              this text
 
-Artifacts go to out/ by default; set OASIS_OUT_DIR to redirect.";
+Artifacts go to out/ by default; set OASIS_OUT_DIR to redirect.
+Tracing never changes results: reports are bit-identical with
+--trace on or off (see README `Observability`).";
 
 struct Args {
     attacks: Vec<AttackSpec>,
@@ -76,6 +81,7 @@ struct Args {
     leak_db: Option<f64>,
     scale: Scale,
     save: bool,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn main() -> ExitCode {
@@ -86,6 +92,10 @@ fn main() -> ExitCode {
     }
     if raw.iter().any(|a| a == "--list-specs") {
         print!("{}", spec_catalog());
+        println!(
+            "telemetry:\n    --trace PATH (or OASIS_TRACE=PATH) writes a schema-v1 JSONL \
+             span trace\n    and prints a per-span self-time table; results are unchanged."
+        );
         return ExitCode::SUCCESS;
     }
     let args = match parse_args(&raw) {
@@ -95,6 +105,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.trace.is_some() {
+        oasis_telemetry::enable();
+    }
 
     let cells = args.attacks.len()
         * args.defenses.len()
@@ -160,6 +173,23 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+            }
+        }
+    }
+    if let Some(path) = &args.trace {
+        let spans = oasis_telemetry::take_spans();
+        let metrics = oasis_telemetry::metrics_snapshot();
+        match oasis_telemetry::write_trace(path, &spans, &metrics) {
+            Ok(()) => {
+                println!("trace -> {} ({} spans)", path.display(), spans.len());
+                print!(
+                    "{}",
+                    oasis_telemetry::self_time_table(&oasis_telemetry::summarize(&spans))
+                );
+            }
+            Err(e) => {
+                eprintln!("error: writing trace {} failed: {e}", path.display());
+                failures += 1;
             }
         }
     }
@@ -229,6 +259,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         leak_db: None,
         scale: Scale::Default,
         save: true,
+        trace: oasis_telemetry::trace_path_from_env(),
     };
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
@@ -273,6 +304,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--quick" => args.scale = Scale::Quick,
             "--full" => args.scale = Scale::Full,
             "--no-save" => args.save = false,
+            "--trace" => args.trace = Some(value("--trace")?.into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }

@@ -161,6 +161,10 @@ pub fn fl_suite() -> Vec<BenchDef> {
             build: bench_fl_round_raw,
         },
         BenchDef {
+            name: "fl_round_raw_telem",
+            build: bench_fl_round_raw_telem,
+        },
+        BenchDef {
             name: "fl_round_q8",
             build: bench_fl_round_q8,
         },
@@ -663,6 +667,27 @@ fn bench_fl_round_raw() -> PreparedBench {
     bench_fl_round(CodecSpec::Raw)
 }
 
+/// `fl_round_raw` with telemetry recording forced on for the
+/// iteration — the other half of the observability record pair.
+/// Comparing its median against `fl_round_raw` (telemetry compiled
+/// in but disabled, the default) bounds the cost of tracing a round;
+/// the disabled path itself is a single relaxed atomic load per
+/// instrumentation point.
+fn bench_fl_round_raw_telem() -> PreparedBench {
+    let mut base = bench_fl_round(CodecSpec::Raw);
+    PreparedBench {
+        throughput: base.throughput,
+        run: Box::new(move || {
+            let was = oasis_telemetry::set_enabled(true);
+            (base.run)();
+            oasis_telemetry::set_enabled(was);
+            // Drop the spans so long bench runs don't accumulate
+            // unbounded records (and later benches start clean).
+            oasis_telemetry::reset();
+        }),
+    }
+}
+
 fn bench_fl_round_q8() -> PreparedBench {
     bench_fl_round(CodecSpec::Q8)
 }
@@ -1010,6 +1035,7 @@ mod tests {
             fl,
             vec![
                 "fl_round_raw",
+                "fl_round_raw_telem",
                 "fl_round_q8",
                 "codec_raw_encode",
                 "codec_raw_decode",

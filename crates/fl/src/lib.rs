@@ -64,6 +64,7 @@ mod defense;
 mod error;
 mod server;
 mod tamper;
+mod timings;
 mod training;
 
 pub use aggregate::{fedavg, fedavg_weighted};
@@ -78,6 +79,7 @@ pub use defense::BatchStage as BatchPreprocessor;
 pub use error::FlError;
 pub use server::{FlServer, RoundReport, WireConfig};
 pub use tamper::{HonestServer, ModelTamper};
+pub use timings::RoundTimings;
 pub use training::{
     evaluate_accuracy, partition_dirichlet, partition_iid, train_centralized, TrainReport,
 };

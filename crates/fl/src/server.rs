@@ -59,21 +59,17 @@ impl std::fmt::Debug for WireConfig {
 }
 
 /// Outcome of one protocol round.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: usize,
     /// How many clients' updates were aggregated (delivered in time).
     pub participants: usize,
-    /// How many clients were selected to participate.
-    ///
-    /// Kept for old readers; always equal to [`RoundReport::cohort`].
-    pub selected: usize,
     /// Cohort size after sampling — the number of clients the
     /// scheduler drew for this round, whether from a resident client
-    /// slice (the legacy path) or from a descriptor population. Equal
-    /// to `selected`; the two names exist so population-scale reports
-    /// and legacy ones stay coherent.
+    /// slice (the legacy path) or from a descriptor population. The
+    /// deprecated `selected` name is derived from this one field via
+    /// [`RoundReport::selected`].
     pub cohort: usize,
     /// How many selected clients' updates were lost or cut off.
     pub dropped: usize,
@@ -88,6 +84,40 @@ pub struct RoundReport {
     /// Simulated wall-clock of the round in milliseconds (0 on the
     /// ideal network).
     pub sim_ms: f64,
+    /// Wall-clock phase breakdown, populated only while telemetry is
+    /// enabled (`None` otherwise). Measurement, not protocol outcome:
+    /// ignored by `PartialEq` so traced and untraced runs compare
+    /// equal.
+    pub timings: Option<crate::RoundTimings>,
+}
+
+impl RoundReport {
+    /// How many clients were selected to participate.
+    ///
+    /// Deprecated spelling of [`RoundReport::cohort`] — the two
+    /// fields always carried the same number, so the duplicate field
+    /// was collapsed; this accessor keeps the old name readable at
+    /// call sites.
+    pub fn selected(&self) -> usize {
+        self.cohort
+    }
+}
+
+/// Equality over protocol outcomes only: `timings` is wall-clock
+/// measurement and varies run to run, so it is deliberately excluded
+/// — determinism tests compare traced vs untraced reports directly.
+impl PartialEq for RoundReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round
+            && self.participants == other.participants
+            && self.cohort == other.cohort
+            && self.dropped == other.dropped
+            && self.mean_loss == other.mean_loss
+            && self.update_norm == other.update_norm
+            && self.bytes_up == other.bytes_up
+            && self.bytes_down == other.bytes_down
+            && self.sim_ms == other.sim_ms
+    }
 }
 
 /// The FL coordinator of paper Eq. 1, with an optional dishonest
@@ -234,8 +264,12 @@ impl FlServer {
         if clients.is_empty() {
             return Err(FlError::NoClients);
         }
+        let round_span = oasis_telemetry::span("fl.round");
+        let mut timings = oasis_telemetry::enabled().then(crate::RoundTimings::default);
+
         // Random client selection (paper: "a subset of M < N users is
         // randomly selected").
+        let select_span = oasis_telemetry::span("fl.round.select");
         let m = if self.config.clients_per_round == 0 {
             clients.len()
         } else {
@@ -244,12 +278,19 @@ impl FlServer {
         let mut order: Vec<&FlClient> = clients.iter().collect();
         order.shuffle(rng);
         let selected = &order[..m];
+        let select_ns = select_span.finish_ns();
 
+        let broadcast_span = oasis_telemetry::span("fl.round.broadcast");
         let global = self.broadcast_weights();
+        let broadcast_ns = broadcast_span.finish_ns();
         let bytes_down_each = global.len() * 4;
         let round_seed: u64 = rng.gen();
         let batch = self.config.local_batch_size;
         let codec = &self.wire.codec;
+        // Per-client encode runs inside the same parallel task as the
+        // local training, so `compute` covers both here; the codecs'
+        // own `wire.encode.*` spans still attribute the encode share.
+        let compute_span = oasis_telemetry::span("fl.round.compute");
         let results: Vec<Result<(ClientUpdate, EncodedUpdate)>> =
             parallel::map_indexed(selected, |_, client| {
                 let update = client.compute_update(&self.factory, &global, batch, round_seed)?;
@@ -260,7 +301,10 @@ impl FlServer {
         for r in results {
             sent.push(r?);
         }
+        let compute_ns = compute_span.finish_ns();
+        oasis_telemetry::counter!("fl.clients_computed").add(sent.len() as u64);
 
+        let deliver_span = oasis_telemetry::span("fl.round.deliver");
         let submissions: Vec<Submission> = sent
             .iter()
             .map(|(u, e)| Submission {
@@ -286,7 +330,11 @@ impl FlServer {
             .filter(|(_, d)| d.status == DeliveryStatus::Delivered)
             .map(|(u, _)| u)
             .collect();
+        let deliver_ns = deliver_span.finish_ns();
 
+        let mut decode_ns = 0u64;
+        let mut fold_ns = 0u64;
+        let mut step_ns = 0u64;
         let (mean_loss, update_norm) = if delivered.is_empty() {
             (0.0, 0.0)
         } else {
@@ -347,9 +395,17 @@ impl FlServer {
                 // per-update allocations.
                 let mut buf = bufs.pop().unwrap_or_default();
                 for (update, encoded) in &delivered {
-                    fold_err = match codec.decode_into(encoded, &mut buf) {
+                    let decode_span = oasis_telemetry::span("fl.round.decode");
+                    let decoded = codec.decode_into(encoded, &mut buf);
+                    decode_ns += decode_span.finish_ns();
+                    fold_err = match decoded {
                         Err(e) => Some(e.into()),
-                        Ok(()) => fold(update, &buf),
+                        Ok(()) => {
+                            let fold_span = oasis_telemetry::span("fl.round.fold");
+                            let err = fold(update, &buf);
+                            fold_ns += fold_span.finish_ns();
+                            err
+                        }
                     };
                     if fold_err.is_some() {
                         break;
@@ -359,6 +415,7 @@ impl FlServer {
             } else {
                 for wave in delivered.chunks(wave_width) {
                     type DecodeResult = std::result::Result<(), oasis_wire::WireError>;
+                    let decode_span = oasis_telemetry::span("fl.round.decode");
                     let mut slots: Vec<(&EncodedUpdate, Vec<f32>, DecodeResult)> = wave
                         .iter()
                         .map(|(_, encoded)| (encoded, bufs.pop().unwrap_or_default(), Ok(())))
@@ -366,6 +423,8 @@ impl FlServer {
                     parallel::for_each_mut(&mut slots, |_, (encoded, buf, res)| {
                         *res = codec.decode_into(encoded, buf);
                     });
+                    decode_ns += decode_span.finish_ns();
+                    let fold_span = oasis_telemetry::span("fl.round.fold");
                     for ((update, _), (_, buf, res)) in wave.iter().zip(slots) {
                         if fold_err.is_none() {
                             fold_err = match res {
@@ -375,6 +434,7 @@ impl FlServer {
                         }
                         bufs.push(buf);
                     }
+                    fold_ns += fold_span.finish_ns();
                     if fold_err.is_some() {
                         break;
                     }
@@ -387,14 +447,27 @@ impl FlServer {
             let mean_loss = loss_sum / delivered.len() as f32;
             let update_norm = agg.iter().map(|g| g * g).sum::<f32>().sqrt();
 
+            let step_span = oasis_telemetry::span("fl.round.step");
             self.apply_update(&agg)?;
+            step_ns = step_span.finish_ns();
             (mean_loss, update_norm)
         };
 
+        oasis_telemetry::counter!("fl.rounds").add(1);
+        let total_ns = round_span.finish_ns();
+        if let Some(t) = timings.as_mut() {
+            t.select_ns = select_ns;
+            t.broadcast_ns = broadcast_ns;
+            t.compute_ns = compute_ns;
+            t.deliver_ns = deliver_ns;
+            t.decode_ns = decode_ns;
+            t.fold_ns = fold_ns;
+            t.step_ns = step_ns;
+            t.total_ns = total_ns;
+        }
         let report = RoundReport {
             round: self.round,
             participants: delivered.len(),
-            selected: m,
             cohort: m,
             dropped: traffic.dropped,
             mean_loss,
@@ -402,6 +475,7 @@ impl FlServer {
             bytes_up: traffic.bytes_up,
             bytes_down: traffic.bytes_down,
             sim_ms: traffic.round_ms,
+            timings,
         };
         self.round += 1;
         Ok(report)
@@ -499,8 +573,8 @@ mod tests {
             .run_round(&clients, &mut StdRng::seed_from_u64(0))
             .unwrap();
         assert_eq!(report.participants, 4);
-        assert_eq!(report.selected, 4);
-        assert_eq!(report.cohort, report.selected);
+        assert_eq!(report.cohort, 4);
+        assert_eq!(report.selected(), report.cohort);
         assert_eq!(report.dropped, 0);
         assert!(report.update_norm > 0.0);
     }
@@ -618,7 +692,7 @@ mod tests {
             .run_round(&clients, &mut StdRng::seed_from_u64(0))
             .unwrap();
         assert_eq!(report.participants, 0);
-        assert_eq!(report.dropped, report.selected);
+        assert_eq!(report.dropped, report.selected());
         assert_eq!(report.update_norm, 0.0);
         assert_eq!(flatten_params(server.model_mut()), before);
         // The round still advances — the protocol does not wedge.

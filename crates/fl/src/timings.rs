@@ -1,0 +1,96 @@
+//! Per-round wall-clock phase breakdowns.
+
+/// Wall-clock breakdown of one round across the protocol phases, in
+/// nanoseconds. Produced by [`crate::FlServer::run_round`] (and the
+/// population cohort runner) **only while telemetry is enabled** —
+/// `report.timings` is `None` on untraced runs, so the report itself
+/// stays bit-identical whether tracing is on or off.
+///
+/// Phases that a given round shape fuses report 0 here and show up
+/// inside the enclosing phase instead:
+///
+/// * the legacy resident-client round fuses per-client `encode` into
+///   `compute` (both run inside the same parallel task) and has no
+///   `hydrate`;
+/// * the population cohort round fuses `hydrate`/`compute`/`encode`
+///   into its `compute` waves and `decode` into `fold` (the streaming
+///   aggregator decodes each frame as it folds it).
+///
+/// The span trace (see `oasis-telemetry`) still attributes the fused
+/// work: `wire.encode.*` / `wire.decode.*` spans are recorded by the
+/// codecs themselves wherever they run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTimings {
+    /// Cohort selection / scheduler sampling.
+    pub select_ns: u64,
+    /// Tamper hook + global weight flattening.
+    pub broadcast_ns: u64,
+    /// Hydrating client state from descriptors (population path; 0 on
+    /// the legacy resident-client path).
+    pub hydrate_ns: u64,
+    /// Parallel local training across the cohort.
+    pub compute_ns: u64,
+    /// Update encoding, when not fused into `compute`.
+    pub encode_ns: u64,
+    /// Simulated transport: submissions, delivery plan, drops.
+    pub deliver_ns: u64,
+    /// Wire-frame decoding, when not fused into `fold`.
+    pub decode_ns: u64,
+    /// Sample-weighted folding of delivered updates.
+    pub fold_ns: u64,
+    /// The server SGD step.
+    pub step_ns: u64,
+    /// Whole-round wall clock (the `fl.round` span).
+    pub total_ns: u64,
+}
+
+impl RoundTimings {
+    /// The named phases in execution order, `(name, ns)`.
+    pub fn phases(&self) -> [(&'static str, u64); 9] {
+        [
+            ("select", self.select_ns),
+            ("broadcast", self.broadcast_ns),
+            ("hydrate", self.hydrate_ns),
+            ("compute", self.compute_ns),
+            ("encode", self.encode_ns),
+            ("deliver", self.deliver_ns),
+            ("decode", self.decode_ns),
+            ("fold", self.fold_ns),
+            ("step", self.step_ns),
+        ]
+    }
+
+    /// Sum of the named phases (excludes `total_ns`).
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.phases().iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Fraction of the round's wall clock the named phases account
+    /// for, in `[0, 1]`-ish (can exceed 1 by clock granularity).
+    /// The observability acceptance gate asserts this is ≥ 0.9.
+    pub fn coverage(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.phase_sum_ns() as f64 / self.total_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_phase_sum_over_total() {
+        let t = RoundTimings {
+            select_ns: 10,
+            compute_ns: 70,
+            step_ns: 10,
+            total_ns: 100,
+            ..RoundTimings::default()
+        };
+        assert_eq!(t.phase_sum_ns(), 90);
+        assert!((t.coverage() - 0.9).abs() < 1e-12);
+        assert_eq!(RoundTimings::default().coverage(), 0.0);
+    }
+}

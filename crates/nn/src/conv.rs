@@ -162,6 +162,7 @@ impl Conv2d {
     /// fixed-stride copy from the input; the padded remainder is
     /// zero-filled, so a dirty reused buffer needs no separate clear.
     fn im2col_t(&self, input: &[f32], batch: usize, col: &mut [f32]) {
+        let _span = oasis_telemetry::span("nn.conv.im2col");
         let (c, h, w) = (self.in_channels, self.in_h, self.in_w);
         let (k, stride, pad) = (self.kernel, self.stride, self.padding);
         let (oh, ow) = (self.out_h(), self.out_w());
@@ -253,6 +254,7 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         self.check_input(input)?;
+        let _span = oasis_telemetry::span("nn.conv.forward");
         let batch = input.dims()[0];
         let p = self.out_h() * self.out_w();
         let bp = batch * p;
@@ -292,6 +294,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let _span = oasis_telemetry::span("nn.conv.backward");
         let batch = self
             .cached_input
             .as_ref()

@@ -51,6 +51,7 @@ impl StreamingAggregator {
         frame: &EncodedUpdate,
         weight: f32,
     ) -> Result<()> {
+        let _span = oasis_telemetry::span("agg.fold");
         codec.decode_into(frame, &mut self.decode_buf)?;
         if self.decode_buf.len() != self.agg.len() {
             return Err(FlError::UpdateLength {

@@ -109,14 +109,19 @@ impl CohortRunner {
         if self.population.is_empty() {
             return Err(FlError::NoClients);
         }
+        let round_span = oasis_telemetry::span("fl.round");
+        let mut timings = oasis_telemetry::enabled().then(oasis_fl::RoundTimings::default);
         let m = self
             .scheduler
             .cohort_size(self.server.config().clients_per_round);
         // Same rng discipline as the legacy server: selection shuffle
         // first, round seed second.
+        let select_span = oasis_telemetry::span("fl.round.select");
         let (cohort, round_seed) = self.scheduler.sample(m, rng);
         let cohort: Vec<u32> = cohort.to_vec();
+        let select_ns = select_span.finish_ns();
 
+        let broadcast_span = oasis_telemetry::span("fl.round.broadcast");
         let global = self.server.broadcast_weights();
         let n = global.len();
         let bytes_down_each = n * 4;
@@ -124,11 +129,13 @@ impl CohortRunner {
         let bytes_up_each = codec.encoded_len(n);
         let net = self.server.wire().net;
         let round = self.server.round();
+        let broadcast_ns = broadcast_span.finish_ns();
 
         // Delivery plan: per-submission fates are pure in
         // (seed, round, client, bytes), and bytes are value-
         // independent, so the whole wire outcome is known before a
         // single gradient is computed. Dropped clients cost nothing.
+        let deliver_span = oasis_telemetry::span("fl.round.deliver");
         let mut bytes_up = 0u64;
         let mut bytes_down = 0u64;
         let mut round_ms = 0.0f64;
@@ -155,10 +162,15 @@ impl CohortRunner {
             round_ms = round_ms.max(net.straggler_wait_ms());
         }
         let dropped = cohort.len() - delivered_ids.len();
+        let deliver_ns = deliver_span.finish_ns();
 
         let batch = self.server.config().local_batch_size;
         let mut agg = StreamingAggregator::new(n);
         let mut peak_frame_bytes = 0usize;
+        let mut hydrate_ns = 0u64;
+        let mut compute_ns = 0u64;
+        let mut fold_ns = 0u64;
+        let mut step_ns = 0u64;
         let (mean_loss, update_norm) = if delivered_ids.is_empty() {
             (0.0, 0.0)
         } else {
@@ -166,11 +178,13 @@ impl CohortRunner {
             // before the first fold. `round_samples` replays only the
             // rng-consuming batch prefix — no model, no gradients.
             let population = &self.population;
+            let hydrate_span = oasis_telemetry::span("fl.round.hydrate");
             let samples: Vec<usize> = parallel::map_indexed(&delivered_ids, |_, &id| {
                 population
                     .hydrate(population.descriptor(id as usize))
                     .round_samples(batch, round_seed)
             });
+            hydrate_ns = hydrate_span.finish_ns();
             let total: usize = samples.iter().sum();
             if total == 0 {
                 return Err(FlError::BadConfig(
@@ -189,6 +203,7 @@ impl CohortRunner {
             let factory = self.server.factory().clone();
             let mut loss_sum = 0.0f32;
             for wave in delivered_ids.chunks(wave_width) {
+                let compute_span = oasis_telemetry::span("fl.round.compute");
                 let frames: Vec<Result<(f32, usize, EncodedUpdate)>> =
                     parallel::map_indexed(wave, |_, &id| {
                         let client = population.hydrate(population.descriptor(id as usize));
@@ -196,22 +211,40 @@ impl CohortRunner {
                         let encoded = codec.encode(&update.grads)?;
                         Ok((update.loss, update.samples, encoded))
                     });
+                compute_ns += compute_span.finish_ns();
+                let fold_span = oasis_telemetry::span("fl.round.fold");
                 for frame in frames {
                     let (loss, samples, encoded) = frame?;
                     agg.fold(&*codec, &encoded, samples as f32 / total as f32)?;
                     loss_sum += loss;
                 }
+                fold_ns += fold_span.finish_ns();
             }
+            oasis_telemetry::counter!("fl.clients_computed").add(delivered_ids.len() as u64);
+            oasis_telemetry::gauge!("agg.peak_accum_bytes").set_max(agg.peak_bytes() as i64);
             let mean_loss = loss_sum / delivered_ids.len() as f32;
             let update_norm = agg.norm();
+            let step_span = oasis_telemetry::span("fl.round.step");
             self.server.apply_update(agg.as_slice())?;
+            step_ns = step_span.finish_ns();
             (mean_loss, update_norm)
         };
+        oasis_telemetry::counter!("fl.rounds").add(1);
+        let total_ns = round_span.finish_ns();
+        if let Some(t) = timings.as_mut() {
+            t.select_ns = select_ns;
+            t.broadcast_ns = broadcast_ns;
+            t.hydrate_ns = hydrate_ns;
+            t.compute_ns = compute_ns;
+            t.deliver_ns = deliver_ns;
+            t.fold_ns = fold_ns;
+            t.step_ns = step_ns;
+            t.total_ns = total_ns;
+        }
 
         let report = RoundReport {
             round,
             participants: delivered_ids.len(),
-            selected: cohort.len(),
             cohort: cohort.len(),
             dropped,
             mean_loss,
@@ -219,6 +252,7 @@ impl CohortRunner {
             bytes_up,
             bytes_down,
             sim_ms: round_ms,
+            timings,
         };
         self.server.set_round(round + 1);
         Ok(CohortReport {
@@ -307,7 +341,7 @@ mod tests {
         let report = r.run_round(&mut StdRng::seed_from_u64(0)).unwrap();
         assert_eq!(report.population, 200);
         assert_eq!(report.round_report.cohort, 16);
-        assert_eq!(report.round_report.selected, 16);
+        assert_eq!(report.round_report.selected(), 16);
         assert_eq!(report.round_report.participants, 16);
         assert_eq!(report.computed, 16);
         assert!(report.round_report.update_norm > 0.0);

@@ -269,7 +269,9 @@ impl Scenario {
     ///
     /// See [`Scenario::run`].
     pub fn run_detailed(&self) -> Result<(ScenarioReport, Vec<AttackOutcome>), ScenarioError> {
+        let run_span = oasis_telemetry::span("scenario.run");
         let started = Instant::now();
+        let setup_span = oasis_telemetry::span("scenario.setup");
         let dataset = self.dataset();
         let classes = dataset.num_classes();
         let calibration = self.calibration_images();
@@ -281,11 +283,13 @@ impl Scenario {
         // sees the same batch however many workers run), then the
         // expensive attacked rounds fan out across threads.
         let batches = self.trial_batches_from(&dataset);
+        drop(setup_span);
 
-        let outcomes: Vec<Result<AttackOutcome, ScenarioError>> =
+        let outcomes: Vec<Result<(AttackOutcome, u64), ScenarioError>> =
             oasis_tensor::parallel::map_indexed(&batches, |i, batch| {
+                let trial_span = oasis_telemetry::span("scenario.trial");
                 let trial_seed = self.seed ^ i as u64;
-                run_attack_over_wire(
+                let outcome = run_attack_over_wire(
                     attack.as_ref(),
                     batch,
                     &defense,
@@ -293,8 +297,11 @@ impl Scenario {
                     trial_seed,
                     codec.as_ref(),
                 )
-                .map_err(ScenarioError::from)
+                .map_err(ScenarioError::from);
+                let trial_ns = trial_span.finish_ns();
+                outcome.map(|o| (o, trial_ns))
             });
+        oasis_telemetry::counter!("scenario.trials").add(outcomes.len() as u64);
 
         let mut trials = Vec::with_capacity(outcomes.len());
         let mut detailed = Vec::with_capacity(outcomes.len());
@@ -303,8 +310,12 @@ impl Scenario {
         let mut ratio_sum = 0.0f64;
         let mut cohort_delivered = 0usize;
         let mut scheduler = CohortScheduler::new(self.population);
+        let mut trial_wall_ns = Vec::new();
         for (i, outcome) in outcomes.into_iter().enumerate() {
-            let outcome = outcome?;
+            let (outcome, trial_ns) = outcome?;
+            if oasis_telemetry::enabled() {
+                trial_wall_ns.push(trial_ns);
+            }
             let trace = outcome
                 .wire
                 .clone()
@@ -390,8 +401,10 @@ impl Scenario {
             trials,
             summary,
             leak_rate,
+            trial_wall_ns,
             wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
         };
+        drop(run_span);
         Ok((report, detailed))
     }
 }
@@ -659,6 +672,13 @@ pub struct ScenarioReport {
     /// recorded no ratio).
     #[serde(default)]
     pub compression_ratio: f64,
+    /// Per-trial wall-clock in nanoseconds, recorded only while
+    /// telemetry is enabled (see `oasis-telemetry`). Empty on
+    /// untraced runs and on pre-telemetry artifacts, so the
+    /// determinism-relevant fields above stay byte-identical whether
+    /// tracing is on or off.
+    #[serde(default)]
+    pub trial_wall_ns: Vec<u64>,
     /// Wall-clock of the run in milliseconds.
     pub wall_clock_ms: f64,
 }

@@ -1,0 +1,508 @@
+//! Process-wide metrics: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handles are `&'static` and registered by name in a global table;
+//! the [`counter!`](crate::counter!)/[`gauge!`](crate::gauge!)/
+//! [`histogram!`](crate::histogram!) macros cache the lookup in a
+//! per-call-site `OnceLock`, so steady-state updates never touch the
+//! registry lock. Every mutation is gated on [`crate::enabled`], so
+//! the disabled path is one branch.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------
+
+/// Monotonically increasing sum (e.g. `wire.bytes_encoded`).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` when telemetry is enabled; a branch otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current sum.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-written value plus the high-water mark (e.g.
+/// `pool.queue_depth`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    last: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// Records `v` as the current value and folds it into the
+    /// high-water mark.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.last.store(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds `v` into the high-water mark without moving `last` —
+    /// for quantities that only make sense as peaks (e.g.
+    /// `agg.peak_accum_bytes`).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if crate::enabled() {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Most recently `set` value.
+    pub fn last(&self) -> i64 {
+        self.last.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last reset.
+    pub fn max(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.last.store(0, Ordering::Relaxed);
+        self.max.store(i64::MIN, Ordering::Relaxed);
+    }
+}
+
+/// Number of exponential buckets: bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`, bucket 0 holds zero. 40 buckets cover any
+/// duration this stack can produce (`2^39` µs ≈ 6 days).
+pub const HIST_BUCKETS: usize = 40;
+
+/// Fixed-bucket exponential histogram of non-negative integers
+/// (by convention microseconds, e.g. `pool.task_wait_us`).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Representative value reported for a bucket: its geometric middle,
+/// so quantile estimates are within ~1.5× of the true value.
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        let lo = 1u64 << (i - 1);
+        lo + lo / 2
+    }
+}
+
+impl Histogram {
+    /// Records one observation when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a nanosecond duration in microseconds (the stack-wide
+    /// histogram unit).
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.record(ns / 1_000);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (exact, unlike the quantiles).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Bucket-resolution quantile estimate for `q ∈ [0, 1]`, clamped
+    /// to the exact max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_mid(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<Vec<(&'static str, Metric)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, Metric)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lookup_or_insert<T>(
+    name: &'static str,
+    get: impl Fn(&Metric) -> Option<&'static T>,
+    make: impl FnOnce() -> Metric,
+) -> &'static T {
+    let mut reg = registry().lock().expect("metric registry poisoned");
+    if let Some((_, m)) = reg.iter().find(|(n, _)| *n == name) {
+        return get(m).unwrap_or_else(|| panic!("metric `{name}` registered with another type"));
+    }
+    let metric = make();
+    let out = get(&metric).expect("freshly made metric has the requested type");
+    reg.push((name, metric));
+    out
+}
+
+/// The counter registered under `name` (registering it on first use).
+/// Call sites should prefer the caching [`counter!`](crate::counter!)
+/// macro.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn counter(name: &'static str) -> &'static Counter {
+    lookup_or_insert(
+        name,
+        |m| match m {
+            Metric::Counter(c) => Some(*c),
+            _ => None,
+        },
+        || Metric::Counter(Box::leak(Box::default())),
+    )
+}
+
+/// The gauge registered under `name` (registering it on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    lookup_or_insert(
+        name,
+        |m| match m {
+            Metric::Gauge(g) => Some(*g),
+            _ => None,
+        },
+        || {
+            let g: &'static Gauge = Box::leak(Box::default());
+            g.reset();
+            Metric::Gauge(g)
+        },
+    )
+}
+
+/// The histogram registered under `name` (registering it on first
+/// use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    lookup_or_insert(
+        name,
+        |m| match m {
+            Metric::Histogram(h) => Some(*h),
+            _ => None,
+        },
+        || Metric::Histogram(Box::leak(Box::default())),
+    )
+}
+
+/// Zeroes every registered metric (instruments stay registered).
+pub fn reset_metrics() {
+    let reg = registry().lock().expect("metric registry poisoned");
+    for (_, m) in reg.iter() {
+        match m {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// Cached-handle counter access: `counter!("wire.bytes_encoded").add(n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Cached-handle gauge access: `gauge!("pool.queue_depth").set(d)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// Cached-handle histogram access:
+/// `histogram!("pool.task_wait_us").record_ns(ns)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Sum at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time value of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Most recently set value (0 if only `set_max` was used).
+    pub last: i64,
+    /// High-water mark (0 if never set).
+    pub max: i64,
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+    /// Bucket-resolution median estimate.
+    pub p50: u64,
+    /// Bucket-resolution 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// All registered metrics at one instant, each section sorted by
+/// name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms.
+    pub histograms: Vec<HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Whether every section is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Snapshots every registered metric. Metrics that were registered
+/// but never updated report zeros.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metric registry poisoned");
+    let mut snap = MetricsSnapshot::default();
+    for (name, m) in reg.iter() {
+        match m {
+            Metric::Counter(c) => snap.counters.push(CounterSnapshot {
+                name: (*name).to_string(),
+                value: c.get(),
+            }),
+            Metric::Gauge(g) => {
+                let max = g.max();
+                snap.gauges.push(GaugeSnapshot {
+                    name: (*name).to_string(),
+                    last: g.last(),
+                    max: if max == i64::MIN { 0 } else { max },
+                });
+            }
+            Metric::Histogram(h) => snap.histograms.push(HistSnapshot {
+                name: (*name).to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+                p50: h.quantile(0.50),
+                p99: h.quantile(0.99),
+            }),
+        }
+    }
+    snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock_telemetry;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let _t = lock_telemetry();
+        let was = crate::set_enabled(true);
+        reset_metrics();
+        counter!("test.bytes").add(3);
+        counter!("test.bytes").add(4);
+        gauge!("test.depth").set(5);
+        gauge!("test.depth").set(2);
+        gauge!("test.peak").set_max(9);
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            histogram!("test.lat_us").record(v);
+        }
+        let snap = metrics_snapshot();
+        crate::set_enabled(was);
+
+        let c = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "test.bytes")
+            .unwrap();
+        assert_eq!(c.value, 7);
+        let g = snap.gauges.iter().find(|g| g.name == "test.depth").unwrap();
+        assert_eq!((g.last, g.max), (2, 5));
+        let p = snap.gauges.iter().find(|g| g.name == "test.peak").unwrap();
+        assert_eq!((p.last, p.max), (0, 9));
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.lat_us")
+            .unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 11_111);
+        assert_eq!(h.max, 10_000);
+        assert!(h.p50 >= 64 && h.p50 <= 128, "p50 {} not near 100", h.p50);
+        assert_eq!(h.p99, 10_000, "p99 clamps to the exact max");
+    }
+
+    #[test]
+    fn disabled_updates_are_dropped() {
+        let _t = lock_telemetry();
+        let was = crate::set_enabled(false);
+        reset_metrics();
+        counter!("test.off").add(100);
+        gauge!("test.off_g").set(100);
+        histogram!("test.off_h").record(100);
+        let snap = metrics_snapshot();
+        crate::set_enabled(was);
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|c| c.name == "test.off")
+                .unwrap()
+                .value,
+            0
+        );
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .find(|g| g.name == "test.off_g")
+                .unwrap()
+                .max,
+            0
+        );
+        assert_eq!(
+            snap.histograms
+                .iter()
+                .find(|h| h.name == "test.off_h")
+                .unwrap()
+                .count,
+            0
+        );
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounded() {
+        let _t = lock_telemetry();
+        let was = crate::set_enabled(true);
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        crate::set_enabled(was);
+        // p50 lands in bucket [8,16); the geometric mid is 12.
+        assert_eq!(h.quantile(0.5), 12);
+        assert_eq!(h.quantile(0.99), 12);
+        // p100 lands in the outlier's bucket [2^16, 2^17); its
+        // geometric mid (98304) is within 1.5× of the true 100 000.
+        assert_eq!(h.quantile(1.0), 98_304);
+    }
+}

@@ -102,6 +102,8 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
+        let _span = oasis_telemetry::span("tensor.matmul");
+        oasis_telemetry::counter!("tensor.matmul_flops").add(2 * (m * k * n) as u64);
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
@@ -197,6 +199,8 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
+        let _span = oasis_telemetry::span("tensor.matmul_tn");
+        oasis_telemetry::counter!("tensor.matmul_flops").add(2 * (m * k * n) as u64);
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
@@ -268,6 +272,7 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
+        let _span = oasis_telemetry::span("tensor.matmul_nt");
         // Two regimes: a long reduction dim amortizes the unrolled
         // dot's lane setup, while a short one (conv im2col: k = C·k²,
         // often < 64) wastes most of each 8-lane chunk — there the
@@ -276,6 +281,7 @@ impl Tensor {
         if k < 64 || k < 2 * n {
             return self.matmul(&other.transpose()?);
         }
+        oasis_telemetry::counter!("tensor.matmul_flops").add(2 * (m * k * n) as u64);
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();

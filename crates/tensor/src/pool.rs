@@ -106,14 +106,16 @@ impl Pool {
                 .expect("spawn pool worker");
             *spawned += 1;
         }
+        oasis_telemetry::gauge!("pool.workers").set(*spawned as i64);
     }
 
     fn push(&self, task: Task) {
-        self.inner
-            .queue
-            .lock()
-            .expect("pool queue lock")
-            .push_back(task);
+        let depth = {
+            let mut queue = self.inner.queue.lock().expect("pool queue lock");
+            queue.push_back(task);
+            queue.len()
+        };
+        oasis_telemetry::gauge!("pool.queue_depth").set(depth as i64);
         self.inner.ready.notify_one();
     }
 }
@@ -196,6 +198,7 @@ pub(crate) fn run_tasks(mut tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         return;
     };
     if tasks.is_empty() || in_parallel_region() {
+        oasis_telemetry::counter!("pool.inline_tasks").add(tasks.len() as u64 + 1);
         let _region = RegionGuard::enter();
         for task in tasks {
             task();
@@ -205,6 +208,8 @@ pub(crate) fn run_tasks(mut tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     }
     let pool = global();
     pool.ensure_workers(tasks.len());
+    oasis_telemetry::counter!("pool.dispatches").add(1);
+    oasis_telemetry::counter!("pool.tasks").add(tasks.len() as u64 + 1);
     let latch = Arc::new(Latch::new(tasks.len()));
     for task in tasks {
         // SAFETY: the task borrows data that outlives this call frame
@@ -220,9 +225,21 @@ pub(crate) fn run_tasks(mut tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
             )
         };
         let latch = Arc::clone(&latch);
+        let queued_ns = oasis_telemetry::enabled().then(oasis_telemetry::now_ns);
         pool.push(Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(task));
-            latch.complete(result.err());
+            if let Some(queued_ns) = queued_ns {
+                let start_ns = oasis_telemetry::now_ns();
+                oasis_telemetry::histogram!("pool.task_wait_us")
+                    .record_ns(start_ns.saturating_sub(queued_ns));
+                let result = catch_unwind(AssertUnwindSafe(task));
+                let run_ns = oasis_telemetry::now_ns().saturating_sub(start_ns);
+                oasis_telemetry::histogram!("pool.task_run_us").record_ns(run_ns);
+                oasis_telemetry::counter!("pool.busy_us").add(run_ns / 1_000);
+                latch.complete(result.err());
+            } else {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                latch.complete(result.err());
+            }
         }));
     }
     let local_result = catch_unwind(AssertUnwindSafe(|| {

@@ -217,16 +217,21 @@ impl UpdateCodec for RawCodec {
     }
 
     fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        let _span = oasis_telemetry::span("wire.encode.raw");
         let mut b = WireBuilder::new();
         b.push_f32("update", &[update.len()], update)?;
+        let payload = b.finish();
+        oasis_telemetry::counter!("wire.bytes_encoded").add(payload.len() as u64);
         Ok(EncodedUpdate {
             codec: self.spec().to_string(),
             n: update.len(),
-            payload: b.finish(),
+            payload,
         })
     }
 
     fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+        let _span = oasis_telemetry::span("wire.decode.raw");
+        oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
         let view = parse_payload(encoded)?;
         view.require("update")?.read_f32_into(out)?;
         check_len(out, encoded.n)
@@ -250,6 +255,7 @@ impl UpdateCodec for Q8Codec {
     }
 
     fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        let _span = oasis_telemetry::span("wire.encode.q8");
         if update.iter().any(|v| !v.is_finite()) {
             return Err(WireError::Codec("q8 requires finite values".into()));
         }
@@ -280,14 +286,18 @@ impl UpdateCodec for Q8Codec {
         let mut b = WireBuilder::new();
         b.push("q", crate::Dtype::U8, &[q.len()], &q)?;
         b.push_f32("affine", &[2], &[lo, scale as f32])?;
+        let payload = b.finish();
+        oasis_telemetry::counter!("wire.bytes_encoded").add(payload.len() as u64);
         Ok(EncodedUpdate {
             codec: self.spec().to_string(),
             n: update.len(),
-            payload: b.finish(),
+            payload,
         })
     }
 
     fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+        let _span = oasis_telemetry::span("wire.decode.q8");
+        oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
         let view = parse_payload(encoded)?;
         let affine = view.require("affine")?.to_f32_vec()?;
         let [lo, scale] = affine[..] else {
@@ -330,6 +340,7 @@ impl UpdateCodec for TopKCodec {
     }
 
     fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        let _span = oasis_telemetry::span("wire.encode.topk");
         let k = self.k.min(update.len());
         // Linear-time selection of the k largest magnitudes (with a
         // deterministic index tiebreak) instead of a full O(n log n)
@@ -354,14 +365,18 @@ impl UpdateCodec for TopKCodec {
         let mut b = WireBuilder::new();
         b.push_u32("idx", &[k], &indices)?;
         b.push_f32("val", &[k], &values)?;
+        let payload = b.finish();
+        oasis_telemetry::counter!("wire.bytes_encoded").add(payload.len() as u64);
         Ok(EncodedUpdate {
             codec: self.spec().to_string(),
             n: update.len(),
-            payload: b.finish(),
+            payload,
         })
     }
 
     fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+        let _span = oasis_telemetry::span("wire.decode.topk");
+        oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
         let view = parse_payload(encoded)?;
         let indices = view.require("idx")?.to_u32_vec()?;
         let values = view.require("val")?.to_f32_vec()?;
@@ -400,6 +415,7 @@ impl UpdateCodec for SignCodec {
     }
 
     fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
+        let _span = oasis_telemetry::span("wire.encode.sign");
         if update.iter().any(|v| !v.is_finite()) {
             return Err(WireError::Codec("sign requires finite values".into()));
         }
@@ -419,14 +435,18 @@ impl UpdateCodec for SignCodec {
         let mut b = WireBuilder::new();
         b.push("bits", crate::Dtype::U8, &[bits.len()], &bits)?;
         b.push_f32("mag", &[1], &[mag])?;
+        let payload = b.finish();
+        oasis_telemetry::counter!("wire.bytes_encoded").add(payload.len() as u64);
         Ok(EncodedUpdate {
             codec: self.spec().to_string(),
             n: update.len(),
-            payload: b.finish(),
+            payload,
         })
     }
 
     fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+        let _span = oasis_telemetry::span("wire.decode.sign");
+        oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
         let view = parse_payload(encoded)?;
         let bits_tensor = view.require("bits")?;
         let bits = bits_tensor.to_u8_slice()?;
