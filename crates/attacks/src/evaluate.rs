@@ -217,7 +217,12 @@ fn run_attack_inner(
                     encoded_bytes: encoded.byte_size(),
                     broadcast_bytes,
                 });
-                Ok(codec.decode(&encoded)?)
+                // Decode lands back in the buffer the update left in
+                // — the frame's element count is the update length by
+                // construction, so no fresh allocation is needed.
+                let mut received = update;
+                codec.decode_to(&encoded, &mut received)?;
+                Ok(received)
             }
         }
     };

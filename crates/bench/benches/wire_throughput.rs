@@ -52,8 +52,11 @@ fn bench_decode(c: &mut Criterion) {
     group.sample_size(10);
     for (label, codec) in codecs() {
         let encoded = codec.encode(&x).unwrap();
+        // The fold-path decode form: borrowed views over one reused
+        // scratch slot (zero-copy for aligned raw frames).
+        let mut scratch = oasis_wire::FrameBuf::new();
         group.bench_with_input(BenchmarkId::from_parameter(label), &encoded, |b, enc| {
-            b.iter(|| codec.decode(enc).unwrap().len());
+            b.iter(|| codec.decode_view(enc, &mut scratch).unwrap().len());
         });
     }
     group.finish();

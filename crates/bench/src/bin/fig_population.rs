@@ -9,7 +9,8 @@
 //! 2. **Server throughput vs population** — rounds/s of the
 //!    streaming [`CohortRunner`] as the population grows 1 k → 100 k
 //!    with the cohort pinned, plus the peak accumulator bytes, which
-//!    stay at two model buffers throughout.
+//!    stay at one model buffer throughout (the raw wire folds
+//!    borrowed frame views — no decode copy ever materializes).
 //!
 //! ```text
 //! cargo run --release -p oasis-bench --bin fig_population -- [--quick | --full]
@@ -124,8 +125,9 @@ fn main() {
     println!("\nExpected shape: PSNR and leak rate are flat across the population");
     println!("axis (the attack sees one victim either way) while bytes on wire");
     println!("scale with the cohort; rounds/s decays only with the O(population)");
-    println!("selection shuffle, and the accumulator stays at two model buffers");
-    println!("no matter how large the deployment grows.");
+    println!("selection shuffle, and the accumulator stays at one model buffer");
+    println!("(raw frames fold as borrowed views) no matter how large the");
+    println!("deployment grows.");
 }
 
 /// The perf `pop` fixture's shape: a tiny linear model over the

@@ -712,10 +712,19 @@ fn bench_codec_decode(codec: Box<dyn UpdateCodec>) -> PreparedBench {
     let update = codec_update();
     let bytes = update.len() as f64 * 4.0;
     let encoded = codec.encode(&update).expect("bench encode");
+    // Measure the fold-path decode: a borrowed view over one reused
+    // arena slot — raw frames resolve to a zero-copy borrow, lossy
+    // codecs fill the slot — exactly what the server does per frame.
+    let mut scratch = oasis_wire::FrameBuf::new();
     PreparedBench {
         throughput: Some((bytes, "B/s")),
         run: Box::new(move || {
-            std::hint::black_box(codec.decode(&encoded).expect("bench decode"));
+            std::hint::black_box(
+                codec
+                    .decode_view(&encoded, &mut scratch)
+                    .expect("bench decode")
+                    .len(),
+            );
         }),
     }
 }
@@ -1075,10 +1084,12 @@ mod tests {
 
     #[test]
     fn pop_suite_memory_stays_bounded() {
-        // The bench fixture's promise: server-side update memory is
-        // two model buffers, independent of population. One round at
-        // the smallest population suffices — the aggregator's
-        // footprint has no population term at all.
+        // The bench fixture's promise: on the raw zero-copy wire the
+        // server-side update memory is exactly one model buffer (the
+        // accumulator — frames fold as borrowed views and the frame
+        // arena never materializes scratch), independent of
+        // population. One round at the smallest population suffices —
+        // the aggregator's footprint has no population term at all.
         let (factory, pop) = pop_fixture(1_000);
         let n = oasis_nn::param_count(&mut factory());
         let server = FlServer::new(
@@ -1095,7 +1106,12 @@ mod tests {
             .expect("pop round");
         assert_eq!(report.population, 1_000);
         assert_eq!(report.round_report.cohort, 64);
-        assert_eq!(report.peak_accum_bytes, 2 * 4 * n);
+        assert_eq!(report.peak_accum_bytes, 4 * n);
+        assert_eq!(
+            runner.server().decode_scratch_bytes(),
+            0,
+            "raw rounds must not retain frame-arena scratch"
+        );
     }
 
     fn scale_suite_of(medians: &[(&str, u64)]) -> BenchSuite {

@@ -6,7 +6,10 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use oasis_nn::{flatten_params, load_params, param_count, Sequential};
-use oasis_wire::{CodecSpec, DeliveryStatus, EncodedUpdate, NetSpec, Submission, UpdateCodec};
+use oasis_wire::{
+    CodecSpec, DeliveryStatus, EncodedUpdate, FrameArena, FrameBuf, NetSpec, Submission,
+    UpdateCodec,
+};
 
 use crate::{ClientUpdate, FlClient, FlConfig, FlError, ModelFactory, Result};
 
@@ -132,12 +135,13 @@ pub struct FlServer {
     tamper: Option<Box<dyn crate::ModelTamper>>,
     wire: WireConfig,
     round: usize,
-    /// Reused decode buffers: each round decodes delivered updates in
-    /// waves of up to [`parallel::num_threads`] concurrent wire frames,
-    /// one buffer per wave slot, so a round allocates O(threads ·
-    /// model) instead of O(clients · model) — and exactly O(model)
-    /// when single-threaded.
-    decode_bufs: Vec<Vec<f32>>,
+    /// Reused decode scratch: lossy rounds decode delivered updates
+    /// in waves of up to [`parallel::num_threads`] concurrent wire
+    /// frames, one arena slot per wave lane, so a round allocates
+    /// O(threads · model) instead of O(clients · model). Raw rounds
+    /// fold borrowed views straight off the wire frames and leave the
+    /// arena empty.
+    arena: FrameArena,
 }
 
 impl FlServer {
@@ -160,7 +164,7 @@ impl FlServer {
             tamper: None,
             wire: WireConfig::default(),
             round: 0,
-            decode_bufs: Vec::new(),
+            arena: FrameArena::new(),
         })
     }
 
@@ -179,6 +183,14 @@ impl FlServer {
     /// The wire currently in use.
     pub fn wire(&self) -> &WireConfig {
         &self.wire
+    }
+
+    /// Bytes of decode scratch the server's frame arena retains
+    /// across rounds. Raw rounds fold borrowed frames, so this stays
+    /// 0 on the default wire — the machine-checked face of the
+    /// zero-copy decode path; lossy codecs retain O(threads · model).
+    pub fn decode_scratch_bytes(&self) -> usize {
+        self.arena.retained_bytes()
     }
 
     /// The training configuration the rounds run under.
@@ -223,8 +235,8 @@ impl FlServer {
     /// # Errors
     ///
     /// Propagates serialization and filesystem failures.
-    pub fn save_checkpoint(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        oasis_wire::checkpoint::save_model(path, &mut self.model)?;
+    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        oasis_wire::checkpoint::save_model(path, &self.model)?;
         Ok(())
     }
 
@@ -348,33 +360,34 @@ impl FlServer {
             let mut agg = vec![0.0f32; n];
             let mut loss_sum = 0.0f32;
             // A wave decodes up to `effective_parallelism` frames
-            // concurrently into per-slot buffers; the fold over the
-            // wave then runs serially in delivery order, so the FP
-            // accumulation sequence is identical to a fully serial
-            // round. Small models stay on a single reused buffer —
-            // like every other parallel front, a decode below the
-            // work threshold must not pay pool-dispatch latency —
-            // and a server running inside a pool worker (nested
-            // parallelism) likewise decodes inline, sizing only
-            // scratch it can actually use.
-            let wave_width = if n >= DECODE_PAR_MIN_ELEMS {
+            // concurrently into per-lane arena slots; the fold over
+            // the wave then runs serially in delivery order, so the
+            // FP accumulation sequence is identical to a fully serial
+            // round. Two whole classes of round skip the waves:
+            //
+            // * The raw codec has no decode arithmetic to
+            //   parallelize — an aligned frame is *borrowed*
+            //   ([`UpdateCodec::decode_view`]) and folded in place
+            //   with zero post-decode copies, so the serial streaming
+            //   path is strictly faster at every model size.
+            // * Small lossy models stay on a single slot — like every
+            //   other parallel front, a decode below the work
+            //   threshold must not pay pool-dispatch latency — as
+            //   does a server running inside a pool worker (nested
+            //   parallelism), sizing only scratch it can actually
+            //   use.
+            let zero_copy = matches!(self.wire.codec_spec, CodecSpec::Raw);
+            let wave_width = if !zero_copy && n >= DECODE_PAR_MIN_ELEMS {
                 parallel::effective_parallelism()
                     .min(delivered.len())
                     .max(1)
             } else {
                 1
             };
-            let mut bufs = std::mem::take(&mut self.decode_bufs);
-            // Grow-only: a round with fewer deliveries must not free
-            // warm model-sized buffers the next full round would just
-            // reallocate.
-            if bufs.len() < wave_width {
-                bufs.resize_with(wave_width, Vec::new);
-            }
             // The first failure aborts the fold, but every scratch
-            // buffer still returns to `decode_bufs` — a malformed
-            // frame must not cost the retained O(threads · model)
-            // scratch on top of the failed round.
+            // slot still returns to the arena — a malformed frame
+            // must not cost the retained O(threads · model) scratch
+            // on top of the failed round.
             let mut fold_err: Option<FlError> = None;
             let mut fold = |update: &ClientUpdate, buf: &[f32]| -> Option<FlError> {
                 if buf.len() != n {
@@ -391,18 +404,20 @@ impl FlServer {
                 None
             };
             if wave_width == 1 {
-                // Serial streaming path: one reused buffer, zero
-                // per-update allocations.
-                let mut buf = bufs.pop().unwrap_or_default();
+                // Serial streaming path: each update folds straight
+                // from a borrowed view — raw aligned frames in place
+                // off the wire, everything else through one reused
+                // arena slot. Zero per-update allocations either way.
+                let mut buf = self.arena.acquire();
                 for (update, encoded) in &delivered {
                     let decode_span = oasis_telemetry::span("fl.round.decode");
-                    let decoded = codec.decode_into(encoded, &mut buf);
+                    let decoded = codec.decode_view(encoded, &mut buf);
                     decode_ns += decode_span.finish_ns();
                     fold_err = match decoded {
                         Err(e) => Some(e.into()),
-                        Ok(()) => {
+                        Ok(view) => {
                             let fold_span = oasis_telemetry::span("fl.round.fold");
-                            let err = fold(update, &buf);
+                            let err = fold(update, view);
                             fold_ns += fold_span.finish_ns();
                             err
                         }
@@ -411,17 +426,17 @@ impl FlServer {
                         break;
                     }
                 }
-                bufs.push(buf);
+                self.arena.release(buf);
             } else {
                 for wave in delivered.chunks(wave_width) {
                     type DecodeResult = std::result::Result<(), oasis_wire::WireError>;
                     let decode_span = oasis_telemetry::span("fl.round.decode");
-                    let mut slots: Vec<(&EncodedUpdate, Vec<f32>, DecodeResult)> = wave
+                    let mut slots: Vec<(&EncodedUpdate, FrameBuf, DecodeResult)> = wave
                         .iter()
-                        .map(|(_, encoded)| (encoded, bufs.pop().unwrap_or_default(), Ok(())))
+                        .map(|(_, encoded)| (encoded, self.arena.acquire(), Ok(())))
                         .collect();
                     parallel::for_each_mut(&mut slots, |_, (encoded, buf, res)| {
-                        *res = codec.decode_into(encoded, buf);
+                        *res = codec.decode_to(encoded, buf.reset(encoded.n));
                     });
                     decode_ns += decode_span.finish_ns();
                     let fold_span = oasis_telemetry::span("fl.round.fold");
@@ -429,10 +444,10 @@ impl FlServer {
                         if fold_err.is_none() {
                             fold_err = match res {
                                 Err(e) => Some(e.into()),
-                                Ok(()) => fold(update, &buf),
+                                Ok(()) => fold(update, buf.as_slice()),
                             };
                         }
-                        bufs.push(buf);
+                        self.arena.release(buf);
                     }
                     fold_ns += fold_span.finish_ns();
                     if fold_err.is_some() {
@@ -440,7 +455,6 @@ impl FlServer {
                     }
                 }
             }
-            self.decode_bufs = bufs;
             if let Some(e) = fold_err {
                 return Err(e);
             }

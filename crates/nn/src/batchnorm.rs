@@ -174,6 +174,11 @@ impl Layer for BatchNorm {
         f(&mut self.beta, &mut self.grad_beta);
     }
 
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+
     fn name(&self) -> &'static str {
         "batchnorm"
     }

@@ -368,6 +368,11 @@ impl Layer for Conv2d {
         f(&mut self.bias, &mut self.grad_bias);
     }
 
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
     fn name(&self) -> &'static str {
         "conv2d"
     }

@@ -46,6 +46,12 @@ pub trait Layer: Send {
     /// Visits every `(parameter, gradient)` pair in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
 
+    /// Visits every parameter tensor read-only, in the same stable
+    /// order as [`Layer::visit_params`]. Serialization paths
+    /// (checkpointing, broadcast snapshots) use this so inspecting a
+    /// model never requires `&mut` access.
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor));
+
     /// Resets all accumulated gradients to zero.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |_, g| g.map_in_place(|_| 0.0));
@@ -67,6 +73,23 @@ pub fn param_count(layer: &mut dyn Layer) -> usize {
     let mut n = 0usize;
     layer.visit_params(&mut |p, _| n += p.numel());
     n
+}
+
+/// Total number of scalar parameters in `layer`, through a shared
+/// borrow.
+pub fn param_count_ref(layer: &dyn Layer) -> usize {
+    let mut n = 0usize;
+    layer.visit_params_ref(&mut |p| n += p.numel());
+    n
+}
+
+/// [`flatten_params`] through a shared borrow — lets read-only
+/// consumers (checkpointing, broadcast snapshots) flatten without
+/// exclusive access to the model.
+pub fn flatten_params_ref(layer: &dyn Layer) -> Vec<f32> {
+    let mut out = Vec::new();
+    layer.visit_params_ref(&mut |p| out.extend_from_slice(p.data()));
+    out
 }
 
 /// Flattens all parameters into a single `Vec<f32>` in visit order —

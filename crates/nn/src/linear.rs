@@ -140,6 +140,11 @@ impl Layer for Linear {
         f(&mut self.bias, &mut self.grad_bias);
     }
 
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
     fn name(&self) -> &'static str {
         "linear"
     }

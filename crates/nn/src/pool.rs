@@ -107,6 +107,8 @@ impl Layer for MaxPool2 {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
 
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
     fn name(&self) -> &'static str {
         "maxpool2"
     }
@@ -179,6 +181,8 @@ impl Layer for AvgPoolAll {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Tensor)) {}
 
     fn name(&self) -> &'static str {
         "avgpool_all"

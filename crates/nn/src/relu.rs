@@ -54,6 +54,8 @@ impl Layer for Relu {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
 
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
     fn name(&self) -> &'static str {
         "relu"
     }

@@ -127,6 +127,17 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.conv1.visit_params_ref(f);
+        self.bn1.visit_params_ref(f);
+        self.conv2.visit_params_ref(f);
+        self.bn2.visit_params_ref(f);
+        if let Some((proj, bn)) = &self.skip {
+            proj.visit_params_ref(f);
+            bn.visit_params_ref(f);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "residual_block"
     }

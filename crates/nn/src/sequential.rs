@@ -89,6 +89,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "sequential"
     }

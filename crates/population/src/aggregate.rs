@@ -1,16 +1,20 @@
 //! The streaming weighted-sum aggregator.
 
 use oasis_fl::{FlError, Result};
-use oasis_wire::{EncodedUpdate, UpdateCodec};
+use oasis_wire::{EncodedUpdate, FrameBuf, UpdateCodec};
 
 /// Folds delivered updates into a running sample-weighted sum, one
 /// wire frame at a time.
 ///
 /// Memory is the whole point: the aggregator owns exactly one
-/// model-sized accumulator and one model-sized decode buffer —
-/// `2 × 4·n` bytes total — no matter how many clients fold into it.
-/// The legacy wave-decode round holds `O(threads · model)` scratch;
-/// this holds `O(model)` and reports its own footprint via
+/// model-sized accumulator — `4·n` bytes — no matter how many clients
+/// fold into it. Each frame is consumed as a *borrowed view*
+/// ([`UpdateCodec::decode_view`]): with the raw codec an aligned
+/// frame folds straight off the wire with zero post-decode copies and
+/// the scratch slot stays empty; lossy codecs decode into one reused
+/// model-sized slot, for `2 × 4·n` total. The legacy wave-decode
+/// round holds `O(threads · model)` scratch; this holds `O(model)`
+/// and reports its own footprint via
 /// [`StreamingAggregator::peak_bytes`] so tests can assert the bound
 /// rather than trust the comment.
 ///
@@ -22,24 +26,24 @@ use oasis_wire::{EncodedUpdate, UpdateCodec};
 #[derive(Debug)]
 pub struct StreamingAggregator {
     agg: Vec<f32>,
-    decode_buf: Vec<f32>,
+    scratch: FrameBuf,
     folded: usize,
 }
 
 impl StreamingAggregator {
-    /// An empty accumulator for an `n`-parameter model. The decode
-    /// buffer is pre-reserved so the steady-state footprint is fixed
-    /// before the first frame arrives.
+    /// An empty accumulator for an `n`-parameter model. The scratch
+    /// slot starts empty and only materializes if a frame actually
+    /// needs a decode copy (lossy codec or misaligned raw payload).
     pub fn new(n: usize) -> Self {
         StreamingAggregator {
             agg: vec![0.0; n],
-            decode_buf: Vec::with_capacity(n),
+            scratch: FrameBuf::new(),
             folded: 0,
         }
     }
 
-    /// Decodes one delivered frame into the reused buffer and folds
-    /// it in with FedAvg weight `weight` (`samples_i / total`).
+    /// Decodes one delivered frame to a borrowed view and folds it in
+    /// with FedAvg weight `weight` (`samples_i / total`).
     ///
     /// # Errors
     ///
@@ -52,14 +56,14 @@ impl StreamingAggregator {
         weight: f32,
     ) -> Result<()> {
         let _span = oasis_telemetry::span("agg.fold");
-        codec.decode_into(frame, &mut self.decode_buf)?;
-        if self.decode_buf.len() != self.agg.len() {
+        let view = codec.decode_view(frame, &mut self.scratch)?;
+        if view.len() != self.agg.len() {
             return Err(FlError::UpdateLength {
-                len: self.decode_buf.len(),
+                len: view.len(),
                 expected: self.agg.len(),
             });
         }
-        for (a, &g) in self.agg.iter_mut().zip(&self.decode_buf) {
+        for (a, &g) in self.agg.iter_mut().zip(view) {
             *a += weight * g;
         }
         self.folded += 1;
@@ -83,11 +87,11 @@ impl StreamingAggregator {
     }
 
     /// The aggregator's actual heap footprint in bytes: accumulator
-    /// plus decode-buffer capacity. Stays at `2 × 4·n` unless a codec
-    /// over-reserves — the population memory bound tests assert on
-    /// this.
+    /// plus whatever scratch the codec forced. `4·n` on the raw
+    /// zero-copy path, `2 × 4·n` for lossy codecs — the population
+    /// memory bound tests assert on this.
     pub fn peak_bytes(&self) -> usize {
-        (self.agg.len() + self.decode_buf.capacity()) * std::mem::size_of::<f32>()
+        self.agg.len() * std::mem::size_of::<f32>() + self.scratch.capacity_bytes()
     }
 }
 
@@ -114,16 +118,40 @@ mod tests {
     }
 
     #[test]
-    fn footprint_is_two_model_buffers() {
+    fn raw_footprint_is_one_model_buffer() {
+        // The zero-copy pin: raw frames are folded as borrowed views,
+        // so no matter how many fold in, the aggregator never
+        // materializes decode scratch — its footprint is exactly the
+        // accumulator.
         let n = 4096usize;
         let codec = CodecSpec::Raw.build();
         let mut agg = StreamingAggregator::new(n);
-        assert_eq!(agg.peak_bytes(), 2 * 4 * n);
+        assert_eq!(agg.peak_bytes(), 4 * n);
         let frame = codec.encode(&vec![1.0f32; n]).unwrap();
         for _ in 0..100 {
             agg.fold(&*codec, &frame, 0.01).unwrap();
         }
-        assert_eq!(agg.peak_bytes(), 2 * 4 * n, "fold must not grow scratch");
+        assert_eq!(
+            agg.peak_bytes(),
+            4 * n,
+            "raw fold must not copy frames into scratch"
+        );
+    }
+
+    #[test]
+    fn lossy_footprint_is_two_model_buffers() {
+        let n = 4096usize;
+        let codec = CodecSpec::Q8.build();
+        let mut agg = StreamingAggregator::new(n);
+        let frame = codec.encode(&vec![1.0f32; n]).unwrap();
+        for _ in 0..100 {
+            agg.fold(&*codec, &frame, 0.01).unwrap();
+        }
+        assert_eq!(
+            agg.peak_bytes(),
+            2 * 4 * n,
+            "lossy fold needs exactly one reused decode slot"
+        );
     }
 
     #[test]

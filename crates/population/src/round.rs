@@ -21,9 +21,11 @@ pub struct CohortReport {
     /// delivery fate is known from the wire plan before any compute —
     /// so this equals `round_report.participants`, not the cohort.
     pub computed: usize,
-    /// Peak accumulator + decode-buffer bytes held by the streaming
-    /// fold: `2 × 4·n` for an `n`-parameter model, independent of
-    /// population and cohort.
+    /// Peak accumulator + decode-scratch bytes held by the streaming
+    /// fold, independent of population and cohort: `4·n` for an
+    /// `n`-parameter model on the raw zero-copy wire (frames fold as
+    /// borrowed views), `2 × 4·n` when a lossy codec needs a decode
+    /// slot.
     pub peak_accum_bytes: usize,
     /// Peak encoded-frame bytes alive at once: one wire frame per
     /// concurrent compute slot, `O(threads · frame)`, never
@@ -393,8 +395,23 @@ mod tests {
     }
 
     #[test]
-    fn memory_stays_two_model_buffers_regardless_of_cohort() {
+    fn raw_memory_stays_one_model_buffer_regardless_of_cohort() {
+        // Raw frames fold as borrowed views — the streaming
+        // aggregator never materializes a decode slot, so the peak is
+        // exactly the accumulator however large the cohort.
         let mut r = runner(300, 64);
+        let report = r.run_round(&mut StdRng::seed_from_u64(3)).unwrap();
+        let n = 8 * 8 * 3 * 12 + 12 + 12 * 3 + 3;
+        assert_eq!(report.peak_accum_bytes, 4 * n);
+    }
+
+    #[test]
+    fn lossy_memory_stays_two_model_buffers_regardless_of_cohort() {
+        let mut r = runner(300, 64);
+        r.server_mut().set_wire(WireConfig::new(
+            oasis_wire::CodecSpec::Q8,
+            oasis_wire::NetSpec::Ideal,
+        ));
         let report = r.run_round(&mut StdRng::seed_from_u64(3)).unwrap();
         let n = 8 * 8 * 3 * 12 + 12 + 12 * 3 + 3;
         assert_eq!(report.peak_accum_bytes, 2 * 4 * n);

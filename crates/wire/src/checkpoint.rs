@@ -1,50 +1,71 @@
 //! Whole-model checkpointing in the wire tensor format: save the
 //! global model at round *k*, reload it later (or on another host),
 //! and continue training with a bit-identical trajectory.
+//!
+//! The load path is single-copy: [`load_model`] memory-maps the file
+//! ([`crate::mmap::MappedFile`]), validates the header and every
+//! name/shape against the model *before mutating anything*, then
+//! copies each tensor exactly once — mapping → parameter storage —
+//! via [`crate::TensorView::read_f32`]. There is no intermediate
+//! `Vec<Vec<f32>>` staging, so peak load memory is the file mapping
+//! plus the model itself. The save path takes `&Sequential` (models
+//! are read, not borrowed exclusively, while serializing).
 
 use std::path::Path;
 
 use oasis_nn::Sequential;
 
-use crate::format::{WireBuilder, WireView};
+use crate::format::{Dtype, WireBuilder, WireView};
 use crate::WireError;
 
-/// The model's parameter tensors as `(name, dims, data)` in visit
-/// order — the single source of the checkpoint naming scheme
-/// (`"{layer:03}.{layer_name}.{param}"`), shared by save and load so
-/// the two can never diverge.
-fn param_entries(model: &mut Sequential) -> Vec<(String, Vec<usize>, Vec<f32>)> {
-    let mut entries = Vec::new();
+/// Walks the model's parameter tensors read-only, yielding
+/// `(name, shape, data)` in visit order — the single source of the
+/// checkpoint naming scheme (`"{layer:03}.{layer_name}.{param}"`),
+/// shared by save and load so the two can never diverge.
+type ParamEntryVisitor<'a> = &'a mut dyn FnMut(&str, &[usize], &[f32]) -> Result<(), WireError>;
+
+fn for_each_param_entry(model: &Sequential, f: ParamEntryVisitor) -> Result<(), WireError> {
+    let mut err = None;
     for li in 0..model.len() {
-        let layer = model.layer_mut(li).expect("index in range");
+        let layer = model.layer(li).expect("index in range");
         let name = layer.name();
         let mut pi = 0usize;
-        layer.visit_params(&mut |p, _| {
-            entries.push((
-                format!("{li:03}.{name}.{pi}"),
-                p.dims().to_vec(),
-                p.data().to_vec(),
-            ));
+        layer.visit_params_ref(&mut |p| {
+            if err.is_none() {
+                let tensor_name = format!("{li:03}.{name}.{pi}");
+                if let Err(e) = f(&tensor_name, p.dims(), p.data()) {
+                    err = Some(e);
+                }
+            }
             pi += 1;
         });
     }
-    entries
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Serializes every parameter tensor of `model` into a wire buffer.
 /// Tensor names are `"{layer:03}.{layer_name}.{param}"` in visit
 /// order, so the buffer is self-describing and order-stable.
-pub fn model_to_bytes(model: &mut Sequential) -> Result<Vec<u8>, WireError> {
-    let mut builder = WireBuilder::new();
-    for (tensor_name, shape, data) in param_entries(model) {
-        builder.push_f32(&tensor_name, &shape, &data)?;
-    }
+pub fn model_to_bytes(model: &Sequential) -> Result<Vec<u8>, WireError> {
+    let payload_bytes = oasis_nn::param_count_ref(model) * std::mem::size_of::<f32>();
+    let mut builder = WireBuilder::with_payload_capacity(payload_bytes);
+    for_each_param_entry(model, &mut |name, shape, data| {
+        builder.push_f32(name, shape, data).map(|_| ())
+    })?;
     Ok(builder.finish())
 }
 
 /// Loads a checkpoint produced by [`model_to_bytes`] into `model`.
 /// Strict: the architecture must match — same tensor names, same
 /// shapes, no extras, no omissions.
+///
+/// The copy is single-pass after validation: each checkpoint tensor is
+/// written straight into its parameter's storage, with no staging
+/// buffers. Validation runs first over the whole buffer, so on any
+/// error the model is untouched.
 ///
 /// # Errors
 ///
@@ -53,42 +74,58 @@ pub fn model_to_bytes(model: &mut Sequential) -> Result<Vec<u8>, WireError> {
 pub fn load_model_bytes(model: &mut Sequential, bytes: &[u8]) -> Result<(), WireError> {
     let view = WireView::parse(bytes)?;
 
-    // Pass 1: collect the model's expected tensor names and shapes,
-    // and validate the whole checkpoint before mutating anything.
-    let expected: Vec<(String, Vec<usize>)> = param_entries(model)
-        .into_iter()
-        .map(|(name, dims, _)| (name, dims))
-        .collect();
-    if expected.len() != view.len() {
-        return Err(WireError::Header(format!(
-            "checkpoint holds {} tensors, model expects {}",
-            view.len(),
-            expected.len()
-        )));
-    }
-    let mut loads: Vec<Vec<f32>> = Vec::with_capacity(expected.len());
-    for (tensor_name, dims) in &expected {
+    // Pass 1: read-only walk checking names, shapes, dtypes, and the
+    // tensor count against the checkpoint before mutating anything.
+    let mut expected = 0usize;
+    for_each_param_entry(model, &mut |tensor_name, dims, _| {
+        expected += 1;
         let t = view.require(tensor_name)?;
-        if &t.meta().shape != dims {
+        if t.meta().shape != dims {
             return Err(WireError::Header(format!(
                 "checkpoint tensor `{tensor_name}` has shape {:?}, model expects {:?}",
                 t.meta().shape,
                 dims
             )));
         }
-        loads.push(t.to_f32_vec()?);
+        if t.meta().dtype != Dtype::F32 {
+            return Err(WireError::Header(format!(
+                "checkpoint tensor `{tensor_name}` has dtype {}, model parameters are f32",
+                t.meta().dtype.as_str()
+            )));
+        }
+        Ok(())
+    })?;
+    if expected != view.len() {
+        return Err(WireError::Header(format!(
+            "checkpoint holds {} tensors, model expects {expected}",
+            view.len(),
+        )));
     }
 
-    // Pass 2: copy into the model, in the same visit order.
-    let mut idx = 0usize;
+    // Pass 2: copy each tensor exactly once, mapping → parameter
+    // storage, in the same visit order.
+    let mut copy_err = None;
     for li in 0..model.len() {
         let layer = model.layer_mut(li).expect("index in range");
+        let name = layer.name();
+        let mut pi = 0usize;
         layer.visit_params(&mut |p, _| {
-            p.data_mut().copy_from_slice(&loads[idx]);
-            idx += 1;
+            if copy_err.is_none() {
+                let tensor_name = format!("{li:03}.{name}.{pi}");
+                let res = view
+                    .require(&tensor_name)
+                    .and_then(|t| t.read_f32(p.data_mut()));
+                if let Err(e) = res {
+                    copy_err = Some(e);
+                }
+            }
+            pi += 1;
         });
     }
-    Ok(())
+    match copy_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Writes `model` as a wire-format checkpoint file.
@@ -96,7 +133,7 @@ pub fn load_model_bytes(model: &mut Sequential, bytes: &[u8]) -> Result<(), Wire
 /// # Errors
 ///
 /// Propagates serialization and filesystem failures.
-pub fn save_model(path: impl AsRef<Path>, model: &mut Sequential) -> Result<(), WireError> {
+pub fn save_model(path: impl AsRef<Path>, model: &Sequential) -> Result<(), WireError> {
     let bytes = model_to_bytes(model)?;
     std::fs::write(path, bytes)?;
     Ok(())
@@ -104,19 +141,24 @@ pub fn save_model(path: impl AsRef<Path>, model: &mut Sequential) -> Result<(), 
 
 /// Loads a checkpoint file written by [`save_model`] into `model`.
 ///
+/// The file is memory-mapped (read-only, private), so its bytes are
+/// paged in on demand and each tensor is copied exactly once from the
+/// mapping into parameter storage — the whole-file heap buffer of a
+/// read-then-parse load never exists.
+///
 /// # Errors
 ///
 /// Propagates filesystem failures and the strict checks of
 /// [`load_model_bytes`].
 pub fn load_model(path: impl AsRef<Path>, model: &mut Sequential) -> Result<(), WireError> {
-    let bytes = std::fs::read(path)?;
-    load_model_bytes(model, &bytes)
+    let mapped = crate::mmap::MappedFile::open(path)?;
+    load_model_bytes(model, mapped.bytes())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oasis_nn::{flatten_params, Linear, Relu};
+    use oasis_nn::{flatten_params, flatten_params_ref, Linear, Relu};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn model(seed: u64) -> Sequential {
@@ -130,12 +172,12 @@ mod tests {
 
     #[test]
     fn checkpoint_round_trip_is_bit_exact() {
-        let mut a = model(1);
-        let bytes = model_to_bytes(&mut a).unwrap();
+        let a = model(1);
+        let bytes = model_to_bytes(&a).unwrap();
         let mut b = model(2);
-        assert_ne!(flatten_params(&mut a), flatten_params(&mut b));
+        assert_ne!(flatten_params_ref(&a), flatten_params(&mut b));
         load_model_bytes(&mut b, &bytes).unwrap();
-        let pa = flatten_params(&mut a);
+        let pa = flatten_params_ref(&a);
         let pb = flatten_params(&mut b);
         assert_eq!(pa.len(), pb.len());
         for (x, y) in pa.iter().zip(&pb) {
@@ -145,8 +187,8 @@ mod tests {
 
     #[test]
     fn architecture_mismatch_is_rejected() {
-        let mut a = model(1);
-        let bytes = model_to_bytes(&mut a).unwrap();
+        let a = model(1);
+        let bytes = model_to_bytes(&a).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let mut narrow = Sequential::new();
         narrow.push(Linear::new(6, 2, &mut rng));
@@ -154,11 +196,28 @@ mod tests {
     }
 
     #[test]
+    fn failed_load_leaves_model_untouched() {
+        let a = model(1);
+        let bytes = model_to_bytes(&a).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut narrow = Sequential::new();
+        narrow.push(Linear::new(6, 2, &mut rng));
+        let before = flatten_params(&mut narrow);
+        assert!(load_model_bytes(&mut narrow, &bytes).is_err());
+        assert_eq!(
+            flatten_params(&mut narrow),
+            before,
+            "validation must run before any mutation"
+        );
+    }
+
+    #[test]
     fn corrupt_checkpoint_is_rejected() {
-        let mut a = model(1);
-        let mut bytes = model_to_bytes(&mut a).unwrap();
+        let a = model(1);
+        let mut bytes = model_to_bytes(&a).unwrap();
         bytes.truncate(bytes.len() - 5);
-        assert!(load_model_bytes(&mut a, &bytes).is_err());
+        let mut b = model(1);
+        assert!(load_model_bytes(&mut b, &bytes).is_err());
     }
 
     #[test]
@@ -166,11 +225,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("oasis_wire_ckpt_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.oasis");
-        let mut a = model(7);
-        save_model(&path, &mut a).unwrap();
+        let a = model(7);
+        save_model(&path, &a).unwrap();
         let mut b = model(8);
         load_model(&path, &mut b).unwrap();
-        assert_eq!(flatten_params(&mut a), flatten_params(&mut b));
+        assert_eq!(flatten_params_ref(&a), flatten_params(&mut b));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -19,6 +19,7 @@ use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::FrameBuf;
 use crate::format::{WireBuilder, WireView};
 use crate::WireError;
 
@@ -68,6 +69,41 @@ pub trait UpdateCodec: Send + Sync {
     /// (e.g. non-finite values in a quantizing codec).
     fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError>;
 
+    /// Decodes into a caller-provided slice of exactly `encoded.n`
+    /// elements — the borrowed-output primitive every other decode
+    /// form is built on. The destination is typically an arena slot
+    /// ([`FrameBuf::reset`]), so steady-state rounds decode with zero
+    /// allocations and exactly one write per element.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed payloads or when
+    /// `out.len() != encoded.n` — never panics. `out`'s contents are
+    /// unspecified on error.
+    fn decode_to(&self, encoded: &EncodedUpdate, out: &mut [f32]) -> Result<(), WireError>;
+
+    /// Decodes to a borrowed view: the returned slice lives as long
+    /// as the *frame* (not this call), and points either straight
+    /// into the wire payload — the raw codec's zero-copy fast path,
+    /// alignment-checked at runtime — or into `scratch` after a
+    /// [`UpdateCodec::decode_to`] fill. Callers that fold updates
+    /// (FedAvg) should prefer this form: with the default raw wire a
+    /// delivered update is then never copied between the transport
+    /// and the aggregation arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed payloads — never panics.
+    fn decode_view<'a>(
+        &self,
+        encoded: &'a EncodedUpdate,
+        scratch: &'a mut FrameBuf,
+    ) -> Result<&'a [f32], WireError> {
+        let out = scratch.reset(encoded.n);
+        self.decode_to(encoded, out)?;
+        Ok(out)
+    }
+
     /// Decodes an encoded update back into a flat vector of the
     /// original length.
     ///
@@ -75,19 +111,29 @@ pub trait UpdateCodec: Send + Sync {
     ///
     /// Returns a [`WireError`] on malformed payloads — never panics.
     fn decode(&self, encoded: &EncodedUpdate) -> Result<Vec<f32>, WireError> {
-        let mut out = Vec::new();
-        self.decode_into(encoded, &mut out)?;
+        let mut out = vec![0.0f32; encoded.n];
+        self.decode_to(encoded, &mut out)?;
         Ok(out)
     }
 
-    /// Decodes into a reused buffer (cleared first; contents are
-    /// unspecified on error) — the allocation-free path the FL server
-    /// aggregates every round through.
+    /// Decodes into a reused `Vec` (resized to the frame's element
+    /// count; contents are unspecified on error).
+    ///
+    /// Deprecated shim for the pre-zero-copy API: the grow-and-
+    /// overwrite `Vec` output forced every caller to own a copy.
+    /// Migrate to [`UpdateCodec::decode_to`] (caller-sized slice) or
+    /// [`UpdateCodec::decode_view`] (borrowed, zero-copy for raw);
+    /// this default-implemented wrapper will be removed next release.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] on malformed payloads — never panics.
-    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError>;
+    #[deprecated(note = "use decode_to (slice output) or decode_view (borrowed) instead")]
+    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+        out.clear();
+        out.resize(encoded.n, 0.0);
+        self.decode_to(encoded, &mut out[..])
+    }
 
     /// Exact wire size of any `n`-element update under this codec.
     ///
@@ -203,6 +249,16 @@ fn parse_payload(encoded: &EncodedUpdate) -> Result<WireView<'_>, WireError> {
     WireView::parse(&encoded.payload)
 }
 
+fn check_out_len(out: &[f32], n: usize) -> Result<(), WireError> {
+    if out.len() != n {
+        return Err(WireError::Codec(format!(
+            "decode destination holds {} elements, update frame says {n}",
+            out.len()
+        )));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // raw
 // ---------------------------------------------------------------------
@@ -218,7 +274,7 @@ impl UpdateCodec for RawCodec {
 
     fn encode(&self, update: &[f32]) -> Result<EncodedUpdate, WireError> {
         let _span = oasis_telemetry::span("wire.encode.raw");
-        let mut b = WireBuilder::new();
+        let mut b = WireBuilder::with_payload_capacity(update.len() * 4);
         b.push_f32("update", &[update.len()], update)?;
         let payload = b.finish();
         oasis_telemetry::counter!("wire.bytes_encoded").add(payload.len() as u64);
@@ -229,12 +285,37 @@ impl UpdateCodec for RawCodec {
         })
     }
 
-    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+    fn decode_to(&self, encoded: &EncodedUpdate, out: &mut [f32]) -> Result<(), WireError> {
+        let _span = oasis_telemetry::span("wire.decode.raw");
+        oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
+        check_out_len(out, encoded.n)?;
+        let view = parse_payload(encoded)?;
+        view.require("update")?.read_f32(out)
+    }
+
+    /// The zero-copy fast path: a raw frame's `update` tensor is
+    /// borrowed straight off the wire payload when its extent is
+    /// 4-byte aligned (which [`WireBuilder::finish`]'s padded headers
+    /// make the steady state); `scratch` is touched only by the
+    /// misaligned fallback.
+    fn decode_view<'a>(
+        &self,
+        encoded: &'a EncodedUpdate,
+        scratch: &'a mut FrameBuf,
+    ) -> Result<&'a [f32], WireError> {
         let _span = oasis_telemetry::span("wire.decode.raw");
         oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
         let view = parse_payload(encoded)?;
-        view.require("update")?.read_f32_into(out)?;
-        check_len(out, encoded.n)
+        let tensor = view.require("update")?;
+        if let Some(borrowed) = tensor.as_f32s()? {
+            check_out_len(borrowed, encoded.n)?;
+            oasis_telemetry::counter!("wire.decode.borrowed").add(1);
+            return Ok(borrowed);
+        }
+        oasis_telemetry::counter!("wire.decode.copied").add(1);
+        let out = scratch.reset(encoded.n);
+        tensor.read_f32(out)?;
+        Ok(out)
     }
 }
 
@@ -295,9 +376,10 @@ impl UpdateCodec for Q8Codec {
         })
     }
 
-    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+    fn decode_to(&self, encoded: &EncodedUpdate, out: &mut [f32]) -> Result<(), WireError> {
         let _span = oasis_telemetry::span("wire.decode.q8");
         oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
+        check_out_len(out, encoded.n)?;
         let view = parse_payload(encoded)?;
         let affine = view.require("affine")?.to_f32_vec()?;
         let [lo, scale] = affine[..] else {
@@ -306,18 +388,23 @@ impl UpdateCodec for Q8Codec {
                 affine.len()
             )));
         };
+        let q_tensor = view.require("q")?;
+        let q = q_tensor.to_u8_slice()?;
+        if q.len() != out.len() {
+            return Err(WireError::Codec(format!(
+                "q8 payload has {} levels, update frame says {}",
+                q.len(),
+                out.len()
+            )));
+        }
         // Dequantize in f64 and clamp into f32's finite range: for
         // extreme updates `lo + 255·scale` can land one rounding step
         // past f32::MAX, and the decoder must never emit inf/NaN.
-        let q_tensor = view.require("q")?;
-        let q = q_tensor.to_u8_slice()?;
-        out.clear();
-        out.reserve(q.len());
-        out.extend(q.iter().map(|&q| {
+        for (o, &q) in out.iter_mut().zip(q) {
             let v = f64::from(lo) + f64::from(scale) * f64::from(q);
-            v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32
-        }));
-        check_len(out, encoded.n)
+            *o = v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32;
+        }
+        Ok(())
     }
 }
 
@@ -374,9 +461,10 @@ impl UpdateCodec for TopKCodec {
         })
     }
 
-    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+    fn decode_to(&self, encoded: &EncodedUpdate, out: &mut [f32]) -> Result<(), WireError> {
         let _span = oasis_telemetry::span("wire.decode.topk");
         oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
+        check_out_len(out, encoded.n)?;
         let view = parse_payload(encoded)?;
         let indices = view.require("idx")?.to_u32_vec()?;
         let values = view.require("val")?.to_f32_vec()?;
@@ -387,8 +475,7 @@ impl UpdateCodec for TopKCodec {
                 values.len()
             )));
         }
-        out.clear();
-        out.resize(encoded.n, 0.0);
+        out.fill(0.0);
         for (&i, &v) in indices.iter().zip(&values) {
             let slot = out.get_mut(i as usize).ok_or_else(|| {
                 WireError::Codec(format!("topk index {i} out of range for n={}", encoded.n))
@@ -444,9 +531,10 @@ impl UpdateCodec for SignCodec {
         })
     }
 
-    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
+    fn decode_to(&self, encoded: &EncodedUpdate, out: &mut [f32]) -> Result<(), WireError> {
         let _span = oasis_telemetry::span("wire.decode.sign");
         oasis_telemetry::counter!("wire.bytes_decoded").add(encoded.payload.len() as u64);
+        check_out_len(out, encoded.n)?;
         let view = parse_payload(encoded)?;
         let bits_tensor = view.require("bits")?;
         let bits = bits_tensor.to_u8_slice()?;
@@ -465,27 +553,15 @@ impl UpdateCodec for SignCodec {
                 encoded.n.div_ceil(8)
             )));
         }
-        out.clear();
-        out.reserve(encoded.n);
-        out.extend((0..encoded.n).map(|i| {
-            if bits[i / 8] & (1 << (i % 8)) != 0 {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = if bits[i / 8] & (1 << (i % 8)) != 0 {
                 mag
             } else {
                 -mag
-            }
-        }));
+            };
+        }
         Ok(())
     }
-}
-
-fn check_len(values: &[f32], n: usize) -> Result<(), WireError> {
-    if values.len() != n {
-        return Err(WireError::Codec(format!(
-            "decoded {} elements, update frame says {n}",
-            values.len()
-        )));
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -15,6 +15,17 @@
 //! Parsing is also **zero-copy**: a [`WireView`] only borrows the
 //! buffer; tensor bytes are sliced, not copied, until a typed
 //! conversion such as [`TensorView::to_f32_vec`] is requested.
+//!
+//! **Alignment.** [`WireBuilder::finish`] pads the JSON header with
+//! trailing spaces (valid JSON whitespace) so the payload starts at
+//! an 8-byte-aligned offset *within the buffer*. When the buffer
+//! itself lands on an aligned base address — heap allocations and
+//! page-aligned memory maps both do — an `f32` tensor at a
+//! 4-byte-aligned payload offset can be borrowed directly as
+//! `&[f32]` via [`TensorView::as_f32s`], no copy. Alignment is
+//! checked at runtime, never assumed: a misaligned buffer (old
+//! unpadded checkpoints, arbitrary slices) simply takes the copying
+//! path instead.
 
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +126,85 @@ const WIRE_VERSION: u32 = 1;
 /// not drive a huge allocation.
 const MAX_HEADER_BYTES: usize = 16 << 20;
 
+/// Payload alignment written by [`WireBuilder::finish`]: the header
+/// is space-padded so the payload begins at a multiple of this many
+/// bytes from the buffer start. 8 covers every dtype the format can
+/// carry (and any future f64/u64).
+pub const PAYLOAD_ALIGN: usize = 8;
+
+/// Reinterprets little-endian `f32` payload bytes as a borrowed
+/// `&[f32]` — the zero-copy read underneath [`TensorView::as_f32s`].
+/// Returns `None` (caller copies instead) unless every precondition
+/// for the cast holds: little-endian target, whole number of
+/// elements, and a 4-byte-aligned base pointer.
+fn try_cast_f32s(bytes: &[u8]) -> Option<&[f32]> {
+    if cfg!(target_endian = "big")
+        || !bytes.len().is_multiple_of(4)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<f32>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: the guards above establish everything the cast needs —
+    // `bytes.as_ptr()` is 4-byte aligned, the length is an exact
+    // element count, every bit pattern is a valid `f32`, and on a
+    // little-endian target the in-memory byte order *is* the wire's.
+    // The returned slice borrows `bytes` (same lifetime, same
+    // provenance, length / 4 elements over the same extent), so the
+    // borrow checker upholds the aliasing rules for us.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) })
+}
+
+/// Decodes little-endian `f32` payload bytes into `out`, which must
+/// be exactly the right length. Takes the memcpy fast path whenever
+/// [`try_cast_f32s`] allows, falling back to per-element decoding.
+fn copy_le_f32s(bytes: &[u8], out: &mut [f32]) {
+    debug_assert_eq!(bytes.len(), out.len() * 4);
+    if let Some(src) = try_cast_f32s(bytes) {
+        out.copy_from_slice(src);
+    } else {
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+    }
+}
+
+/// Appends `values` to `out` as little-endian bytes without an
+/// intermediate allocation. On little-endian targets this is one
+/// `memcpy` of the reinterpreted slice; the portable per-element loop
+/// is kept as the big-endian fallback.
+fn extend_f32_le_bytes(out: &mut Vec<u8>, values: &[f32]) {
+    if cfg!(target_endian = "little") {
+        // SAFETY: `f32` has size 4, alignment ≥ 1 (u8 needs none),
+        // and no padding bytes, so viewing `values`' backing memory
+        // as `4 · len` initialized bytes is always valid; on a
+        // little-endian target those bytes are already in wire
+        // order. The borrow lasts only for the extend call.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) };
+        out.extend_from_slice(bytes);
+    } else {
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Appends `values` to `out` as little-endian bytes — the `u32` twin
+/// of [`extend_f32_le_bytes`].
+fn extend_u32_le_bytes(out: &mut Vec<u8>, values: &[u32]) {
+    if cfg!(target_endian = "little") {
+        // SAFETY: identical argument to `extend_f32_le_bytes` — u32
+        // is 4 padding-free bytes already in wire order here.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) };
+        out.extend_from_slice(bytes);
+    } else {
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
 /// Incrementally assembles a wire buffer (header + payload).
 ///
 /// ```
@@ -138,6 +228,55 @@ impl WireBuilder {
         WireBuilder::default()
     }
 
+    /// An empty builder with `payload_bytes` of payload capacity
+    /// pre-reserved — for encoders that know the frame size up front
+    /// (every codec does) and want one allocation, not a growth
+    /// sequence.
+    pub fn with_payload_capacity(payload_bytes: usize) -> Self {
+        WireBuilder {
+            tensors: Vec::new(),
+            payload: Vec::with_capacity(payload_bytes),
+        }
+    }
+
+    /// Validates a prospective entry (unique name, byte length
+    /// agreeing with `shape × dtype`) without touching the payload.
+    fn check_entry(
+        &self,
+        name: &str,
+        dtype: Dtype,
+        shape: &[usize],
+        byte_len: usize,
+    ) -> Result<(), WireError> {
+        if self.tensors.iter().any(|t| t.name == name) {
+            return Err(WireError::Header(format!("duplicate tensor name `{name}`")));
+        }
+        let numel = shape.iter().try_fold(1usize, |acc, &d| {
+            acc.checked_mul(d)
+                .ok_or_else(|| WireError::Header(format!("shape overflow in `{name}`")))
+        })?;
+        let expected = numel
+            .checked_mul(dtype.size())
+            .ok_or_else(|| WireError::Header(format!("byte-size overflow in `{name}`")))?;
+        if byte_len != expected {
+            return Err(WireError::Header(format!(
+                "tensor `{name}` has {byte_len} bytes, shape {:?} ({}) needs {expected}",
+                shape,
+                dtype.as_str(),
+            )));
+        }
+        Ok(())
+    }
+
+    fn record_entry(&mut self, name: &str, dtype: Dtype, shape: &[usize], start: usize) {
+        self.tensors.push(TensorMeta {
+            name: name.to_owned(),
+            dtype,
+            shape: shape.to_vec(),
+            offsets: (start, self.payload.len()),
+        });
+    }
+
     /// Appends a tensor of raw `bytes` with the given dtype and shape.
     ///
     /// # Errors
@@ -151,37 +290,15 @@ impl WireBuilder {
         shape: &[usize],
         bytes: &[u8],
     ) -> Result<&mut Self, WireError> {
-        if self.tensors.iter().any(|t| t.name == name) {
-            return Err(WireError::Header(format!("duplicate tensor name `{name}`")));
-        }
-        let meta = TensorMeta {
-            name: name.to_owned(),
-            dtype,
-            shape: shape.to_vec(),
-            offsets: (0, 0),
-        };
-        let expected = meta
-            .numel()?
-            .checked_mul(dtype.size())
-            .ok_or_else(|| WireError::Header(format!("byte-size overflow in `{name}`")))?;
-        if bytes.len() != expected {
-            return Err(WireError::Header(format!(
-                "tensor `{name}` has {} bytes, shape {:?} ({}) needs {expected}",
-                bytes.len(),
-                shape,
-                dtype.as_str(),
-            )));
-        }
+        self.check_entry(name, dtype, shape, bytes.len())?;
         let start = self.payload.len();
         self.payload.extend_from_slice(bytes);
-        self.tensors.push(TensorMeta {
-            offsets: (start, self.payload.len()),
-            ..meta
-        });
+        self.record_entry(name, dtype, shape, start);
         Ok(self)
     }
 
-    /// Appends an `f32` tensor, encoding little-endian.
+    /// Appends an `f32` tensor, encoding little-endian straight into
+    /// the payload (no intermediate byte buffer).
     ///
     /// # Errors
     ///
@@ -192,10 +309,15 @@ impl WireBuilder {
         shape: &[usize],
         values: &[f32],
     ) -> Result<&mut Self, WireError> {
-        self.push(name, Dtype::F32, shape, &f32s_to_le_bytes(values))
+        self.check_entry(name, Dtype::F32, shape, values.len() * 4)?;
+        let start = self.payload.len();
+        extend_f32_le_bytes(&mut self.payload, values);
+        self.record_entry(name, Dtype::F32, shape, start);
+        Ok(self)
     }
 
-    /// Appends a `u32` tensor, encoding little-endian.
+    /// Appends a `u32` tensor, encoding little-endian straight into
+    /// the payload (no intermediate byte buffer).
     ///
     /// # Errors
     ///
@@ -206,23 +328,29 @@ impl WireBuilder {
         shape: &[usize],
         values: &[u32],
     ) -> Result<&mut Self, WireError> {
-        let mut bytes = Vec::with_capacity(values.len() * 4);
-        for v in values {
-            bytes.extend_from_slice(&v.to_le_bytes());
-        }
-        self.push(name, Dtype::U32, shape, &bytes)
+        self.check_entry(name, Dtype::U32, shape, values.len() * 4)?;
+        let start = self.payload.len();
+        extend_u32_le_bytes(&mut self.payload, values);
+        self.record_entry(name, Dtype::U32, shape, start);
+        Ok(self)
     }
 
-    /// Serializes the header + payload into the final buffer.
+    /// Serializes the header + payload into the final buffer. The
+    /// JSON header is space-padded to a [`PAYLOAD_ALIGN`]ed length so
+    /// the payload's buffer offset supports the borrowed-`&[f32]`
+    /// decode path (trailing whitespace is valid JSON, so old readers
+    /// parse padded headers unchanged).
     pub fn finish(self) -> Vec<u8> {
         let header = Header {
             version: WIRE_VERSION,
             tensors: self.tensors,
         };
         let json = serde_json::to_string(&header).expect("header serialization is infallible");
-        let mut out = Vec::with_capacity(8 + json.len() + self.payload.len());
-        out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        let header_len = (8 + json.len()).next_multiple_of(PAYLOAD_ALIGN) - 8;
+        let mut out = Vec::with_capacity(8 + header_len + self.payload.len());
+        out.extend_from_slice(&(header_len as u64).to_le_bytes());
         out.extend_from_slice(json.as_bytes());
+        out.resize(8 + header_len, b' ');
         out.extend_from_slice(&self.payload);
         out
     }
@@ -385,15 +513,33 @@ pub struct TensorView<'a, 'm> {
     bytes: &'a [u8],
 }
 
-impl TensorView<'_, '_> {
+impl<'a> TensorView<'a, '_> {
     /// The tensor's header entry.
     pub fn meta(&self) -> &TensorMeta {
         self.meta
     }
 
     /// The raw payload bytes (zero-copy slice of the parsed buffer).
-    pub fn bytes(&self) -> &[u8] {
+    pub fn bytes(&self) -> &'a [u8] {
         self.bytes
+    }
+
+    /// Borrows the payload directly as `&[f32]` — the zero-copy read.
+    ///
+    /// Returns `Some` when the bytes can be reinterpreted in place
+    /// (little-endian target, 4-byte-aligned extent — which
+    /// [`WireBuilder::finish`]-padded buffers on heap or mmap bases
+    /// always satisfy for a leading `f32` tensor) and `None` when the
+    /// caller must fall back to a copying read such as
+    /// [`TensorView::read_f32`]. The borrow lives as long as the
+    /// parsed buffer, not the view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Header`] when the dtype is not `f32`.
+    pub fn as_f32s(&self) -> Result<Option<&'a [f32]>, WireError> {
+        self.expect_dtype(Dtype::F32)?;
+        Ok(try_cast_f32s(self.bytes))
     }
 
     /// Decodes the payload as little-endian `f32`s.
@@ -402,26 +548,33 @@ impl TensorView<'_, '_> {
     ///
     /// Returns [`WireError::Header`] when the dtype is not `f32`.
     pub fn to_f32_vec(&self) -> Result<Vec<f32>, WireError> {
-        self.expect_dtype(Dtype::F32)?;
-        Ok(le_bytes_to_f32s(self.bytes))
+        let mut out = vec![0.0f32; self.bytes.len() / 4];
+        self.read_f32(&mut out)?;
+        Ok(out)
     }
 
-    /// Decodes the payload as little-endian `f32`s into a reused
-    /// buffer (cleared first) — the allocation-free twin of
-    /// [`TensorView::to_f32_vec`] for per-round hot paths.
+    /// Decodes the payload as little-endian `f32`s into a
+    /// caller-sized slice — exactly one copy, memcpy-speed when the
+    /// source is aligned. This is the copying half of the zero-copy
+    /// pair ([`TensorView::as_f32s`] is the borrowing half); decode
+    /// arenas hand their slots here.
     ///
     /// # Errors
     ///
-    /// Returns [`WireError::Header`] when the dtype is not `f32`.
-    pub fn read_f32_into(&self, out: &mut Vec<f32>) -> Result<(), WireError> {
+    /// Returns [`WireError::Header`] when the dtype is not `f32`, or
+    /// [`WireError::Payload`] when `out.len()` disagrees with the
+    /// tensor's element count.
+    pub fn read_f32(&self, out: &mut [f32]) -> Result<(), WireError> {
         self.expect_dtype(Dtype::F32)?;
-        out.clear();
-        out.reserve(self.bytes.len() / 4);
-        out.extend(
-            self.bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-        );
+        if self.bytes.len() != out.len() * 4 {
+            return Err(WireError::Payload(format!(
+                "tensor `{}` holds {} f32s, destination expects {}",
+                self.meta.name,
+                self.bytes.len() / 4,
+                out.len()
+            )));
+        }
+        copy_le_f32s(self.bytes, out);
         Ok(())
     }
 
@@ -465,9 +618,7 @@ impl TensorView<'_, '_> {
 /// Encodes `f32`s as contiguous little-endian bytes.
 pub fn f32s_to_le_bytes(values: &[f32]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(values.len() * 4);
-    for v in values {
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
+    extend_f32_le_bytes(&mut bytes, values);
     bytes
 }
 

@@ -81,7 +81,7 @@ fn resumed_training_is_bit_identical_to_uninterrupted() {
 #[test]
 fn checkpoint_rejects_wrong_architecture() {
     let (factory, _) = setup();
-    let mut server = FlServer::new(factory, FlConfig::default()).unwrap();
+    let server = FlServer::new(factory, FlConfig::default()).unwrap();
     let dir = std::env::temp_dir().join(format!("oasis_wire_resume_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("arch.oasis");
