@@ -15,10 +15,20 @@
 //! bench_compare --scale-gate <scale.json> [--at-threads N] [--min-speedup X]
 //! ```
 //!
+//! plus gating a `core` suite run on lane efficiency (the
+//! `_scalar`/`_simd` medians measured within that one run — also
+//! machine-relative, so a baseline captured on non-AVX2 hardware
+//! still gates correctly on an AVX2 runner and vice versa):
+//!
+//! ```text
+//! bench_compare --simd-gate <core.json> [--min-speedup X]
+//! ```
+//!
 //! Exit status: 0 when every bench is within the warn threshold (or
 //! faster), 0 with warnings printed between warn and fail, 1 when any
 //! bench regressed past the fail threshold, disappeared from the
-//! suite, or (scale mode) ran slower multi-threaded than serial.
+//! suite, (scale mode) ran slower multi-threaded than serial, or
+//! (simd mode) ran slower vectorized than scalar.
 //! `tools/bench_compare` wraps this binary for CI.
 
 use std::process::ExitCode;
@@ -60,11 +70,42 @@ fn run_scale_gate(path: &str, at_threads: usize, min_speedup: f64) -> Result<boo
     Ok(report.failed)
 }
 
+/// Prints every lane-scaling datapoint and applies the SIMD gate.
+fn run_simd_gate(path: &str, min_speedup: f64) -> Result<bool, String> {
+    let suite = load(path)?;
+    let report = perf::simd_gate(&suite, min_speedup)?;
+    let backend = if suite.simd.is_empty() {
+        "unrecorded".to_string()
+    } else {
+        suite.simd.clone()
+    };
+    println!(
+        "suite `{}`: lane efficiency, backend `{backend}` (gate: ≥{min_speedup:.2}x vs scalar)",
+        suite.suite
+    );
+    for p in &report.points {
+        let tag = if p.speedup() < min_speedup {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {tag:<5} {:<22} scalar {:>12} ns -> simd {:>12} ns  ({:.2}x)",
+            p.base,
+            p.scalar_ns,
+            p.simd_ns,
+            p.speedup(),
+        );
+    }
+    Ok(report.failed)
+}
+
 fn run() -> Result<bool, String> {
     let mut positional = Vec::new();
     let mut warn_pct = perf::WARN_PCT;
     let mut fail_pct = perf::FAIL_PCT;
     let mut scale_path: Option<String> = None;
+    let mut simd_path: Option<String> = None;
     let mut at_threads = 4usize;
     let mut min_speedup = 1.0f64;
     let mut it = std::env::args().skip(1);
@@ -85,6 +126,9 @@ fn run() -> Result<bool, String> {
             "--scale-gate" => {
                 scale_path = Some(it.next().ok_or("--scale-gate needs a BENCH_scale.json")?);
             }
+            "--simd-gate" => {
+                simd_path = Some(it.next().ok_or("--simd-gate needs a BENCH_core.json")?);
+            }
             "--at-threads" => {
                 at_threads = it
                     .next()
@@ -100,7 +144,8 @@ fn run() -> Result<bool, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_compare <baseline.json> <current.json> [--warn PCT] [--fail PCT]\n\
-                     bench_compare --scale-gate <scale.json> [--at-threads N] [--min-speedup X]"
+                     bench_compare --scale-gate <scale.json> [--at-threads N] [--min-speedup X]\n\
+                     bench_compare --simd-gate <core.json> [--min-speedup X]"
                 );
                 std::process::exit(0);
             }
@@ -110,11 +155,20 @@ fn run() -> Result<bool, String> {
             path => positional.push(path.to_string()),
         }
     }
+    if scale_path.is_some() && simd_path.is_some() {
+        return Err("--scale-gate and --simd-gate are separate invocations".into());
+    }
     if let Some(path) = scale_path {
         if !positional.is_empty() {
             return Err("--scale-gate takes no positional baseline/current files".into());
         }
         return run_scale_gate(&path, at_threads, min_speedup);
+    }
+    if let Some(path) = simd_path {
+        if !positional.is_empty() {
+            return Err("--simd-gate takes no positional baseline/current files".into());
+        }
+        return run_simd_gate(&path, min_speedup);
     }
     let [baseline_path, current_path] = positional.as_slice() else {
         return Err("expected exactly two files: <baseline.json> <current.json>".into());

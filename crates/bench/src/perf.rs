@@ -13,7 +13,14 @@
 //! Four suites:
 //!
 //! * `core` — tensor/nn kernels: matmul / matmul_nt / matmul_tn at
-//!   model-relevant shapes, Conv2d forward+backward.
+//!   model-relevant shapes, Conv2d forward+backward. Also carries the
+//!   SIMD record pairs: the lane-sensitive hot paths (matmul, q8
+//!   codec, PSNR) re-run with the SIMD backend pinned to the best
+//!   detected one (`_simd`) and to the scalar reference (`_scalar`)
+//!   via [`simd::with_backend`], independent of `OASIS_SIMD`.
+//!   Lane speedup is derived from the `_scalar`/`_simd` medians by
+//!   [`simd_points`], and the CI gate ([`simd_gate`]) fails when the
+//!   vector backend is slower than scalar on the same machine.
 //! * `fl` — protocol macro paths: a full [`FlServer::run_round`]
 //!   (raw and q8 wire), codec encode/decode, one RTF inversion step,
 //!   and one `oasis:MR+dp:1,0.01` defense-stack application.
@@ -38,9 +45,10 @@ use std::time::Instant;
 use oasis_attacks::{ActiveAttack, RtfAttack};
 use oasis_data::cifar_like_with;
 use oasis_fl::{DefenseStack, FlConfig, FlServer, ModelFactory, WireConfig};
+use oasis_metrics::psnr_data;
 use oasis_nn::{Conv2d, Layer, Linear, Mode, Relu, Sequential};
 use oasis_population::{CohortRunner, Population};
-use oasis_tensor::{parallel, Tensor};
+use oasis_tensor::{parallel, simd, Tensor};
 use oasis_wire::{CodecSpec, NetSpec, Q8Codec, RawCodec, UpdateCodec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,6 +85,12 @@ pub struct BenchSuite {
     pub suite: String,
     /// Worker threads the run used (see `OASIS_THREADS`).
     pub threads: usize,
+    /// SIMD backend label the run resolved (see `OASIS_SIMD`); `_simd`
+    /// / `_scalar` record pairs pin their own backend per bench, so
+    /// this only describes the unpinned records. Empty in baselines
+    /// captured before the field existed.
+    #[serde(default)]
+    pub simd: String,
     /// Whether the run used the reduced `--quick` calibration budget.
     pub quick: bool,
     /// Per-bench results, in suite order.
@@ -147,6 +161,46 @@ pub fn core_suite() -> Vec<BenchDef> {
         BenchDef {
             name: "conv2d_forward_b32",
             build: bench_conv_forward_b32,
+        },
+        BenchDef {
+            name: "matmul_256_simd",
+            build: bench_matmul_256_simd,
+        },
+        BenchDef {
+            name: "matmul_256_scalar",
+            build: bench_matmul_256_scalar,
+        },
+        BenchDef {
+            name: "matmul_nt_linear_simd",
+            build: bench_matmul_nt_linear_simd,
+        },
+        BenchDef {
+            name: "matmul_nt_linear_scalar",
+            build: bench_matmul_nt_linear_scalar,
+        },
+        BenchDef {
+            name: "codec_q8_encode_simd",
+            build: bench_codec_q8_encode_simd,
+        },
+        BenchDef {
+            name: "codec_q8_encode_scalar",
+            build: bench_codec_q8_encode_scalar,
+        },
+        BenchDef {
+            name: "codec_q8_decode_simd",
+            build: bench_codec_q8_decode_simd,
+        },
+        BenchDef {
+            name: "codec_q8_decode_scalar",
+            build: bench_codec_q8_decode_scalar,
+        },
+        BenchDef {
+            name: "psnr_simd",
+            build: bench_psnr_simd,
+        },
+        BenchDef {
+            name: "psnr_scalar",
+            build: bench_psnr_scalar,
         },
     ]
 }
@@ -353,6 +407,7 @@ pub fn run_suite(name: &str, filter: Option<&str>, quick: bool) -> Option<BenchS
         schema_version: SCHEMA_VERSION,
         suite: name.to_string(),
         threads: parallel::num_threads(),
+        simd: simd::resolved().label().to_string(),
         quick,
         results,
     })
@@ -597,6 +652,70 @@ fn bench_conv_forward(batch: usize) -> PreparedBench {
             std::hint::black_box(conv.forward(&x, Mode::Train).expect("bench conv fwd"));
         }),
     }
+}
+
+/// Re-times `inner` with [`simd::with_backend`] pinning `backend`
+/// around every iteration (the worker pool inherits the pin), so one
+/// run measures both backends regardless of `OASIS_SIMD`.
+fn simd_pinned(backend: simd::Backend, inner: PreparedBench) -> PreparedBench {
+    let mut run = inner.run;
+    PreparedBench {
+        throughput: inner.throughput,
+        run: Box::new(move || simd::with_backend(backend, &mut run)),
+    }
+}
+
+fn bench_matmul_256_simd() -> PreparedBench {
+    simd_pinned(simd::Backend::detect(), bench_matmul_256())
+}
+
+fn bench_matmul_256_scalar() -> PreparedBench {
+    simd_pinned(simd::Backend::Scalar, bench_matmul_256())
+}
+
+fn bench_matmul_nt_linear_simd() -> PreparedBench {
+    simd_pinned(simd::Backend::detect(), bench_matmul_nt_linear())
+}
+
+fn bench_matmul_nt_linear_scalar() -> PreparedBench {
+    simd_pinned(simd::Backend::Scalar, bench_matmul_nt_linear())
+}
+
+fn bench_codec_q8_encode_simd() -> PreparedBench {
+    simd_pinned(simd::Backend::detect(), bench_codec_q8_encode())
+}
+
+fn bench_codec_q8_encode_scalar() -> PreparedBench {
+    simd_pinned(simd::Backend::Scalar, bench_codec_q8_encode())
+}
+
+fn bench_codec_q8_decode_simd() -> PreparedBench {
+    simd_pinned(simd::Backend::detect(), bench_codec_q8_decode())
+}
+
+fn bench_codec_q8_decode_scalar() -> PreparedBench {
+    simd_pinned(simd::Backend::Scalar, bench_codec_q8_decode())
+}
+
+/// PSNR over a ~1 MB signal pair — the metrics hot path every trial's
+/// reconstruction matching runs per candidate image.
+fn bench_psnr() -> PreparedBench {
+    let a = codec_update();
+    let b = seeded_tensor(&[262_144], 23).data().to_vec();
+    PreparedBench {
+        throughput: Some((a.len() as f64, "elem/s")),
+        run: Box::new(move || {
+            std::hint::black_box(psnr_data(&a, &b));
+        }),
+    }
+}
+
+fn bench_psnr_simd() -> PreparedBench {
+    simd_pinned(simd::Backend::detect(), bench_psnr())
+}
+
+fn bench_psnr_scalar() -> PreparedBench {
+    simd_pinned(simd::Backend::Scalar, bench_psnr())
 }
 
 fn bench_conv_forward_b8() -> PreparedBench {
@@ -1014,6 +1133,78 @@ pub fn scale_gate(
     Ok(ScaleReport { points, failed })
 }
 
+/// One bench's lane-scaling datapoint, derived from a core suite's
+/// `<base>_scalar` / `<base>_simd` medians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdPoint {
+    /// Bench base name (e.g. `matmul_nt_linear`).
+    pub base: String,
+    /// Scalar-reference (`_scalar`) median, ns.
+    pub scalar_ns: u64,
+    /// Best-backend (`_simd`) median, ns.
+    pub simd_ns: u64,
+}
+
+impl SimdPoint {
+    /// Scalar time over vector time — > 1 means lanes helped.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.simd_ns.max(1) as f64
+    }
+}
+
+/// Extracts every `_scalar`/`_simd` pair from a suite run, in record
+/// order of the `_simd` records. Records without a `_scalar` sibling
+/// are skipped.
+pub fn simd_points(suite: &BenchSuite) -> Vec<SimdPoint> {
+    let mut points = Vec::new();
+    for rec in &suite.results {
+        let Some(base) = rec.name.strip_suffix("_simd") else {
+            continue;
+        };
+        let Some(scalar) = suite.get(&format!("{base}_scalar")) else {
+            continue;
+        };
+        points.push(SimdPoint {
+            base: base.to_string(),
+            scalar_ns: scalar.median_ns,
+            simd_ns: rec.median_ns,
+        });
+    }
+    points
+}
+
+/// Outcome of the lane-efficiency gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdReport {
+    /// Every `_scalar`/`_simd` pair found, in record order.
+    pub points: Vec<SimdPoint>,
+    /// True when any pair fell below `min_speedup`.
+    pub failed: bool,
+}
+
+/// Gates a suite run on lane efficiency: every bench's `_simd` median
+/// must be at least `min_speedup` times faster than its `_scalar`
+/// median *within the same run*, so the gate is machine-relative.
+/// On hardware where the best detected backend is scalar itself the
+/// pairs time identical code and the gate degenerates to a noise
+/// check — which is why the margin should sit below 1.0.
+///
+/// # Errors
+///
+/// Returns a message when the suite contains no `_scalar`/`_simd`
+/// pairs — the gate would be vacuous.
+pub fn simd_gate(suite: &BenchSuite, min_speedup: f64) -> Result<SimdReport, String> {
+    let points = simd_points(suite);
+    if points.is_empty() {
+        return Err(format!(
+            "suite `{}` has no _scalar/_simd pairs to gate on",
+            suite.suite
+        ));
+    }
+    let failed = points.iter().any(|p| p.speedup() < min_speedup);
+    Ok(SimdReport { points, failed })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1036,6 +1227,16 @@ mod tests {
                 "conv2d_forward_b8",
                 "conv2d_backward_b8",
                 "conv2d_forward_b32",
+                "matmul_256_simd",
+                "matmul_256_scalar",
+                "matmul_nt_linear_simd",
+                "matmul_nt_linear_scalar",
+                "codec_q8_encode_simd",
+                "codec_q8_encode_scalar",
+                "codec_q8_decode_simd",
+                "codec_q8_decode_scalar",
+                "psnr_simd",
+                "psnr_scalar",
             ]
         );
         assert_eq!(core, names(core_suite()), "listing must be reproducible");
@@ -1119,6 +1320,7 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             suite: "scale".into(),
             threads: 4,
+            simd: "scalar".into(),
             quick: true,
             results: medians
                 .iter()
@@ -1179,6 +1381,65 @@ mod tests {
     }
 
     #[test]
+    fn simd_points_pair_scalar_and_simd_records() {
+        let suite = scale_suite_of(&[
+            ("matmul_nt_linear_simd", 1000),
+            ("matmul_nt_linear_scalar", 5000),
+            ("psnr_simd", 10), // no _scalar sibling: skipped
+            ("matmul_256", 10),
+        ]);
+        let points = simd_points(&suite);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].base, "matmul_nt_linear");
+        assert_eq!(points[0].scalar_ns, 5000);
+        assert_eq!(points[0].simd_ns, 1000);
+        assert!((points[0].speedup() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simd_gate_fails_when_lanes_lose_to_scalar() {
+        let good = scale_suite_of(&[
+            ("matmul_256_simd", 1000),
+            ("matmul_256_scalar", 4000),
+            ("psnr_simd", 980),
+            ("psnr_scalar", 1000), // 1.02x: scalar-best hardware noise band
+        ]);
+        let report = simd_gate(&good, 0.9).expect("gate applies");
+        assert!(!report.failed);
+        assert_eq!(report.points.len(), 2);
+
+        // A vector backend slower than the scalar reference is a
+        // dispatch or kernel regression, not noise.
+        let bad = scale_suite_of(&[
+            ("codec_q8_encode_simd", 2000),
+            ("codec_q8_encode_scalar", 1000),
+        ]);
+        let report = simd_gate(&bad, 0.9).expect("gate applies");
+        assert!(report.failed);
+
+        // A stricter bar: the 1.02x pair misses 2x.
+        assert!(simd_gate(&good, 2.0).expect("gate applies").failed);
+
+        // No pairs ⇒ the gate refuses to be vacuously green.
+        assert!(simd_gate(&scale_suite_of(&[("matmul_256", 10)]), 0.9).is_err());
+    }
+
+    #[test]
+    fn baselines_without_simd_field_still_parse() {
+        // Committed BENCH_*.json files predating the `simd` field must
+        // stay diffable without a schema bump.
+        let json = r#"{
+            "schema_version": 1,
+            "suite": "core",
+            "threads": 1,
+            "quick": false,
+            "results": []
+        }"#;
+        let suite: BenchSuite = serde_json::from_str(json).expect("old baseline parses");
+        assert_eq!(suite.simd, "");
+    }
+
+    #[test]
     fn filter_selects_expected_subset() {
         assert_eq!(
             names(apply_filter(core_suite(), "conv2d")),
@@ -1201,6 +1462,7 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             suite: "core".into(),
             threads: 4,
+            simd: "avx2".into(),
             quick: true,
             results: vec![
                 BenchRecord {
@@ -1256,6 +1518,7 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             suite: "core".into(),
             threads: 1,
+            simd: "scalar".into(),
             quick: true,
             results,
         };
@@ -1295,6 +1558,7 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             suite: "core".into(),
             threads: 1,
+            simd: "scalar".into(),
             quick: true,
             results: vec![],
         };
@@ -1320,6 +1584,7 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             suite: "fl".into(),
             threads: 1,
+            simd: "scalar".into(),
             quick: false,
             results: vec![rec(median)],
         };

@@ -15,21 +15,18 @@ const MSE_FLOOR: f64 = 1e-16;
 
 /// PSNR between two same-length signals with peak value 1.0, in dB.
 ///
+/// The MSE reduction runs on the runtime-dispatched
+/// [`oasis_tensor::simd`] squared-error kernel, whose eight-lane f64
+/// accumulation (fixed combine order) is bit-identical across SIMD
+/// backends and deterministic for a given input.
+///
 /// # Panics
 ///
 /// Panics if lengths differ or are zero.
 pub fn psnr_data(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "psnr requires equal lengths");
     assert!(!a.is_empty(), "psnr of empty signals");
-    let mse: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = x as f64 - y as f64;
-            d * d
-        })
-        .sum::<f64>()
-        / a.len() as f64;
+    let mse = oasis_tensor::simd::sq_err_sum(a, b) / a.len() as f64;
     if mse < MSE_FLOOR {
         return PSNR_CAP;
     }
@@ -90,6 +87,21 @@ mod tests {
         let b: Vec<f32> = a.iter().map(|&v| v * (1.0 + 1e-7) + 1e-8).collect();
         let p = psnr_data(&a, &b);
         assert!(p > 120.0, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_is_bit_identical_across_simd_backends() {
+        // The MSE reduction dispatches to the SIMD backend; golden
+        // fixtures pin PSNR f64s bit-exactly, so the score must not
+        // depend on which backend scored it.
+        use oasis_tensor::simd::{self, Backend};
+        for n in [1usize, 7, 8, 9, 31, 32, 33, 1000] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+            let scalar = simd::with_backend(Backend::Scalar, || psnr_data(&a, &b));
+            let best = simd::with_backend(Backend::detect(), || psnr_data(&a, &b));
+            assert_eq!(scalar.to_bits(), best.to_bits(), "n={n}");
+        }
     }
 
     #[test]

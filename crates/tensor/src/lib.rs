@@ -11,10 +11,11 @@
 //! 2. **Row-major contiguity** — tensors are always dense row-major
 //!    buffers; there are no lazy views, which keeps the manual
 //!    backprop in `oasis-nn` easy to verify.
-//! 3. **Enough speed** — cache-friendly `i-k-j` matmul plus the
+//! 3. **Enough speed** — cache-friendly `i-k-j` matmul, the
 //!    [`parallel`] helpers (a lazily-initialized persistent worker
-//!    pool) so the Table I training experiment finishes on a
-//!    laptop-class CPU and the hot paths scale with cores.
+//!    pool), and the runtime-dispatched [`simd`] kernels, so the
+//!    Table I training experiment finishes on a laptop-class CPU and
+//!    the hot paths scale with both cores and vector lanes.
 //!
 //! ## Example
 //!
@@ -40,6 +41,7 @@ pub mod parallel;
 mod pool;
 mod reduce;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use error::TensorError;

@@ -1,6 +1,12 @@
 //! Dense matrix multiplication with cache-friendly loop order.
+//!
+//! The inner kernels — the eight-lane unrolled dot product and the
+//! register-blocked `axpy4`/`axpy4x2` row updates — live in
+//! [`crate::simd`] and dispatch to the best available instruction set
+//! at runtime; this module contributes the loop orders, the zero-block
+//! skips, and the row partitioning.
 
-use crate::{parallel, Result, Tensor, TensorError};
+use crate::{parallel, simd, Result, Tensor, TensorError};
 
 /// Minimum multiply-add count (`2·m·k·n`) before a product enters the
 /// worker pool.
@@ -17,69 +23,7 @@ fn above_par_threshold(m: usize, k: usize, n: usize) -> bool {
     m > 1 && 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n) >= PAR_MIN_FLOPS
 }
 
-/// Eight-lane unrolled dot product.
-///
-/// The eight independent accumulators break the serial float-add
-/// dependency chain, which is what lets LLVM vectorize a dot product
-/// without `-ffast-math`. The lane-combine order is fixed, so results
-/// are deterministic (but differ in the last ulp from a strictly
-/// sequential sum).
-#[inline]
-fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for l in 0..8 {
-            acc[l] += xa[l] * xb[l];
-        }
-    }
-    let tail: f32 = ca
-        .remainder()
-        .iter()
-        .zip(cb.remainder())
-        .map(|(&x, &y)| x * y)
-        .sum();
-    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
-}
-
-/// Register-blocked axpy accumulation of four right-hand rows into
-/// one output row: `out += a0·b0 + a1·b1 + a2·b2 + a3·b3`.
-///
-/// Four k-steps share one traversal of the output row, quartering the
-/// store traffic of the plain rank-1 update. All-zero coefficient
-/// blocks (common with im2col zero padding and ReLU-dead activations)
-/// are skipped by the callers.
-#[inline]
-fn axpy4(out_row: &mut [f32], coeff: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
-    let [a0, a1, a2, a3] = coeff;
-    for (j, o) in out_row.iter_mut().enumerate() {
-        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-    }
-}
-
-/// Two-row variant of [`axpy4`]: both output rows consume the same
-/// four right-hand rows in one pass, halving their read traffic (the
-/// dominant cost when the right-hand matrix outgrows cache). Each
-/// row's accumulation sequence is identical to [`axpy4`]'s.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn axpy4x2(
-    o0: &mut [f32],
-    o1: &mut [f32],
-    c0: [f32; 4],
-    c1: [f32; 4],
-    b0: &[f32],
-    b1: &[f32],
-    b2: &[f32],
-    b3: &[f32],
-) {
-    for (j, (x0, x1)) in o0.iter_mut().zip(o1.iter_mut()).enumerate() {
-        let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
-        *x0 += c0[0] * v0 + c0[1] * v1 + c0[2] * v2 + c0[3] * v3;
-        *x1 += c1[0] * v0 + c1[1] * v1 + c1[2] * v2 + c1[3] * v3;
-    }
-}
+use simd::{axpy4, axpy4x2};
 
 impl Tensor {
     /// Matrix product `self (m×k) · other (k×n) → (m×n)`.
@@ -290,7 +234,7 @@ impl Tensor {
                 let i = row0 + local_i;
                 let arow = &a[i * k..(i + 1) * k];
                 for (j, o) in out_row.iter_mut().enumerate() {
-                    *o = dot_unrolled(arow, &b[j * k..(j + 1) * k]);
+                    *o = simd::dot(arow, &b[j * k..(j + 1) * k]);
                 }
             }
         };
@@ -319,7 +263,7 @@ impl Tensor {
         }
         let mut out = vec![0.0f32; m];
         for (i, o) in out.iter_mut().enumerate() {
-            *o = dot_unrolled(&self.data()[i * k..(i + 1) * k], v.data());
+            *o = simd::dot(&self.data()[i * k..(i + 1) * k], v.data());
         }
         Tensor::from_vec(out, &[m])
     }

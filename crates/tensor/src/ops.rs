@@ -1,6 +1,6 @@
 //! Elementwise and broadcast arithmetic.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{simd, Result, Tensor, TensorError};
 
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
@@ -96,7 +96,9 @@ impl Tensor {
         Ok(())
     }
 
-    /// In-place `self += alpha * other` (AXPY).
+    /// In-place `self += alpha * other` (AXPY), via the same
+    /// [`crate::simd`] kernel the matmul paths use — one kernel, one
+    /// tail-handling story.
     ///
     /// # Errors
     ///
@@ -109,9 +111,7 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += alpha * b;
-        }
+        simd::axpy(self.data_mut(), alpha, other.data());
         Ok(())
     }
 

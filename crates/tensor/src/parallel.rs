@@ -26,7 +26,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::pool;
+use crate::{pool, simd};
 
 thread_local! {
     /// Per-thread override installed by [`with_threads`].
@@ -150,6 +150,9 @@ where
     }
     let rows_per_block = rows.div_ceil(workers);
     let kernel = &kernel;
+    // Workers inherit the caller's pinned SIMD backend (if any), so a
+    // `simd::with_backend` region stays pinned across the dispatch.
+    let backend = simd::thread_override();
     let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
     let mut rest = data;
     let mut row0 = 0usize;
@@ -157,7 +160,9 @@ where
         let take = (rows_per_block * row_len).min(rest.len());
         let (block, tail) = rest.split_at_mut(take);
         let start = row0;
-        tasks.push(Box::new(move || kernel(start, block)));
+        tasks.push(Box::new(move || {
+            simd::with_override(backend, || kernel(start, block));
+        }));
         row0 += take / row_len;
         rest = tail;
     }
@@ -195,19 +200,22 @@ where
     {
         let f = &f;
         let next = &next;
+        let backend = simd::thread_override();
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = batches
             .iter_mut()
             .map(|slot| {
                 Box::new(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= len {
-                            break;
+                    simd::with_override(backend, || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            local.push((i, f(i)));
                         }
-                        local.push((i, f(i)));
-                    }
-                    *slot = Some(local);
+                        *slot = Some(local);
+                    });
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
@@ -283,15 +291,18 @@ where
     }
     let per_chunk = len.div_ceil(workers);
     let f = &f;
+    let backend = simd::thread_override();
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
         .chunks_mut(per_chunk)
         .enumerate()
         .map(|(w, chunk)| {
             let base = w * per_chunk;
             Box::new(move || {
-                for (j, item) in chunk.iter_mut().enumerate() {
-                    f(base + j, item);
-                }
+                simd::with_override(backend, || {
+                    for (j, item) in chunk.iter_mut().enumerate() {
+                        f(base + j, item);
+                    }
+                });
             }) as Box<dyn FnOnce() + Send + '_>
         })
         .collect();

@@ -1,0 +1,383 @@
+//! Runtime-dispatched SIMD kernels for the workspace's hot loops.
+//!
+//! The hot inner loops — matmul dot/axpy, q8 quantize/dequantize,
+//! sign pack/unpack, MSE reduction — are implemented once per
+//! backend: AVX2 f32x8 on `x86_64` (runtime-detected), NEON f32x4
+//! pairs on `aarch64`, and a portable scalar reference everywhere.
+//! Dispatch is resolved **once per process** from the `OASIS_SIMD`
+//! environment variable (`auto` | `avx2` | `neon` | `scalar`,
+//! mirroring `OASIS_THREADS`) plus CPU feature detection, then read
+//! from a [`std::sync::OnceLock`]; per-call overhead is one relaxed
+//! atomic load and a thread-local check.
+//!
+//! ## Bit-exactness contract
+//!
+//! The scalar backend is the reference semantics. Vector backends replicate
+//! its exact per-lane IEEE operation sequence (separate multiply and
+//! add — never FMA — same fixed lane-combine order, same sequential
+//! tails), so **every kernel is bit-identical across backends**, not
+//! merely close: golden fixtures, thread-determinism suites, and
+//! bytes-on-wire (q8/sign payloads are part of the threat model)
+//! hold under any `OASIS_SIMD` setting. The parity suite
+//! (`tests/simd_parity.rs`) pins this across lane-boundary shapes.
+//!
+//! ## Safety
+//!
+//! This module is the only place in the workspace that contains
+//! `unsafe`: calling a `#[target_feature]` kernel requires the CPU
+//! feature, and the invariant is enforced structurally — a
+//! feature-gated [`Backend`] value is only obtainable after its
+//! detection predicate passed ([`Backend::detect`] checks
+//! `is_x86_feature_detected!`, [`with_backend`] asserts
+//! [`Backend::is_available`]). Each backend file documents this at
+//! the top; the dispatchers carry the per-call SAFETY notes.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+pub(crate) mod scalar;
+
+/// A SIMD instruction-set backend the kernels can dispatch to.
+///
+/// All variants exist on every architecture so `OASIS_SIMD` values
+/// parse uniformly; [`Backend::is_available`] reports whether the
+/// current CPU can actually execute a variant, and only available
+/// backends can become active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// AVX2 f32x8 kernels (`x86_64` with runtime-detected AVX2).
+    Avx2,
+    /// NEON f32x4 kernels (`aarch64`, where NEON is architectural).
+    Neon,
+    /// Portable scalar reference kernels (always available).
+    Scalar,
+}
+
+impl Backend {
+    /// Best backend the current CPU supports.
+    pub fn detect() -> Backend {
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+        #[cfg(target_arch = "aarch64")]
+        return Backend::Neon;
+        #[allow(unreachable_code)]
+        Backend::Scalar
+    }
+
+    /// Whether this backend can execute on the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+            Backend::Neon => cfg!(target_arch = "aarch64"),
+            Backend::Scalar => true,
+        }
+    }
+
+    /// Stable lowercase name (the `OASIS_SIMD` spelling); used in
+    /// bench records and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+/// Parses an `OASIS_SIMD` value. `Some(backend)` forces that backend
+/// *if available*; `None` means auto-detect (also the fallback for
+/// unknown strings and for explicit choices the CPU lacks — a config
+/// asking for `avx2` on an ARM host degrades gracefully rather than
+/// aborting every process).
+fn parse_choice(v: &str) -> Option<Backend> {
+    let forced = match v.trim().to_ascii_lowercase().as_str() {
+        "avx2" => Backend::Avx2,
+        "neon" => Backend::Neon,
+        "scalar" => return Some(Backend::Scalar),
+        _ => return None, // "auto", empty, unknown
+    };
+    forced.is_available().then_some(forced)
+}
+
+/// The process-wide backend: `OASIS_SIMD` if it names an available
+/// backend, otherwise [`Backend::detect`]. Resolved once.
+pub fn resolved() -> Backend {
+    static RESOLVED: OnceLock<Backend> = OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        std::env::var("OASIS_SIMD")
+            .ok()
+            .and_then(|v| parse_choice(&v))
+            .unwrap_or_else(Backend::detect)
+    })
+}
+
+thread_local! {
+    /// Per-thread override installed by [`with_backend`].
+    static BACKEND_OVERRIDE: Cell<Option<Backend>> = const { Cell::new(None) };
+}
+
+/// The backend kernel calls on the current thread will use: a
+/// [`with_backend`] override if one is installed, else [`resolved`].
+pub fn active() -> Backend {
+    BACKEND_OVERRIDE.get().unwrap_or_else(resolved)
+}
+
+/// Runs `f` with the kernel backend pinned to `backend` on the
+/// current thread, restoring the previous setting on exit — including
+/// on panic.
+///
+/// This is the process-internal way to compare backends (the perf
+/// suite's `_simd`/`_scalar` record pairs, the parity tests): unlike
+/// mutating `OASIS_SIMD`, it is race-free under concurrent tests.
+/// Parallel fronts propagate the override into pool workers, so a
+/// pinned region stays pinned even when the kernel inside it
+/// dispatches to the pool.
+///
+/// # Panics
+///
+/// Panics if `backend` is not [available](Backend::is_available) on
+/// this CPU — pinning an unsupported instruction set would otherwise
+/// be undefined behavior at the first kernel call.
+pub fn with_backend<R>(backend: Backend, f: impl FnOnce() -> R) -> R {
+    assert!(
+        backend.is_available(),
+        "backend {} is not available on this CPU",
+        backend.label()
+    );
+    struct Restore(Option<Backend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BACKEND_OVERRIDE.set(self.0);
+        }
+    }
+    let _restore = Restore(BACKEND_OVERRIDE.replace(Some(backend)));
+    f()
+}
+
+/// The current thread's [`with_backend`] override, if any — captured
+/// by parallel fronts at dispatch so pool workers inherit it.
+pub(crate) fn thread_override() -> Option<Backend> {
+    BACKEND_OVERRIDE.get()
+}
+
+/// Runs `f` with the given override installed (restoring on exit) —
+/// the worker-side half of override propagation. An override captured
+/// by [`thread_override`] was validated by [`with_backend`], so no
+/// availability re-check is needed.
+pub(crate) fn with_override<R>(o: Option<Backend>, f: impl FnOnce() -> R) -> R {
+    match o {
+        Some(b) => with_backend(b, f),
+        None => f(),
+    }
+}
+
+/// Dispatches one kernel call to the active backend.
+///
+/// SAFETY: the vector arms require their instruction set, and are
+/// only reachable through a `Backend` value whose detection predicate
+/// passed (see module docs) — `Backend::Avx2`/`Backend::Neon` cannot
+/// become active on a CPU that lacks them.
+macro_rules! dispatch {
+    ($kernel:ident ( $($arg:expr),* $(,)? )) => {
+        match active() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Avx2 is only constructed after
+            // `is_x86_feature_detected!("avx2")` returned true.
+            Backend::Avx2 => unsafe { avx2::$kernel($($arg),*) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is architecturally guaranteed on aarch64.
+            Backend::Neon => unsafe { neon::$kernel($($arg),*) },
+            _ => scalar::$kernel($($arg),*),
+        }
+    };
+}
+
+/// Dot product `Σ a[i]·b[i]` with eight-lane blocked accumulation
+/// (fixed combine order, sequential tail) — deterministic and
+/// bit-identical across backends and thread counts.
+///
+/// Both slices must have the same length (debug-asserted; release
+/// builds reduce over the shorter length).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dispatch!(dot(a, b))
+}
+
+/// In-place AXPY `out[i] += alpha · x[i]`.
+///
+/// Both slices must have the same length (debug-asserted).
+pub fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
+    dispatch!(axpy(out, alpha, x))
+}
+
+/// Four-row AXPY accumulation
+/// `out += c0·b0 + c1·b1 + c2·b2 + c3·b3`; all `b*` slices must be at
+/// least as long as `out_row`.
+pub(crate) fn axpy4(
+    out_row: &mut [f32],
+    coeff: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    dispatch!(axpy4(out_row, coeff, b0, b1, b2, b3))
+}
+
+/// Two-output-row variant of [`axpy4`]: both rows consume the same
+/// four right-hand rows in one pass.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn axpy4x2(
+    o0: &mut [f32],
+    o1: &mut [f32],
+    c0: [f32; 4],
+    c1: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    dispatch!(axpy4x2(o0, o1, c0, c1, b0, b1, b2, b3))
+}
+
+/// `(min, max)` over `x`; `(+∞, −∞)` when empty. All values must be
+/// finite (NaN poisons the fold differently per backend); signed
+/// zeros canonicalize to `+0.0` so the result is fold-order free.
+pub fn minmax(x: &[f32]) -> (f32, f32) {
+    dispatch!(minmax(x))
+}
+
+/// Affine int8 quantization `dst[i] = round((src[i] − lo) / scale)`
+/// clamped to `0..=255`, computed in f64 with round-half-away-from-
+/// zero (Rust [`f64::round`] semantics).
+///
+/// Preconditions (debug-asserted where cheap): `src.len() ==
+/// dst.len()`, `scale > 0` and finite, every `src[i]` finite and
+/// `≥ lo`. Output bytes are bit-identical across backends — they go
+/// on the wire.
+pub fn quantize_q8(src: &[f32], lo: f32, scale: f64, dst: &mut [u8]) {
+    dispatch!(quantize_q8(src, lo, scale, dst))
+}
+
+/// Affine int8 dequantization `out[i] = lo + scale · q[i]` in f64,
+/// clamped into f32's finite range. `q.len() == out.len()` required
+/// (debug-asserted).
+pub fn dequantize_q8(q: &[u8], lo: f32, scale: f32, out: &mut [f32]) {
+    dispatch!(dequantize_q8(q, lo, scale, out))
+}
+
+/// Packs one IEEE sign bit per element, LSB-first within each byte
+/// (bit set ⇔ sign positive, `+0.0` counts as positive). `bits` must
+/// be exactly `src.len().div_ceil(8)` bytes (debug-asserted); every
+/// byte is fully written, tail padding bits are 0. Bit-identical
+/// across backends — these bytes go on the wire.
+pub fn pack_signs(src: &[f32], bits: &mut [u8]) {
+    dispatch!(pack_signs(src, bits))
+}
+
+/// Expands packed sign bits back to `±mag` (bit set ⇒ `+mag`).
+/// `bits` must hold at least `out.len()` bits (debug-asserted).
+pub fn unpack_signs(bits: &[u8], mag: f32, out: &mut [f32]) {
+    dispatch!(unpack_signs(bits, mag, out))
+}
+
+/// Sum of squared differences `Σ (a[i] − b[i])²` accumulated in f64
+/// with eight-lane blocking (fixed combine order, sequential tail) —
+/// the MSE reduction behind PSNR scoring. Both slices must have the
+/// same length (debug-asserted).
+pub fn sq_err_sum(a: &[f32], b: &[f32]) -> f64 {
+    dispatch!(sq_err_sum(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(Backend::Scalar.is_available());
+        assert!(Backend::detect().is_available());
+    }
+
+    #[test]
+    fn labels_are_the_env_spellings() {
+        assert_eq!(Backend::Avx2.label(), "avx2");
+        assert_eq!(Backend::Neon.label(), "neon");
+        assert_eq!(Backend::Scalar.label(), "scalar");
+    }
+
+    #[test]
+    fn oasis_simd_choices_parse() {
+        // Pure parser test — mutating the process environment from a
+        // multithreaded test binary would race concurrent `getenv`.
+        assert_eq!(parse_choice("scalar"), Some(Backend::Scalar));
+        assert_eq!(parse_choice(" SCALAR "), Some(Backend::Scalar));
+        assert_eq!(parse_choice("auto"), None);
+        assert_eq!(parse_choice(""), None);
+        assert_eq!(parse_choice("sse9"), None, "unknown falls back to auto");
+        // Explicit requests degrade to auto when the CPU lacks them;
+        // when available they are honored.
+        for (s, b) in [("avx2", Backend::Avx2), ("neon", Backend::Neon)] {
+            let parsed = parse_choice(s);
+            if b.is_available() {
+                assert_eq!(parsed, Some(b));
+            } else {
+                assert_eq!(parsed, None);
+            }
+        }
+    }
+
+    #[test]
+    fn with_backend_overrides_and_restores() {
+        let outside = active();
+        let inside = with_backend(Backend::Scalar, active);
+        assert_eq!(inside, Backend::Scalar);
+        assert_eq!(active(), outside, "override removed on exit");
+    }
+
+    #[test]
+    fn with_backend_restores_on_panic() {
+        let outside = active();
+        let result = std::panic::catch_unwind(|| {
+            with_backend(Backend::Scalar, || panic!("inner"));
+        });
+        assert!(result.is_err());
+        assert_eq!(active(), outside);
+    }
+
+    #[test]
+    fn nested_overrides_unwind_in_order() {
+        let best = Backend::detect();
+        with_backend(best, || {
+            assert_eq!(active(), best);
+            with_backend(Backend::Scalar, || assert_eq!(active(), Backend::Scalar));
+            assert_eq!(active(), best);
+        });
+    }
+
+    #[test]
+    #[cfg(not(target_arch = "x86_64"))]
+    fn pinning_unavailable_backend_panics() {
+        let result = std::panic::catch_unwind(|| with_backend(Backend::Avx2, || ()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn dispatched_dot_matches_scalar_reference() {
+        let a: Vec<f32> = (0..67).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..67).map(|i| (i as f32 * 0.11).cos()).collect();
+        let reference = scalar::dot(&a, &b);
+        let best = with_backend(Backend::detect(), || dot(&a, &b));
+        let forced_scalar = with_backend(Backend::Scalar, || dot(&a, &b));
+        assert_eq!(best.to_bits(), reference.to_bits());
+        assert_eq!(forced_scalar.to_bits(), reference.to_bits());
+    }
+}

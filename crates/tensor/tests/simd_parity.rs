@@ -1,0 +1,254 @@
+//! SIMD-vs-scalar parity at lane boundaries.
+//!
+//! Every dispatched kernel is specified to be *bit-identical* to the
+//! scalar reference (see `oasis_tensor::simd`), so these tests pin
+//! equality of bit patterns, not tolerances: proptests sweep lengths
+//! through `1..=33` (covering empty vector-chunk counts, exact lane
+//! multiples, and every tail length for both 8- and 4-lane backends)
+//! plus misaligned sub-slices (vector loads must not assume an
+//! aligned base), with tricky values — signed zeros, subnormal-scale
+//! magnitudes, large magnitudes — mixed in. On hardware where the
+//! best backend *is* scalar the comparisons are trivially true; the
+//! CI perf leg runs on AVX2 where they are load-bearing.
+
+use oasis_tensor::simd::{self, Backend};
+use oasis_tensor::{parallel, Tensor};
+use proptest::prelude::*;
+
+/// Element strategy biased toward lane-combine edge cases.
+fn tricky_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -100.0f32..100.0,
+        -100.0f32..100.0,
+        -100.0f32..100.0,
+        Just(0.0f32),
+        Just(-0.0f32),
+        -1e-6f32..1e-6,
+        -1e30f32..1e30,
+    ]
+}
+
+/// A vector sweeping every lane/tail split for 8- and 4-lane kernels.
+fn lane_vec() -> impl Strategy<Value = Vec<f32>> {
+    (1usize..=33).prop_flat_map(|n| proptest::collection::vec(tricky_f32(), n))
+}
+
+/// Same-length vector pair.
+fn lane_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1usize..=33).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(tricky_f32(), n),
+            proptest::collection::vec(tricky_f32(), n),
+        )
+    })
+}
+
+fn best() -> Backend {
+    Backend::detect()
+}
+
+proptest! {
+    #[test]
+    fn dot_is_bit_identical((a, b) in lane_pair()) {
+        let scalar = simd::with_backend(Backend::Scalar, || simd::dot(&a, &b));
+        let vector = simd::with_backend(best(), || simd::dot(&a, &b));
+        prop_assert_eq!(scalar.to_bits(), vector.to_bits());
+    }
+
+    #[test]
+    fn dot_on_misaligned_subslices_is_bit_identical(
+        (a, b) in lane_pair(), off in 0usize..4,
+    ) {
+        let off = off % a.len();
+        let (sa, sb) = (&a[off..], &b[off..]);
+        let scalar = simd::with_backend(Backend::Scalar, || simd::dot(sa, sb));
+        let vector = simd::with_backend(best(), || simd::dot(sa, sb));
+        prop_assert_eq!(scalar.to_bits(), vector.to_bits());
+    }
+
+    #[test]
+    fn axpy_is_bit_identical((out, x) in lane_pair(), alpha in tricky_f32()) {
+        let mut via_scalar = out.clone();
+        let mut via_vector = out.clone();
+        simd::with_backend(Backend::Scalar, || simd::axpy(&mut via_scalar, alpha, &x));
+        simd::with_backend(best(), || simd::axpy(&mut via_vector, alpha, &x));
+        for (s, v) in via_scalar.iter().zip(&via_vector) {
+            prop_assert_eq!(s.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn tensor_axpy_routes_through_the_same_kernel(
+        (out, x) in lane_pair(), alpha in tricky_f32(),
+    ) {
+        let n = out.len();
+        let mut t = Tensor::from_vec(out.clone(), &[n]).unwrap();
+        let xt = Tensor::from_vec(x.clone(), &[n]).unwrap();
+        t.axpy(alpha, &xt).unwrap();
+        let mut direct = out;
+        simd::axpy(&mut direct, alpha, &x);
+        prop_assert_eq!(t.data(), &direct[..]);
+    }
+
+    #[test]
+    fn minmax_is_bit_identical(x in lane_vec(), off in 0usize..4) {
+        let off = off % x.len();
+        let s = &x[off..];
+        let (slo, shi) = simd::with_backend(Backend::Scalar, || simd::minmax(s));
+        let (vlo, vhi) = simd::with_backend(best(), || simd::minmax(s));
+        prop_assert_eq!(slo.to_bits(), vlo.to_bits());
+        prop_assert_eq!(shi.to_bits(), vhi.to_bits());
+    }
+
+    #[test]
+    fn q8_bytes_are_bit_identical(x in lane_vec(), off in 0usize..4) {
+        let off = off % x.len();
+        let src = &x[off..];
+        let (lo, hi) = simd::minmax(src);
+        let scale = (f64::from(hi) - f64::from(lo)) / 255.0;
+        if scale <= 0.0 {
+            continue; // constant vector: the codec never calls the kernel
+        }
+        let mut q_scalar = vec![0u8; src.len()];
+        let mut q_vector = vec![0u8; src.len()];
+        simd::with_backend(Backend::Scalar, || {
+            simd::quantize_q8(src, lo, scale, &mut q_scalar);
+        });
+        simd::with_backend(best(), || {
+            simd::quantize_q8(src, lo, scale, &mut q_vector);
+        });
+        prop_assert_eq!(&q_scalar, &q_vector, "wire bytes must not depend on backend");
+
+        // And the round trip back to f32 is bit-identical too.
+        let scale32 = scale as f32;
+        let mut d_scalar = vec![0.0f32; src.len()];
+        let mut d_vector = vec![0.0f32; src.len()];
+        simd::with_backend(Backend::Scalar, || {
+            simd::dequantize_q8(&q_scalar, lo, scale32, &mut d_scalar);
+        });
+        simd::with_backend(best(), || {
+            simd::dequantize_q8(&q_vector, lo, scale32, &mut d_vector);
+        });
+        for (s, v) in d_scalar.iter().zip(&d_vector) {
+            prop_assert_eq!(s.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sign_bytes_are_bit_identical(x in lane_vec(), off in 0usize..4) {
+        let off = off % x.len();
+        let src = &x[off..];
+        let mut b_scalar = vec![0xAAu8; src.len().div_ceil(8)];
+        let mut b_vector = vec![0x55u8; src.len().div_ceil(8)];
+        simd::with_backend(Backend::Scalar, || simd::pack_signs(src, &mut b_scalar));
+        simd::with_backend(best(), || simd::pack_signs(src, &mut b_vector));
+        prop_assert_eq!(&b_scalar, &b_vector, "wire bytes must not depend on backend");
+
+        let mut u_scalar = vec![0.0f32; src.len()];
+        let mut u_vector = vec![0.0f32; src.len()];
+        simd::with_backend(Backend::Scalar, || {
+            simd::unpack_signs(&b_scalar, 0.75, &mut u_scalar);
+        });
+        simd::with_backend(best(), || {
+            simd::unpack_signs(&b_vector, 0.75, &mut u_vector);
+        });
+        for (s, v) in u_scalar.iter().zip(&u_vector) {
+            prop_assert_eq!(s.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sq_err_sum_is_bit_identical((a, b) in lane_pair(), off in 0usize..4) {
+        let off = off % a.len();
+        let (sa, sb) = (&a[off..], &b[off..]);
+        let scalar = simd::with_backend(Backend::Scalar, || simd::sq_err_sum(sa, sb));
+        let vector = simd::with_backend(best(), || simd::sq_err_sum(sa, sb));
+        prop_assert_eq!(scalar.to_bits(), vector.to_bits());
+    }
+}
+
+#[test]
+fn signed_zero_minmax_is_canonical_on_every_backend() {
+    // f32::min(-0.0, 0.0) is fold-order sensitive; both backends must
+    // canonicalize so the q8 affine header never leaks lane order.
+    for x in [
+        vec![-0.0f32, 0.0],
+        vec![0.0f32, -0.0],
+        vec![-0.0f32; 17],
+        vec![0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, -0.0],
+    ] {
+        for backend in [Backend::Scalar, best()] {
+            let (lo, hi) = simd::with_backend(backend, || simd::minmax(&x));
+            assert_eq!(lo.to_bits(), 0.0f32.to_bits(), "{backend:?} {x:?}");
+            assert_eq!(hi.to_bits(), 0.0f32.to_bits(), "{backend:?} {x:?}");
+        }
+    }
+}
+
+#[test]
+fn q8_rounding_boundaries_match_rust_round() {
+    // Levels landing exactly on .5 (ties away from zero) and just
+    // below it — where a `floor(x + 0.5)` emulation would diverge
+    // from Rust's `round`. lo = 0, scale = 1 makes the quantized
+    // quantity equal the input value.
+    let src: Vec<f32> = vec![
+        0.5, 1.5, 2.5, 3.5, 100.5, 254.5, 0.49999997, 1.4999999, 0.50000006, 127.49999,
+    ];
+    let mut q_scalar = vec![0u8; src.len()];
+    let mut q_vector = vec![0u8; src.len()];
+    simd::with_backend(Backend::Scalar, || {
+        simd::quantize_q8(&src, 0.0, 1.0, &mut q_scalar);
+    });
+    simd::with_backend(best(), || {
+        simd::quantize_q8(&src, 0.0, 1.0, &mut q_vector);
+    });
+    let expected: Vec<u8> = src
+        .iter()
+        .map(|&v| (f64::from(v).round() as i32).clamp(0, 255) as u8)
+        .collect();
+    assert_eq!(q_scalar, expected);
+    assert_eq!(q_vector, expected);
+}
+
+#[test]
+fn matmul_is_bit_identical_across_backends_and_threads() {
+    // End-to-end: the matmul kernels run through the dispatched
+    // dot/axpy4 paths, above the parallel threshold, with the backend
+    // pinned around the pool dispatch — the override must propagate
+    // into the workers for the scalar run to actually be scalar.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9);
+    let a = Tensor::randn(&[96, 130], &mut rng);
+    let b = Tensor::randn(&[130, 80], &mut rng);
+    let bt = Tensor::randn(&[40, 130], &mut rng);
+    let at = Tensor::randn(&[130, 96], &mut rng);
+    let run = || {
+        (
+            a.matmul(&b).unwrap(),
+            a.matmul_nt(&bt).unwrap(),
+            at.matmul_tn(&b).unwrap(),
+        )
+    };
+    let reference = simd::with_backend(Backend::Scalar, || parallel::with_threads(1, run));
+    for backend in [Backend::Scalar, best()] {
+        for threads in [1, 4] {
+            let got = simd::with_backend(backend, || parallel::with_threads(threads, run));
+            assert_eq!(
+                got.0.data(),
+                reference.0.data(),
+                "matmul {backend:?} t={threads}"
+            );
+            assert_eq!(
+                got.1.data(),
+                reference.1.data(),
+                "matmul_nt {backend:?} t={threads}"
+            );
+            assert_eq!(
+                got.2.data(),
+                reference.2.data(),
+                "matmul_tn {backend:?} t={threads}"
+            );
+        }
+    }
+}

@@ -116,25 +116,6 @@ pub trait UpdateCodec: Send + Sync {
         Ok(out)
     }
 
-    /// Decodes into a reused `Vec` (resized to the frame's element
-    /// count; contents are unspecified on error).
-    ///
-    /// Deprecated shim for the pre-zero-copy API: the grow-and-
-    /// overwrite `Vec` output forced every caller to own a copy.
-    /// Migrate to [`UpdateCodec::decode_to`] (caller-sized slice) or
-    /// [`UpdateCodec::decode_view`] (borrowed, zero-copy for raw);
-    /// this default-implemented wrapper will be removed next release.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`WireError`] on malformed payloads — never panics.
-    #[deprecated(note = "use decode_to (slice output) or decode_view (borrowed) instead")]
-    fn decode_into(&self, encoded: &EncodedUpdate, out: &mut Vec<f32>) -> Result<(), WireError> {
-        out.clear();
-        out.resize(encoded.n, 0.0);
-        self.decode_to(encoded, &mut out[..])
-    }
-
     /// Exact wire size of any `n`-element update under this codec.
     ///
     /// Every built-in codec's frame size is a pure function of the
@@ -340,11 +321,7 @@ impl UpdateCodec for Q8Codec {
         if update.iter().any(|v| !v.is_finite()) {
             return Err(WireError::Codec("q8 requires finite values".into()));
         }
-        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
-        for &v in update {
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
+        let (mut lo, mut hi) = oasis_tensor::simd::minmax(update);
         if update.is_empty() {
             lo = 0.0;
             hi = 0.0;
@@ -354,16 +331,13 @@ impl UpdateCodec for Q8Codec {
         // inf/NaN while the finite-input guard still passes.
         let range = f64::from(hi) - f64::from(lo);
         let scale = if range > 0.0 { range / 255.0 } else { 0.0 };
-        let q: Vec<u8> = update
-            .iter()
-            .map(|&v| {
-                if scale == 0.0 {
-                    0
-                } else {
-                    (((f64::from(v) - f64::from(lo)) / scale).round() as i32).clamp(0, 255) as u8
-                }
-            })
-            .collect();
+        // Zero range (constant vector) quantizes everything to level
+        // 0; otherwise the kernel's preconditions hold: positive
+        // finite scale, every value finite and ≥ lo.
+        let mut q = vec![0u8; update.len()];
+        if scale > 0.0 {
+            oasis_tensor::simd::quantize_q8(update, lo, scale, &mut q);
+        }
         let mut b = WireBuilder::new();
         b.push("q", crate::Dtype::U8, &[q.len()], &q)?;
         b.push_f32("affine", &[2], &[lo, scale as f32])?;
@@ -400,10 +374,7 @@ impl UpdateCodec for Q8Codec {
         // Dequantize in f64 and clamp into f32's finite range: for
         // extreme updates `lo + 255·scale` can land one rounding step
         // past f32::MAX, and the decoder must never emit inf/NaN.
-        for (o, &q) in out.iter_mut().zip(q) {
-            let v = f64::from(lo) + f64::from(scale) * f64::from(q);
-            *o = v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32;
-        }
+        oasis_tensor::simd::dequantize_q8(q, lo, scale, out);
         Ok(())
     }
 }
@@ -507,13 +478,10 @@ impl UpdateCodec for SignCodec {
             return Err(WireError::Codec("sign requires finite values".into()));
         }
         let mut bits = vec![0u8; update.len().div_ceil(8)];
-        for (i, &v) in update.iter().enumerate() {
-            if v.is_sign_positive() {
-                bits[i / 8] |= 1 << (i % 8);
-            }
-        }
-        // f64 accumulation keeps the shared magnitude deterministic
-        // and accurate for long updates.
+        oasis_tensor::simd::pack_signs(update, &mut bits);
+        // Strictly sequential f64 accumulation: the magnitude goes on
+        // the wire, so its bits must not depend on the SIMD backend —
+        // lane-blocking this sum would change them.
         let mag = if update.is_empty() {
             0.0
         } else {
@@ -553,13 +521,7 @@ impl UpdateCodec for SignCodec {
                 encoded.n.div_ceil(8)
             )));
         }
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = if bits[i / 8] & (1 << (i % 8)) != 0 {
-                mag
-            } else {
-                -mag
-            };
-        }
+        oasis_tensor::simd::unpack_signs(bits, mag, out);
         Ok(())
     }
 }

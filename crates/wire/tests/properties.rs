@@ -296,3 +296,39 @@ fn length_lies_are_rejected() {
     enc.n = 2;
     assert!(codec.decode(&enc).is_err());
 }
+
+/// Encoded bytes must not depend on the SIMD backend: q8 and sign
+/// payloads travel on the wire (they are part of the threat model),
+/// so the vectorized encode paths have to produce the exact byte
+/// stream the scalar reference does — quantized levels, packed sign
+/// bits, and the affine/magnitude headers alike. Decoding must agree
+/// bit for bit too.
+#[test]
+fn q8_and_sign_wire_bytes_are_backend_independent() {
+    use oasis_tensor::simd::{self, Backend};
+    let best = Backend::detect();
+    for n in (0usize..=33).chain([255, 256, 257, 1000]) {
+        for seed in [3u64, 17, 99] {
+            let mut x = update_from(seed, n);
+            if n > 1 {
+                x[0] = -0.0;
+                x[1] = 0.0;
+            }
+            for spec in [CodecSpec::Q8, CodecSpec::Sign] {
+                let codec = spec.build();
+                let enc_scalar = simd::with_backend(Backend::Scalar, || codec.encode(&x).unwrap());
+                let enc_vector = simd::with_backend(best, || codec.encode(&x).unwrap());
+                assert_eq!(
+                    enc_scalar.payload, enc_vector.payload,
+                    "{spec} n={n} seed={seed}: wire bytes diverged across backends"
+                );
+                let dec_scalar =
+                    simd::with_backend(Backend::Scalar, || codec.decode(&enc_scalar).unwrap());
+                let dec_vector = simd::with_backend(best, || codec.decode(&enc_vector).unwrap());
+                for (a, b) in dec_scalar.iter().zip(&dec_vector) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{spec} n={n} seed={seed}");
+                }
+            }
+        }
+    }
+}

@@ -175,18 +175,16 @@ fn shifted_buffer_reads_match_aligned_reads() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_decode_into_shim_still_round_trips() {
-    // Migration escape hatch: `decode_into` keeps working (one
-    // deprecation cycle) and agrees with the slice API bit for bit.
+fn owned_decode_agrees_with_slice_decode() {
+    // The allocating convenience form (`decode`) is a wrapper over
+    // the slice primitive (`decode_to`); they must agree bit for bit.
     let update: Vec<f32> = (0..100).map(|i| i as f32 / 7.0).collect();
     let encoded = RawCodec.encode(&update).unwrap();
-    let mut legacy = vec![0.0f32; 3]; // wrong size: shim must resize
-    RawCodec.decode_into(&encoded, &mut legacy).unwrap();
-    let mut modern = vec![0.0f32; update.len()];
-    RawCodec.decode_to(&encoded, &mut modern).unwrap();
-    assert_eq!(legacy.len(), modern.len());
-    for (a, b) in legacy.iter().zip(&modern) {
+    let owned = RawCodec.decode(&encoded).unwrap();
+    let mut slice_out = vec![0.0f32; update.len()];
+    RawCodec.decode_to(&encoded, &mut slice_out).unwrap();
+    assert_eq!(owned.len(), slice_out.len());
+    for (a, b) in owned.iter().zip(&slice_out) {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -18,6 +18,12 @@
 //! recorded f64 bit patterns: the batch-stage path, the per-sample DP
 //! path (clip + Gaussian noise stream), and the spec grammar all
 //! survived the API migration unchanged.
+//!
+//! Re-captured once when `psnr_data`'s MSE reduction moved from a
+//! strictly sequential f64 sum to the eight-lane blocked
+//! `oasis_tensor::simd::sq_err_sum` (last-ulp shifts only). The
+//! blocked sum is itself bit-identical across SIMD backends and
+//! thread counts, so the fixture pins every `OASIS_SIMD` setting.
 
 use oasis_scenario::{Scale, Scenario};
 use serde::Value;
