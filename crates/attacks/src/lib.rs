@@ -17,6 +17,10 @@
 //!   EuroS&P '23): trap weights with a calibrated activation
 //!   probability; neurons activated by exactly one sample invert
 //!   perfectly.
+//! * [`QbiAttack`] — *Quantile-based bias initialization* (Krauß et
+//!   al., 2024): plain Gaussian rows with biases at the `1 − 1/B`
+//!   response quantile; no optimization loop, cheap to re-tune
+//!   between rounds.
 //! * [`LinearModelAttack`] — gradient inversion on a single-layer
 //!   softmax model with unique labels (paper §IV-D).
 //!
@@ -35,6 +39,7 @@ mod gaussian;
 mod inversion;
 mod linear;
 mod malicious;
+mod qbi;
 mod rtf;
 
 pub use ats::AtsDefense;
@@ -46,6 +51,7 @@ pub use gaussian::{normal_cdf, probit};
 pub use inversion::{dedupe_images, invert_neuron, invert_neuron_difference};
 pub use linear::LinearModelAttack;
 pub use malicious::attacked_model;
+pub use qbi::{QbiAttack, DEFAULT_QBI_BATCH};
 pub use rtf::RtfAttack;
 
 /// Convenience alias for results returned by this crate.

@@ -1,0 +1,135 @@
+//! Trajectory figure: what a long-horizon deployment actually
+//! experiences. One multi-phase campaign — stable warm-up, then
+//! client churn on a degraded network, then Dirichlet label drift
+//! while an adaptive adversary switches from RTF trap weights to QBI
+//! quantile probes — run under three defense postures:
+//!
+//! * `none` — the undefended federation the paper attacks,
+//! * `oasis:MR` — the OASIS batch policy,
+//! * `oasis:MR+dp:1,0.01` — OASIS stacked with DP-SGD.
+//!
+//! The table prints one row per (defense, phase) with delivery,
+//! churn, the utility proxy, and the adversary's worst probe; the
+//! adversary program section shows which candidate family won each
+//! probe round. Full per-round trajectories land as schema-v1 JSONL
+//! under `out/` (validated in CI by `tools/trajectory_check`).
+//!
+//! ```text
+//! cargo run --release -p oasis-bench --bin fig_trajectory -- [--quick | --full]
+//! ```
+
+use oasis_bench::{banner, out_path, run_campaign, CampaignSpec, DefenseSpec, Scale, Workload};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Trajectory",
+        "privacy and utility over a churning, drifting campaign",
+        scale,
+    );
+
+    // Phase rounds and attack sizes by scale; the shape (plain →
+    // churn → drift + adaptive adversary) is scale-invariant.
+    let (per_phase, neurons, eval_every) = match scale {
+        Scale::Quick => (3usize, 32usize, 2usize),
+        Scale::Default => (10, 128, 5),
+        Scale::Full => (34, 256, 5),
+    };
+    let spec: CampaignSpec = format!(
+        "campaign:{per_phase}+attack=rtf:{neurons};\
+         {per_phase}+leave=0.2+join=0.3+net=sim:20,16,0.1+attack=rtf:{neurons};\
+         {per_phase}+leave=0.1+join=0.3+alpha=0.5+attack=rtf:{neurons}|qbi:{neurons}"
+    )
+    .parse()
+    .expect("trajectory campaign spec parses");
+    let defenses: Vec<DefenseSpec> = ["none", "oasis:MR", "oasis:MR+dp:1,0.01"]
+        .iter()
+        .map(|s| s.parse().expect("figure defense parses"))
+        .collect();
+    let clients = 24;
+    let seed = 7;
+
+    println!(
+        "\nCampaign {spec}\n({clients} clients on {}, adversary probed every {eval_every} \
+         round(s), leak threshold 60 dB):",
+        Workload::ImageNette
+    );
+    println!(
+        "{:>22} {:>6} {:>10} {:>8} {:>10} {:>12} {:>9} {:>14}",
+        "defense", "phase", "delivered", "churned", "acc proxy", "peak PSNR", "leak max", "won by"
+    );
+    for defense in &defenses {
+        let runner = run_campaign(
+            spec.clone(),
+            defense.clone(),
+            Workload::ImageNette,
+            scale,
+            clients,
+            seed,
+            eval_every,
+        )
+        .expect("trajectory campaign runs");
+        for phase in 0..spec.phases().len() {
+            let records: Vec<_> = runner
+                .records()
+                .iter()
+                .filter(|r| r.phase == phase)
+                .collect();
+            if records.is_empty() {
+                continue;
+            }
+            let delivered: usize = records.iter().map(|r| r.delivered).sum();
+            let cohort: usize = records.iter().map(|r| r.cohort).sum();
+            let churned: usize = records.iter().map(|r| r.churn_left + r.churn_joined).sum();
+            let acc = records.iter().map(|r| r.accuracy_proxy).sum::<f64>() / records.len() as f64;
+            let peak = records
+                .iter()
+                .filter(|r| r.mean_psnr.is_some())
+                .max_by(|a, b| a.mean_psnr.partial_cmp(&b.mean_psnr).expect("finite PSNRs"));
+            let (psnr, leak, winner) = match peak {
+                Some(r) => (
+                    format!("{:.1} dB", r.mean_psnr.unwrap_or(0.0)),
+                    format!(
+                        "{:.0}%",
+                        records
+                            .iter()
+                            .filter_map(|r| r.leak_rate)
+                            .fold(0.0f64, f64::max)
+                            * 100.0
+                    ),
+                    r.attack.clone().unwrap_or_default(),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            println!(
+                "{:>22} {:>6} {:>9}% {:>8} {:>10.3} {:>12} {:>9} {:>14}",
+                defense.to_string(),
+                phase,
+                (delivered * 100).checked_div(cohort).unwrap_or(0),
+                churned,
+                acc,
+                psnr,
+                leak,
+                winner,
+            );
+        }
+        let label = defense.to_string();
+        let file = format!(
+            "fig_trajectory_{}.jsonl",
+            label.replace([':', '+', ','], "-")
+        );
+        let path = out_path(&file);
+        runner
+            .trajectory(&label)
+            .write(&path)
+            .expect("trajectory JSONL writes");
+        println!("{:>22} trajectory -> {}", "", path.display());
+    }
+
+    println!("\nExpected shape: undefended, the adversary reconstructs throughout");
+    println!("and switches to whichever family leaks harder once QBI joins its");
+    println!("program; under oasis:MR the peak PSNR collapses below the leak");
+    println!("threshold, and stacking dp:1,0.01 pins it there while costing some");
+    println!("of the utility proxy. Churn and drift shake delivery and utility,");
+    println!("never privacy: the defense, not the dynamics, decides what leaks.");
+}

@@ -6,7 +6,7 @@
 //! `tools/bench_compare`).
 //!
 //! ```text
-//! perf [--quick] [--suite core|fl|scale|pop|all]... [--filter SUBSTR]
+//! perf [--quick] [--suite core|fl|scale|pop|campaign|all]... [--filter SUBSTR]
 //!      [--out-dir DIR] [--list]
 //! ```
 //!
@@ -47,7 +47,7 @@ fn parse_args() -> Result<Args, String> {
             "--suite" => {
                 let v = it
                     .next()
-                    .ok_or("--suite needs a value (core|fl|scale|pop|all)")?;
+                    .ok_or("--suite needs a value (core|fl|scale|pop|campaign|all)")?;
                 if v == "all" {
                     args.suites = perf::SUITE_NAMES.iter().map(|s| s.to_string()).collect();
                     suites_explicit = true;
@@ -61,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
                     }
                 } else {
                     return Err(format!(
-                        "unknown suite `{v}` (expected core, fl, scale, pop, or all)"
+                        "unknown suite `{v}` (expected core, fl, scale, pop, campaign, or all)"
                     ));
                 }
             }
@@ -76,7 +76,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perf [--quick] [--suite core|fl|scale|pop|all]... [--filter SUBSTR] \
+                    "perf [--quick] [--suite core|fl|scale|pop|campaign|all]... [--filter SUBSTR] \
                      [--out-dir DIR] [--trace PATH] [--list]\n\
                      --trace PATH (or OASIS_TRACE=PATH) records a schema-v1 JSONL span \
                      trace of the run and prints a self-time table; bench medians are \

@@ -16,8 +16,9 @@
 //! Unknown flags are errors, not silently ignored.
 
 use oasis_bench::{
-    spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, PopulationSpec, SampleSpec,
-    Sampling, Scale, Scenario, ScenarioError, ScenarioReport, WorkloadSpec,
+    out_path, run_campaign, spec_catalog, AttackSpec, CampaignSpec, CodecSpec, DefenseSpec,
+    NetSpec, PopulationSpec, SampleSpec, Sampling, Scale, Scenario, ScenarioError, ScenarioReport,
+    WorkloadSpec,
 };
 use std::process::ExitCode;
 
@@ -28,7 +29,8 @@ USAGE:
     scenario [FLAGS]
 
 FLAGS (comma-separated lists sweep the grid):
-    --attack SPECS      rtf:N | cah:N[,G] | linear        [default: rtf:512]
+    --attack SPECS      rtf:N | cah:N[,G] | qbi:N[,B] |
+                        linear                            [default: rtf:512]
     --defense SPECS     none | oasis:P | ats | dp:C,S | clip:C,
                         or a `+`-stack, e.g. oasis:MR+dp:1,0.01
                         (P ∈ WO, MR, mR, SH, HFlip, VFlip, MR+SH)
@@ -53,6 +55,13 @@ FLAGS (comma-separated lists sweep the grid):
     --leak-db DB        leak-rate PSNR threshold          [default: 60]
     --scale S           quick | default | full            [default: default]
     --quick / --full    shorthand for --scale
+    --campaign SPEC     run a multi-phase campaign instead of
+                        single-shot trials: campaign:PHASE[;PHASE...],
+                        each phase ROUNDS[+join=F][+leave=F][+alpha=A]
+                        [+net=SPEC][+attack=S[|S...]]; one campaign
+                        per --defense, trajectory JSONL under out/
+    --eval-every N      campaign adversary probe period (0 = never)
+                                                          [default: 5]
     --no-save           print reports without writing out/*.json
     --trace PATH        enable telemetry: write a schema-v1 JSONL span
                         trace to PATH and print a self-time summary
@@ -82,6 +91,8 @@ struct Args {
     scale: Scale,
     save: bool,
     trace: Option<std::path::PathBuf>,
+    campaign: Option<CampaignSpec>,
+    eval_every: usize,
 }
 
 fn main() -> ExitCode {
@@ -107,6 +118,10 @@ fn main() -> ExitCode {
     };
     if args.trace.is_some() {
         oasis_telemetry::enable();
+    }
+
+    if let Some(spec) = args.campaign.clone() {
+        return run_campaign_mode(&args, spec);
     }
 
     let cells = args.attacks.len()
@@ -200,6 +215,110 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--campaign` mode: one campaign per `--defense` over the
+/// first `--workload`, each printing a per-phase summary and writing
+/// its trajectory JSONL under `out/`.
+fn run_campaign_mode(args: &Args, spec: CampaignSpec) -> ExitCode {
+    let workload = args.workloads[0];
+    let clients = match args.populations.first() {
+        Some(&n) if n > 0 => n,
+        _ => 24,
+    };
+    println!(
+        "campaign {spec} — {} clients on {workload}, probe every {} round(s)",
+        clients, args.eval_every
+    );
+    let mut failures = 0u32;
+    for defense in &args.defenses {
+        let runner = match run_campaign(
+            spec.clone(),
+            defense.clone(),
+            workload,
+            args.scale,
+            clients,
+            args.seed,
+            args.eval_every,
+        ) {
+            Ok(runner) => runner,
+            Err(e) => {
+                eprintln!("error: campaign defense={defense} failed: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        println!("\ndefense {defense}:");
+        print_campaign_summary(&runner);
+        if args.save {
+            let label = defense.to_string();
+            let file = format!("trajectory_{}.jsonl", label.replace([':', '+', ','], "-"));
+            let path = out_path(&file);
+            match runner.trajectory(&label).write(&path) {
+                Ok(()) => println!("  trajectory -> {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: writing {} failed: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} campaign(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Per-phase aggregates of a finished campaign: delivery, churn,
+/// utility proxy, and the adversary's worst probe.
+fn print_campaign_summary(runner: &oasis_bench::CampaignRunner) {
+    println!(
+        "  {:>5} {:>7} {:>10} {:>8} {:>10} {:>12} {:>10}",
+        "phase", "rounds", "delivered", "churned", "acc proxy", "peak PSNR", "leak max"
+    );
+    let phases = runner.spec().phases().len();
+    for phase in 0..phases {
+        let records: Vec<_> = runner
+            .records()
+            .iter()
+            .filter(|r| r.phase == phase)
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        let rounds = records.len();
+        let delivered: usize = records.iter().map(|r| r.delivered).sum();
+        let cohort: usize = records.iter().map(|r| r.cohort).sum();
+        let churned: usize = records.iter().map(|r| r.churn_left + r.churn_joined).sum();
+        let acc = records.iter().map(|r| r.accuracy_proxy).sum::<f64>() / rounds as f64;
+        let psnr = records
+            .iter()
+            .filter_map(|r| r.mean_psnr)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let leak = records
+            .iter()
+            .filter_map(|r| r.leak_rate)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  {:>5} {:>7} {:>9}% {:>8} {:>10.3} {:>12} {:>10}",
+            phase,
+            rounds,
+            (delivered * 100).checked_div(cohort).unwrap_or(0),
+            churned,
+            acc,
+            if psnr.is_finite() {
+                format!("{psnr:.1} dB")
+            } else {
+                "-".into()
+            },
+            if leak.is_finite() {
+                format!("{:.0}%", leak * 100.0)
+            } else {
+                "-".into()
+            },
+        );
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
     args: &Args,
@@ -260,6 +379,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         scale: Scale::Default,
         save: true,
         trace: oasis_telemetry::trace_path_from_env(),
+        campaign: None,
+        eval_every: 5,
     };
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
@@ -304,6 +425,12 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--quick" => args.scale = Scale::Quick,
             "--full" => args.scale = Scale::Full,
             "--no-save" => args.save = false,
+            "--campaign" => {
+                args.campaign = Some(parse_one(value("--campaign")?, "campaign spec")?);
+            }
+            "--eval-every" => {
+                args.eval_every = parse_one(value("--eval-every")?, "probe period")?;
+            }
             "--trace" => args.trace = Some(value("--trace")?.into()),
             other => return Err(format!("unknown flag `{other}`")),
         }

@@ -1,0 +1,100 @@
+//! `trajectory_check` — validate a campaign trajectory JSONL file.
+//!
+//! ```text
+//! trajectory_check <trajectory.jsonl>... [--summary] [--min-rounds N]
+//! ```
+//!
+//! Checks the schema-v1 invariants [`oasis_campaign::validate_trajectory`]
+//! promises: a version-1 meta line first, contiguous rounds from 0,
+//! monotonic phases, `delivered + dropped == cohort`, a live
+//! population every round, a utility proxy in (0, 1], and
+//! all-or-none adversary probe fields. `--summary` prints the
+//! per-file round/phase/probe/churn counts. Exit 1 on any violation,
+//! so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oasis_campaign::validate_trajectory;
+
+const USAGE: &str = "trajectory_check <trajectory.jsonl>... [--summary] [--min-rounds N]";
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut summary = false;
+    let mut min_rounds = 1usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--summary" => summary = true,
+            "--min-rounds" => {
+                min_rounds = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("trajectory_check: --min-rounds needs a number\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
+            other => {
+                eprintln!("trajectory_check: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("trajectory_check: no trajectory file given\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0u32;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("trajectory_check: cannot read {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        match validate_trajectory(&text) {
+            Ok(s) if s.rounds < min_rounds => {
+                eprintln!(
+                    "trajectory_check: {}: only {} round(s), expected >= {min_rounds}",
+                    path.display(),
+                    s.rounds
+                );
+                failures += 1;
+            }
+            Ok(s) => {
+                println!(
+                    "{}: ok ({} rounds, {} phases, {} probed, {} churn events)",
+                    path.display(),
+                    s.rounds,
+                    s.phases,
+                    s.probed_rounds,
+                    s.churn_events
+                );
+                if summary {
+                    println!(
+                        "  rounds={} phases={} probed_rounds={} churn_events={}",
+                        s.rounds, s.phases, s.probed_rounds, s.churn_events
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("trajectory_check: {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -31,8 +31,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub use oasis_attacks::{
-    run_attack, ActiveAttack, AttackOutcome, CahAttack, LinearModelAttack, RtfAttack,
+    run_attack, ActiveAttack, AttackOutcome, CahAttack, LinearModelAttack, QbiAttack, RtfAttack,
     DEFAULT_ACTIVATION_TARGET,
+};
+pub use oasis_campaign::{
+    linear_relu_factory, validate_trajectory, CampaignError, CampaignRunner, CampaignSetup,
+    CampaignSpec, TrajectoryReport, TrajectorySummary,
 };
 pub use oasis_scenario::{
     out_path, spec_catalog, AttackSpec, CodecSpec, DefenseSpec, NetSpec, PopulationSpec,
@@ -54,6 +58,38 @@ pub fn calibration_images(workload: Workload, scale: Scale, count: usize) -> Vec
         .build()
         .expect("calibration-only scenario is always valid")
         .calibration_images()
+}
+
+/// Builds and runs one campaign of `spec` under `defense`: the
+/// workload's dataset at `scale`, `clients` clients over the shared
+/// linear-ReLU model, adversary probed every `eval_every` rounds.
+/// Returns the finished runner (trajectory records, adversary log,
+/// final server state). Shared by the `scenario --campaign` mode and
+/// `fig_trajectory`.
+///
+/// # Errors
+///
+/// Propagates setup and round failures from the campaign engine.
+pub fn run_campaign(
+    spec: CampaignSpec,
+    defense: DefenseSpec,
+    workload: Workload,
+    scale: Scale,
+    clients: usize,
+    seed: u64,
+    eval_every: usize,
+) -> Result<CampaignRunner, CampaignError> {
+    let dataset = workload.dataset(scale, 64, seed ^ 0xDA7A);
+    let d = dataset.feature_dim();
+    let classes = dataset.num_classes();
+    let mut setup = CampaignSetup::new(dataset, clients, linear_relu_factory(d, 64, classes, 11));
+    setup.defense = defense;
+    setup.seed = seed;
+    setup.partition_seed = seed ^ 0x5EED;
+    setup.eval_every = eval_every;
+    let mut runner = CampaignRunner::new(spec, setup)?;
+    runner.run()?;
+    Ok(runner)
 }
 
 /// Runs `attack` against `trials` batches of size `batch_size` under

@@ -10,7 +10,7 @@
 //! two runs. Thread count is pinned via `OASIS_THREADS` for
 //! cross-machine comparability (the JSON records what was used).
 //!
-//! Four suites:
+//! Five suites:
 //!
 //! * `core` — tensor/nn kernels: matmul / matmul_nt / matmul_tn at
 //!   model-relevant shapes, Conv2d forward+backward. Also carries the
@@ -38,11 +38,18 @@
 //!   model buffers regardless of population (asserted by
 //!   `pop_suite_memory_stays_bounded`), so the records should differ
 //!   only by the O(population) selection shuffle.
+//! * `campaign` — the long-horizon path: one full 100-round
+//!   [`CampaignRunner`] campaign (three phases: plain, churn,
+//!   churn + Dirichlet drift) over 16 clients, pinning
+//!   rounds-per-second for the campaign engine's per-round
+//!   bookkeeping (phase tracking, churn stream, population
+//!   subsetting) on top of the cohort round itself.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use oasis_attacks::{ActiveAttack, RtfAttack};
+use oasis_campaign::{CampaignRunner, CampaignSetup, CampaignSpec};
 use oasis_data::cifar_like_with;
 use oasis_fl::{DefenseStack, FlConfig, FlServer, ModelFactory, WireConfig};
 use oasis_metrics::psnr_data;
@@ -328,16 +335,28 @@ pub fn pop_suite() -> Vec<BenchDef> {
     ]
 }
 
-/// All suite names, in run order.
-pub const SUITE_NAMES: [&str; 4] = ["core", "fl", "scale", "pop"];
+/// The `campaign` suite: the long-horizon campaign engine end to end.
+///
+/// Order is fixed; names are stable comparison keys.
+pub fn campaign_suite() -> Vec<BenchDef> {
+    vec![BenchDef {
+        name: "campaign_100r",
+        build: bench_campaign_100r,
+    }]
+}
 
-/// The benches of the named suite (`core`, `fl`, `scale`, or `pop`).
+/// All suite names, in run order.
+pub const SUITE_NAMES: [&str; 5] = ["core", "fl", "scale", "pop", "campaign"];
+
+/// The benches of the named suite (`core`, `fl`, `scale`, `pop`, or
+/// `campaign`).
 pub fn suite(name: &str) -> Option<Vec<BenchDef>> {
     match name {
         "core" => Some(core_suite()),
         "fl" => Some(fl_suite()),
         "scale" => Some(scale_suite()),
         "pop" => Some(pop_suite()),
+        "campaign" => Some(campaign_suite()),
         _ => None,
     }
 }
@@ -1043,6 +1062,38 @@ fn bench_pop_round_100k() -> PreparedBench {
     bench_pop_round(100_000)
 }
 
+/// One full 100-round campaign: 40 plain rounds, 30 with 20%/30%
+/// churn, 30 with churn plus an α=0.5 Dirichlet re-partition — no
+/// adversary probes, so the record isolates the engine's per-round
+/// bookkeeping over the cohort round. The dataset is built once and
+/// shared; each iteration runs a fresh campaign, so every iteration
+/// is bit-identical work.
+fn bench_campaign_100r() -> PreparedBench {
+    let data = cifar_like_with(3, 8, 8, 3);
+    let d = data.feature_dim();
+    PreparedBench {
+        throughput: Some((100.0, "round/s")),
+        run: Box::new(move || {
+            let spec: CampaignSpec =
+                "campaign:40;30+leave=0.2+join=0.3;30+leave=0.1+join=0.3+alpha=0.5"
+                    .parse()
+                    .expect("campaign bench spec parses");
+            let mut setup = CampaignSetup::new(
+                data.clone(),
+                16,
+                oasis_campaign::linear_relu_factory(d, 12, 3, 12),
+            );
+            setup.seed = 14;
+            setup.partition_seed = 13;
+            setup.eval_every = 0;
+            let mut campaign =
+                CampaignRunner::new(spec, setup).expect("campaign bench setup builds");
+            campaign.run().expect("campaign bench run");
+            std::hint::black_box(campaign.records().len());
+        }),
+    }
+}
+
 /// One bench's scaling datapoint, derived from a scale suite's
 /// `<base>_t1` / `<base>_t<N>` medians.
 #[derive(Debug, Clone, PartialEq)]
@@ -1275,12 +1326,15 @@ mod tests {
         );
         let pop = names(pop_suite());
         assert_eq!(pop, vec!["pop_round_1k", "pop_round_10k", "pop_round_100k"]);
+        let campaign = names(campaign_suite());
+        assert_eq!(campaign, vec!["campaign_100r"]);
         assert!(suite("core").is_some());
         assert!(suite("fl").is_some());
         assert!(suite("scale").is_some());
         assert!(suite("pop").is_some());
+        assert!(suite("campaign").is_some());
         assert!(suite("nope").is_none());
-        assert_eq!(SUITE_NAMES.len(), 4);
+        assert_eq!(SUITE_NAMES.len(), 5);
     }
 
     #[test]

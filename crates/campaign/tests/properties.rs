@@ -1,0 +1,105 @@
+//! Property tests for the `campaign:` grammar: `Display` ⇄ `FromStr`
+//! are exact inverses on canonical specs, and phase bookkeeping is
+//! consistent for arbitrary phase lists.
+
+use oasis_campaign::{CampaignSpec, PhaseSpec};
+use proptest::prelude::*;
+
+fn opt<S>(s: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![Just(None), s.prop_map(Some).boxed()].boxed()
+}
+
+fn arb_attack() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1usize..200).prop_map(|n| format!("rtf:{n}")),
+        (1usize..200).prop_map(|n| format!("cah:{n}")),
+        (1usize..200, 2usize..16).prop_map(|(n, b)| format!("qbi:{n},{b}")),
+        Just("linear".to_string()),
+    ]
+}
+
+fn arb_phase() -> impl Strategy<Value = String> {
+    (
+        (1usize..500, opt(0u32..=100), opt(0u32..=100)),
+        (
+            opt(1u32..400),
+            opt(prop_oneof![
+                Just("ideal".to_string()),
+                (1u32..100, 1u32..64, 0u32..50)
+                    .prop_map(|(lat, bw, drop)| format!("sim:{lat},{bw},{}", drop as f64 / 100.0)),
+            ]),
+            proptest::collection::vec(arb_attack(), 0..3),
+        ),
+    )
+        .prop_map(|((rounds, join, leave), (alpha, net, attacks))| {
+            let mut s = rounds.to_string();
+            if let Some(j) = join {
+                s.push_str(&format!("+join={}", j as f64 / 100.0));
+            }
+            if let Some(l) = leave {
+                s.push_str(&format!("+leave={}", l as f64 / 100.0));
+            }
+            if let Some(a) = alpha {
+                s.push_str(&format!("+alpha={}", a as f64 / 100.0));
+            }
+            if let Some(n) = net {
+                s.push_str(&format!("+net={n}"));
+            }
+            if !attacks.is_empty() {
+                s.push_str(&format!("+attack={}", attacks.join("|")));
+            }
+            s
+        })
+}
+
+fn arb_campaign() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_phase(), 1..5)
+        .prop_map(|phases| format!("campaign:{}", phases.join(";")))
+}
+
+proptest! {
+    /// parse → display → parse is a fixpoint: the displayed form
+    /// parses back to the identical spec, and displaying again
+    /// changes nothing (canonicalization converges in one step).
+    #[test]
+    fn display_fromstr_roundtrip(s in arb_campaign()) {
+        let spec: CampaignSpec = s.parse().expect("generated specs parse");
+        let shown = spec.to_string();
+        let back: CampaignSpec = shown.parse().expect("displayed specs parse");
+        prop_assert_eq!(&spec, &back);
+        prop_assert_eq!(shown, back.to_string());
+    }
+
+    /// Every round maps to exactly one phase, phase starts partition
+    /// the round range, and `total_rounds` is their sum.
+    #[test]
+    fn phase_bookkeeping_is_consistent(s in arb_campaign()) {
+        let spec: CampaignSpec = s.parse().expect("generated specs parse");
+        let total = spec.total_rounds() as u64;
+        prop_assert!(spec.phase_at(total).is_none());
+        for (i, phase) in spec.phases().iter().enumerate() {
+            let start = spec.phase_start(i);
+            let (pi, at) = spec.phase_at(start).expect("start is in range");
+            prop_assert_eq!(pi, i);
+            prop_assert_eq!(at, phase);
+            let (pi, _) = spec
+                .phase_at(start + phase.rounds as u64 - 1)
+                .expect("last round is in range");
+            prop_assert_eq!(pi, i);
+        }
+    }
+
+    /// Structured construction displays to a string that parses back
+    /// to the same value (the programmatic API round-trips too).
+    #[test]
+    fn constructed_specs_roundtrip(rounds in proptest::collection::vec(1usize..100, 1..4)) {
+        let phases: Vec<PhaseSpec> = rounds.into_iter().map(PhaseSpec::rounds).collect();
+        let spec = CampaignSpec::new(phases).expect("plain phases are valid");
+        let back: CampaignSpec = spec.to_string().parse().expect("displayed specs parse");
+        prop_assert_eq!(spec, back);
+    }
+}

@@ -299,6 +299,103 @@ mod tests {
     }
 
     #[test]
+    fn tiny_alpha_concentrates_each_class_on_one_client() {
+        // As α → 0 the Dirichlet concentrates each class's mass on
+        // one client: per class, a single winner should hold (nearly)
+        // all of it, and no sample may be lost.
+        let ds = cifar_like_with(4, 24, 8, 5);
+        let clients = partition_dirichlet(
+            &ds,
+            4,
+            0.05,
+            Arc::new(DefenseStack::identity()),
+            &mut StdRng::seed_from_u64(13),
+        );
+        let total: usize = clients.iter().map(|c| c.data().len()).sum();
+        assert_eq!(total, ds.len(), "extreme skew must still conserve samples");
+        let mut per_class = vec![vec![0usize; clients.len()]; ds.num_classes()];
+        for (ci, c) in clients.iter().enumerate() {
+            for it in c.data().items() {
+                per_class[it.label][ci] += 1;
+            }
+        }
+        let concentrated = per_class
+            .iter()
+            .filter(|counts| *counts.iter().max().unwrap() * 4 >= 24 * 3)
+            .count();
+        assert!(
+            concentrated >= 3,
+            "α=0.05 should hand ≥75% of most classes to a single client, \
+             got {concentrated}/4 concentrated classes ({per_class:?})"
+        );
+    }
+
+    #[test]
+    fn underflowing_alpha_is_numerically_safe() {
+        // Below α ≈ 1/n·ln(1/u) the Gamma draws underflow `f64` and
+        // hit the 1e-12 floor; the partition must stay well-defined —
+        // all samples placed, no NaN shares, every count finite —
+        // rather than collapsing or crashing.
+        let ds = cifar_like_with(3, 12, 8, 4);
+        let clients = partition_dirichlet(
+            &ds,
+            3,
+            1e-4,
+            Arc::new(DefenseStack::identity()),
+            &mut StdRng::seed_from_u64(29),
+        );
+        assert_eq!(clients.len(), 3);
+        let total: usize = clients.iter().map(|c| c.data().len()).sum();
+        assert_eq!(
+            total,
+            ds.len(),
+            "underflowed weights must still place every sample"
+        );
+        for c in &clients {
+            assert!(c.data().len() <= ds.len());
+        }
+    }
+
+    #[test]
+    fn large_alpha_approaches_iid_shares() {
+        // At α = 100 the Dirichlet is nearly uniform: every client
+        // holds data, and every client's share of every class stays
+        // near 1/n.
+        let ds = cifar_like_with(4, 40, 8, 6);
+        let n = 4;
+        let clients = partition_dirichlet(
+            &ds,
+            n,
+            100.0,
+            Arc::new(DefenseStack::identity()),
+            &mut StdRng::seed_from_u64(13),
+        );
+        let total: usize = clients.iter().map(|c| c.data().len()).sum();
+        assert_eq!(total, ds.len());
+        let per_class = 40.0;
+        for c in &clients {
+            assert!(
+                !c.data().is_empty(),
+                "α=100 should leave no client empty-handed"
+            );
+            let mut counts = vec![0usize; ds.num_classes()];
+            for it in c.data().items() {
+                counts[it.label] += 1;
+            }
+            for (class, &count) in counts.iter().enumerate() {
+                let share = count as f64 / per_class;
+                assert!(
+                    (share - 1.0 / n as f64).abs() < 0.15,
+                    "client {} share of class {class} is {share:.2}, \
+                     expected ~{:.2} at α=100",
+                    c.id(),
+                    1.0 / n as f64
+                );
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "concentration must be positive")]
     fn dirichlet_rejects_nonpositive_alpha() {
         let ds = cifar_like_with(2, 4, 8, 0);

@@ -80,6 +80,23 @@ impl CohortRunner {
         &self.population
     }
 
+    /// Mutable access to the population (defense re-parameterization
+    /// between rounds).
+    pub fn population_mut(&mut self) -> &mut Population {
+        &mut self.population
+    }
+
+    /// Replaces the population mid-run — how campaigns express churn
+    /// (an active-subset swap) and non-IID drift (a re-partition).
+    /// The scheduler is rebuilt only when the client count changes,
+    /// so a same-size swap leaves the sampling stream untouched.
+    pub fn set_population(&mut self, population: Population) {
+        if population.len() != self.scheduler.population() {
+            self.scheduler = CohortScheduler::new(population.len());
+        }
+        self.population = population;
+    }
+
     /// Releases the server (e.g. to checkpoint the trained model).
     pub fn into_server(self) -> FlServer {
         self.server

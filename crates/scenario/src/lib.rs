@@ -53,7 +53,7 @@ mod spec;
 
 pub use registry::{
     register_attack_family, register_defense_family, spec_catalog, AttackFamily, DefenseFamily,
-    CAH_WEIGHT_SEED,
+    CAH_WEIGHT_SEED, QBI_WEIGHT_SEED,
 };
 pub use scale::Scale;
 pub use scenario::{Sampling, Scenario, ScenarioBuilder, ScenarioReport, TrialReport};

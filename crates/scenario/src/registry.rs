@@ -11,13 +11,14 @@
 //! the workspace — and `scenario --list-specs` enumerates whatever is
 //! registered at runtime.
 //!
-//! The built-in families (`rtf`, `cah`, `linear`; `oasis`, `ats`,
-//! `dp`, `clip`) are installed on first use.
+//! The built-in families (`rtf`, `cah`, `qbi`, `linear`; `oasis`,
+//! `ats`, `dp`, `clip`) are installed on first use.
 
 use std::sync::{OnceLock, RwLock};
 
 use oasis_attacks::{
-    ActiveAttack, AtsDefense, CahAttack, LinearModelAttack, RtfAttack, DEFAULT_ACTIVATION_TARGET,
+    ActiveAttack, AtsDefense, CahAttack, LinearModelAttack, QbiAttack, RtfAttack,
+    DEFAULT_ACTIVATION_TARGET, DEFAULT_QBI_BATCH,
 };
 use oasis_augment::PolicyKind;
 use oasis_fl::{ClipStage, Defense, DpStage};
@@ -30,6 +31,9 @@ use crate::ScenarioError;
 /// The figure binaries historically used this constant; keeping it in
 /// the registry makes `cah:N` specs reproduce those numbers.
 pub const CAH_WEIGHT_SEED: u64 = 0xCA11;
+
+/// Weight seed used when constructing QBI Gaussian rows from a spec.
+pub const QBI_WEIGHT_SEED: u64 = 0x0B1A;
 
 /// Constructor signature of a registered attack family: canonical
 /// args, calibration images, and the workload's class count.
@@ -252,6 +256,32 @@ pub fn spec_catalog() -> String {
         ],
     );
     section(
+        "campaigns (oasis-campaign; phases separated by `;`, fields by `+`):",
+        &[
+            (
+                "campaign:PHASES",
+                "multi-phase long-horizon run, e.g. campaign:20;30+alpha=0.5+attack=qbi:128",
+            ),
+            ("R", "each phase starts with its round count"),
+            (
+                "join=F/leave=F",
+                "per-round churn probabilities over the client population",
+            ),
+            (
+                "alpha=A",
+                "Dirichlet re-partition at phase entry (label-skew drift)",
+            ),
+            (
+                "net=SPEC",
+                "phase network conditions (same grammar as nets)",
+            ),
+            (
+                "attack=S[|S...]",
+                "adversary candidates for the phase; `|` sweeps pick the worst case",
+            ),
+        ],
+    );
+    section(
         "scales:",
         &[
             ("quick", "seconds-scale smoke test"),
@@ -324,6 +354,29 @@ fn builtin_attacks() -> Vec<AttackFamily> {
             unique_labels: false,
         },
         AttackFamily {
+            name: "qbi",
+            grammar: "quantile-based bias init, N neurons tuned for batch B (qbi:N[,B])",
+            canon: |args| {
+                let (neurons, batch) = parse_qbi(args)?;
+                Ok(Some(qbi_args(neurons, batch)))
+            },
+            build: |args, calibration, _classes| {
+                let (neurons, batch) = parse_qbi(args)?;
+                Ok(Box::new(QbiAttack::calibrated(
+                    neurons,
+                    batch,
+                    calibration,
+                    QBI_WEIGHT_SEED,
+                )?))
+            },
+            calibration: |_| 256,
+            with_neurons: |args, neurons| {
+                let batch = parse_qbi(args).map(|(_, b)| b).unwrap_or(DEFAULT_QBI_BATCH);
+                Some(qbi_args(neurons, batch))
+            },
+            unique_labels: false,
+        },
+        AttackFamily {
             name: "linear",
             grammar: "gradient inversion on a single-layer softmax model (no arguments)",
             canon: |args| {
@@ -360,6 +413,34 @@ pub(crate) fn cah_args(neurons: usize, gamma: f64) -> String {
         neurons.to_string()
     } else {
         format!("{neurons},{gamma}")
+    }
+}
+
+fn parse_qbi(args: Option<&str>) -> Result<(usize, usize), ScenarioError> {
+    let args = args.ok_or_else(no_args)?;
+    let (neurons_str, batch_str) = match args.split_once(',') {
+        Some((n, b)) => (n, Some(b)),
+        None => (args, None),
+    };
+    let neurons = parse_field::<usize>("qbi", "neurons", neurons_str)?;
+    let batch = match batch_str {
+        Some(b) => parse_field::<usize>("qbi", "batch", b)?,
+        None => DEFAULT_QBI_BATCH,
+    };
+    if batch < 2 {
+        return Err(ScenarioError::BadSpec(format!(
+            "qbi batch target must be at least 2, got `{batch}`"
+        )));
+    }
+    Ok((neurons, batch))
+}
+
+/// Canonical `qbi` args: the default batch target is elided.
+pub(crate) fn qbi_args(neurons: usize, batch: usize) -> String {
+    if batch == DEFAULT_QBI_BATCH {
+        neurons.to_string()
+    } else {
+        format!("{neurons},{batch}")
     }
 }
 
@@ -475,7 +556,7 @@ mod tests {
         // process-global and a sibling test registers extra families.
         let attacks: Vec<&str> = attack_families().iter().map(|&(n, _)| n).collect();
         assert!(
-            attacks.starts_with(&["rtf", "cah", "linear"]),
+            attacks.starts_with(&["rtf", "cah", "qbi", "linear"]),
             "{attacks:?}"
         );
         let defenses: Vec<&str> = defense_families().iter().map(|&(n, _)| n).collect();
@@ -540,6 +621,10 @@ mod tests {
             "sim:LAT",
             "population:N",
             "sample:K",
+            "qbi",
+            "campaigns",
+            "campaign:PHASES",
+            "alpha=A",
         ] {
             assert!(
                 catalog.contains(needle),

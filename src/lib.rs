@@ -5,8 +5,10 @@
 //! crates. The actual library surface lives in the member crates:
 //!
 //! * [`oasis`] — the defense (the paper's contribution)
-//! * [`oasis_attacks`] — RTF / CAH / linear-model attacks and baselines
+//! * [`oasis_attacks`] — RTF / CAH / QBI / linear-model attacks and baselines
 //! * [`oasis_fl`] — the federated-learning protocol substrate
+//! * [`oasis_campaign`] — multi-phase campaigns with churn, drift,
+//!   and adaptive adversaries over the cohort runner
 //! * [`oasis_wire`] — serialization, update codecs, simulated transport
 //! * [`oasis_nn`] — manual-backprop neural networks
 //! * [`oasis_tensor`], [`oasis_image`], [`oasis_augment`],
@@ -18,6 +20,7 @@
 pub use oasis;
 pub use oasis_attacks;
 pub use oasis_augment;
+pub use oasis_campaign;
 pub use oasis_data;
 pub use oasis_fl;
 pub use oasis_image;
